@@ -1,0 +1,142 @@
+package asymsort
+
+// One benchmark per experiment table (B1..B12 ↔ E1..E12 in DESIGN.md),
+// plus micro-benchmarks of each sorting algorithm's simulated execution.
+// Experiment benchmarks run the harness in Quick mode against io.Discard;
+// allocs/op in the output makes the "GC noise" reproduction note
+// checkable (hot paths allocate only at phase boundaries).
+
+import (
+	"io"
+	"testing"
+
+	"asymsort/internal/aem"
+	"asymsort/internal/aram"
+	"asymsort/internal/co"
+	"asymsort/internal/core/aemsample"
+	"asymsort/internal/core/aemsort"
+	"asymsort/internal/core/buffertree"
+	"asymsort/internal/core/cosort"
+	"asymsort/internal/core/pramsort"
+	"asymsort/internal/core/ramsort"
+	"asymsort/internal/exp"
+	"asymsort/internal/icache"
+	"asymsort/internal/seq"
+	"asymsort/internal/wd"
+)
+
+// benchExp runs one experiment per iteration at Quick sizes.
+func benchExp(b *testing.B, id string) {
+	e, ok := exp.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := exp.Config{Quick: true, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Run(io.Discard, cfg)
+	}
+}
+
+func BenchmarkE1_RAMSortTable(b *testing.B)     { benchExp(b, "E1") }
+func BenchmarkE2_PRAMSortTable(b *testing.B)    { benchExp(b, "E2") }
+func BenchmarkE3_MergeSortBounds(b *testing.B)  { benchExp(b, "E3") }
+func BenchmarkE4_KSweepFigure(b *testing.B)     { benchExp(b, "E4") }
+func BenchmarkE5_SampleSortTable(b *testing.B)  { benchExp(b, "E5") }
+func BenchmarkE6_BufferTreeTable(b *testing.B)  { benchExp(b, "E6") }
+func BenchmarkE7_Lemma42Exact(b *testing.B)     { benchExp(b, "E7") }
+func BenchmarkE8_Lemma21Policy(b *testing.B)    { benchExp(b, "E8") }
+func BenchmarkE9_COSortTable(b *testing.B)      { benchExp(b, "E9") }
+func BenchmarkE10_COFFTTable(b *testing.B)      { benchExp(b, "E10") }
+func BenchmarkE11_MatMulTable(b *testing.B)     { benchExp(b, "E11") }
+func BenchmarkE12_SchedulerBounds(b *testing.B) { benchExp(b, "E12") }
+func BenchmarkE13_ParallelSpeedup(b *testing.B) { benchExp(b, "E13") }
+func BenchmarkE14_Ablations(b *testing.B)       { benchExp(b, "E14") }
+
+// --- micro-benchmarks: simulated cost per sorted record -----------------
+
+const microN = 1 << 14
+
+func BenchmarkRAMTreeSort(b *testing.B) {
+	in := seq.Uniform(microN, 1)
+	b.ReportAllocs()
+	b.SetBytes(microN * 16)
+	for i := 0; i < b.N; i++ {
+		mem := aram.New(8)
+		_ = ramsort.TreeSort(aram.FromSlice(mem, in))
+	}
+}
+
+func BenchmarkRAMQuicksort(b *testing.B) {
+	in := seq.Uniform(microN, 1)
+	b.ReportAllocs()
+	b.SetBytes(microN * 16)
+	for i := 0; i < b.N; i++ {
+		mem := aram.New(8)
+		ramsort.Quicksort(aram.FromSlice(mem, in), 1)
+	}
+}
+
+func BenchmarkPRAMSampleSort(b *testing.B) {
+	in := seq.Uniform(microN, 1)
+	b.ReportAllocs()
+	b.SetBytes(microN * 16)
+	for i := 0; i < b.N; i++ {
+		c := wd.NewRoot(8)
+		arr := wd.NewArray[seq.Record](microN)
+		copy(arr.Unwrap(), in)
+		pramsort.Sort(c, arr, pramsort.Options{Seed: 1, DeepSplit: true})
+	}
+}
+
+func BenchmarkAEMMergeSort(b *testing.B) {
+	in := seq.Uniform(microN, 1)
+	b.ReportAllocs()
+	b.SetBytes(microN * 16)
+	for i := 0; i < b.N; i++ {
+		ma := aem.New(256, 16, 8, 4)
+		aemsort.MergeSort(ma, ma.FileFrom(in), 8)
+	}
+}
+
+func BenchmarkAEMSampleSort(b *testing.B) {
+	in := seq.Uniform(microN, 1)
+	b.ReportAllocs()
+	b.SetBytes(microN * 16)
+	for i := 0; i < b.N; i++ {
+		ma := aem.New(256, 16, 8, 4)
+		aemsample.Sort(ma, ma.FileFrom(in), 8, 1)
+	}
+}
+
+func BenchmarkAEMHeapSort(b *testing.B) {
+	in := seq.Uniform(microN, 1)
+	b.ReportAllocs()
+	b.SetBytes(microN * 16)
+	for i := 0; i < b.N; i++ {
+		ma := aem.New(128, 16, 8, 128/(4*16)+8)
+		buffertree.HeapSort(ma, ma.FileFrom(in), 4)
+	}
+}
+
+func BenchmarkCOSort(b *testing.B) {
+	in := seq.Uniform(microN, 1)
+	b.ReportAllocs()
+	b.SetBytes(microN * 16)
+	for i := 0; i < b.N; i++ {
+		cache := icache.New(16, 64, 8, icache.PolicyRWLRU)
+		c := co.NewCtx(cache)
+		cosort.Sort(c, co.FromSlice(c, in), cosort.Options{Seed: 1})
+	}
+}
+
+func BenchmarkCOSortClassic(b *testing.B) {
+	in := seq.Uniform(microN, 1)
+	b.ReportAllocs()
+	b.SetBytes(microN * 16)
+	for i := 0; i < b.N; i++ {
+		cache := icache.New(16, 64, 8, icache.PolicyRWLRU)
+		c := co.NewCtx(cache)
+		cosort.Sort(c, co.FromSlice(c, in), cosort.Options{Seed: 1, Classic: true})
+	}
+}

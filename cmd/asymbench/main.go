@@ -1,0 +1,56 @@
+// Command asymbench regenerates the experiment tables that validate every
+// theorem of Blelloch et al., "Sorting with Asymmetric Read and Write
+// Costs" (SPAA 2015) — see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	asymbench -exp all            # run every experiment (full sizes)
+//	asymbench -exp E4 -quick      # one experiment at test sizes
+//	asymbench -exp E3 -format csv # machine-readable output
+//	asymbench -list               # enumerate experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asymsort/internal/exp"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "all", "experiment ID (E1..E12) or 'all'")
+		quick  = flag.Bool("quick", false, "use reduced problem sizes")
+		format = flag.String("format", "text", "output format: text or csv")
+		seed   = flag.Uint64("seed", 1, "base random seed")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	cfg := exp.Config{Quick: *quick, Seed: *seed, CSV: *format == "csv"}
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "asymbench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if strings.EqualFold(*expID, "all") {
+		for _, e := range exp.All() {
+			e.Run(os.Stdout, cfg)
+		}
+		return
+	}
+	e, ok := exp.Lookup(*expID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "asymbench: unknown experiment %q (use -list)\n", *expID)
+		os.Exit(2)
+	}
+	e.Run(os.Stdout, cfg)
+}

@@ -1,0 +1,21 @@
+// Package asymsort is a reproduction of Blelloch, Fineman, Gibbons, Gu,
+// and Shun, "Sorting with Asymmetric Read and Write Costs" (SPAA 2015;
+// arXiv:1603.03505): write-efficient sorting algorithms and the
+// asymmetric memory-model simulators they are analyzed on.
+//
+// The library lives under internal/ (see README.md for the map):
+//
+//   - internal/aram, internal/wd — Asymmetric RAM and PRAM (work-depth)
+//   - internal/aem — Asymmetric External Memory (block transfers, strict M)
+//   - internal/icache, internal/co — Asymmetric Ideal-Cache + the
+//     low-depth cache-oblivious execution substrate
+//   - internal/core/... — the paper's algorithms: §3 RAM/PRAM sorts,
+//     §4 AEM mergesort/sample sort/buffer-tree heapsort, §5 cache-oblivious
+//     sort, FFT, and matrix multiplication
+//   - internal/exp — the experiment harness regenerating every theorem's
+//     table (run via cmd/asymbench or the benchmarks in bench_test.go)
+//
+// The benchmarks in this directory (bench_test.go) regenerate each
+// experiment under `go test -bench`; cmd/asymbench runs them at full size
+// with formatted output.
+package asymsort

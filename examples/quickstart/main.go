@@ -1,0 +1,50 @@
+// Quickstart: the paper's core idea in thirty lines.
+//
+// On emerging non-volatile memories a write costs ω× a read. Classical
+// sorts write Θ(n log n) times; inserting into a balanced tree and reading
+// back in order writes only O(n) (Section 3 of Blelloch et al., SPAA'15).
+// This example sorts the same input both ways on the instrumented
+// Asymmetric RAM and prints the ledgers.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"asymsort/internal/aram"
+	"asymsort/internal/core/ramsort"
+	"asymsort/internal/seq"
+)
+
+func main() {
+	const n = 1 << 16
+	const omega = 16 // a write costs 16 reads (mid-range PCM estimate, §2)
+	input := seq.Uniform(n, 42)
+
+	// Write-efficient: red-black-tree insertion sort (the paper's §3).
+	treeMem := aram.New(omega)
+	treeArr := aram.FromSlice(treeMem, input)
+	base := treeMem.Stats()
+	sorted := ramsort.TreeSort(treeArr)
+	treeCost := treeMem.Stats().Sub(base)
+
+	// Classical baseline: randomized quicksort.
+	quickMem := aram.New(omega)
+	quickArr := aram.FromSlice(quickMem, input)
+	base = quickMem.Stats()
+	ramsort.Quicksort(quickArr, 42)
+	quickCost := quickMem.Stats().Sub(base)
+
+	if !seq.IsSorted(sorted.Unwrap()) || !seq.IsSorted(quickArr.Unwrap()) {
+		panic("sort failed")
+	}
+
+	fmt.Printf("n = %d records, ω = %d\n\n", n, omega)
+	fmt.Printf("%-12s %12s %12s %16s\n", "algorithm", "reads", "writes", "cost = R + ω·W")
+	fmt.Printf("%-12s %12d %12d %16d\n", "treesort", treeCost.Reads, treeCost.Writes, treeCost.Cost(omega))
+	fmt.Printf("%-12s %12d %12d %16d\n", "quicksort", quickCost.Reads, quickCost.Writes, quickCost.Cost(omega))
+	fmt.Printf("\ntreesort writes %.1fx less and costs %.2fx less at ω=%d\n",
+		float64(quickCost.Writes)/float64(treeCost.Writes),
+		float64(quickCost.Cost(omega))/float64(treeCost.Cost(omega)), omega)
+}

@@ -1,0 +1,287 @@
+// Package aem implements the Asymmetric External Memory model of Section 2
+// of the paper: a primary memory (cache) of M records, an unbounded
+// secondary memory, both partitioned into blocks of B records, with block
+// transfers as the only charged operations — 1 per block read, ω per block
+// write.
+//
+// The simulator is strict about the model's resource limits:
+//
+//   - Secondary-memory data lives in Files; the only way records cross the
+//     memory boundary is ReadBlock/WriteBlock (and their range helpers),
+//     each charging the ledger.
+//   - Primary-memory space is an explicit arena: algorithms Alloc buffers
+//     and the Machine panics if allocations exceed capacity, so an
+//     algorithm that cheats on its stated memory bound fails its tests.
+//   - Computation within primary memory is free, as the model prescribes
+//     ("standard RAM instructions can be used within the primary memory").
+//
+// The paper grants algorithms small allowances beyond M — load/store
+// blocks, splitter tables, and the O(α·kM/B) pointer arrays of Lemma 4.1 —
+// so a Machine is constructed with an explicit slack in blocks. Pointer
+// and counter metadata (the α terms) are kept as ordinary Go values and
+// not charged; the paper itself accounts them as lower-order.
+package aem
+
+import (
+	"fmt"
+
+	"asymsort/internal/cost"
+	"asymsort/internal/seq"
+)
+
+// Machine is one simulated asymmetric external-memory machine.
+type Machine struct {
+	m        int // primary memory capacity in records (the model's M)
+	b        int // block size in records (the model's B)
+	slack    int // extra primary-memory records allowed beyond M
+	omega    uint64
+	ctr      cost.Counter
+	memUsed  int
+	peakUsed int
+}
+
+// New constructs a machine with primary memory M records, block size B
+// records, write cost omega, and slackBlocks extra blocks of primary
+// memory for the paper's per-algorithm allowances (buffers, splitters,
+// pointer arrays).
+func New(m, b int, omega uint64, slackBlocks int) *Machine {
+	if b < 1 || m < b {
+		panic("aem: need B >= 1 and M >= B")
+	}
+	if omega < 1 {
+		panic("aem: omega must be >= 1")
+	}
+	if slackBlocks < 0 {
+		panic("aem: negative slack")
+	}
+	return &Machine{m: m, b: b, slack: slackBlocks * b, omega: omega}
+}
+
+// M returns the primary memory size in records.
+func (ma *Machine) M() int { return ma.m }
+
+// B returns the block size in records.
+func (ma *Machine) B() int { return ma.b }
+
+// Omega returns the write-cost multiplier.
+func (ma *Machine) Omega() uint64 { return ma.omega }
+
+// Stats returns the block reads and writes charged so far.
+func (ma *Machine) Stats() cost.Snapshot { return ma.ctr.Snapshot() }
+
+// IOCost returns reads + ω·writes charged so far.
+func (ma *Machine) IOCost() uint64 { return ma.ctr.Cost(ma.omega) }
+
+// Reset zeroes the ledger (arena occupancy is untouched).
+func (ma *Machine) Reset() { ma.ctr.Reset() }
+
+// ChargeRead records n block reads of metadata I/O performed outside the
+// File abstraction (e.g. the priority queue's implicit-deletion pair list).
+func (ma *Machine) ChargeRead(n uint64) { ma.ctr.Read(n) }
+
+// ChargeWrite records n block writes of metadata I/O.
+func (ma *Machine) ChargeWrite(n uint64) { ma.ctr.Write(n) }
+
+// MemUsed returns the current primary-memory occupancy in records.
+func (ma *Machine) MemUsed() int { return ma.memUsed }
+
+// PeakMemUsed returns the maximum occupancy observed, for capacity
+// assertions in tests.
+func (ma *Machine) PeakMemUsed() int { return ma.peakUsed }
+
+// Capacity returns the total allocatable primary memory (M + slack).
+func (ma *Machine) Capacity() int { return ma.m + ma.slack }
+
+// Buffer is a region of primary memory. Access within it is free.
+type Buffer struct {
+	ma    *Machine
+	data  []seq.Record
+	freed bool
+}
+
+// Alloc reserves n records of primary memory. It panics if the arena
+// would exceed M + slack — an algorithm exceeding its stated bound is a
+// bug the simulator must surface, not absorb.
+func (ma *Machine) Alloc(n int) *Buffer {
+	if n < 0 {
+		panic("aem: negative allocation")
+	}
+	if ma.memUsed+n > ma.Capacity() {
+		panic(fmt.Sprintf("aem: primary memory exceeded: used %d + want %d > capacity %d",
+			ma.memUsed, n, ma.Capacity()))
+	}
+	ma.memUsed += n
+	if ma.memUsed > ma.peakUsed {
+		ma.peakUsed = ma.memUsed
+	}
+	return &Buffer{ma: ma, data: make([]seq.Record, n)}
+}
+
+// Free releases the buffer's reservation. Double frees panic.
+func (b *Buffer) Free() {
+	if b.freed {
+		panic("aem: double free")
+	}
+	b.freed = true
+	b.ma.memUsed -= len(b.data)
+}
+
+// Len returns the buffer length in records.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// Get returns record i (free: primary-memory computation).
+func (b *Buffer) Get(i int) seq.Record { return b.data[i] }
+
+// Set stores record i (free: primary-memory computation).
+func (b *Buffer) Set(i int, r seq.Record) { b.data[i] = r }
+
+// Data exposes the underlying records for free in-memory computation
+// (sorting a buffer, heap operations, etc.).
+func (b *Buffer) Data() []seq.Record { return b.data }
+
+// File is an array of records in secondary memory, addressed in blocks of
+// B records. Files may grow by whole blocks (Append helpers); growth
+// itself reserves address space and is uncharged, like Alloc.
+type File struct {
+	ma   *Machine
+	data []seq.Record
+}
+
+// NewFile creates a file of n records (initially zero records — callers
+// fill it with charged writes).
+func (ma *Machine) NewFile(n int) *File {
+	if n < 0 {
+		panic("aem: negative file size")
+	}
+	return &File{ma: ma, data: make([]seq.Record, n)}
+}
+
+// FileFrom creates a file holding a copy of rs, charging ⌈len/B⌉ block
+// writes (the cost of materializing the input in external memory).
+func (ma *Machine) FileFrom(rs []seq.Record) *File {
+	f := ma.NewFile(len(rs))
+	copy(f.data, rs)
+	ma.ctr.Write(uint64(f.Blocks()))
+	return f
+}
+
+// Len returns the file length in records.
+func (f *File) Len() int { return len(f.data) }
+
+// Blocks returns the number of (possibly ragged-tail) blocks.
+func (f *File) Blocks() int { return (len(f.data) + f.ma.b - 1) / f.ma.b }
+
+// blockBounds returns the record range of block i.
+func (f *File) blockBounds(i int) (lo, hi int) {
+	lo = i * f.ma.b
+	hi = lo + f.ma.b
+	if hi > len(f.data) {
+		hi = len(f.data)
+	}
+	if lo < 0 || lo >= hi {
+		panic(fmt.Sprintf("aem: block %d out of range (file has %d blocks)", i, f.Blocks()))
+	}
+	return lo, hi
+}
+
+// ReadBlock copies block i into buf starting at off, charging one read.
+// It returns the number of records copied (< B only for the tail block).
+func (f *File) ReadBlock(i int, buf *Buffer, off int) int {
+	lo, hi := f.blockBounds(i)
+	n := copy(buf.data[off:], f.data[lo:hi])
+	if n < hi-lo {
+		panic("aem: ReadBlock destination too small")
+	}
+	f.ma.ctr.Read(1)
+	return n
+}
+
+// WriteBlock copies n records from buf starting at off into block i,
+// charging one write.
+func (f *File) WriteBlock(i int, buf *Buffer, off, n int) {
+	lo, hi := f.blockBounds(i)
+	if n > hi-lo {
+		panic("aem: WriteBlock overflows block")
+	}
+	copy(f.data[lo:lo+n], buf.data[off:off+n])
+	f.ma.ctr.Write(1)
+}
+
+// ReadRange copies records [lo, lo+n) into buf[off:], charging one read
+// per touched block.
+func (f *File) ReadRange(lo, n int, buf *Buffer, off int) {
+	if n == 0 {
+		return
+	}
+	if lo < 0 || lo+n > len(f.data) {
+		panic("aem: ReadRange out of bounds")
+	}
+	copy(buf.data[off:off+n], f.data[lo:lo+n])
+	first := lo / f.ma.b
+	last := (lo + n - 1) / f.ma.b
+	f.ma.ctr.Read(uint64(last - first + 1))
+}
+
+// WriteRange copies buf[off:off+n] into records [lo, lo+n), charging one
+// write per touched block.
+func (f *File) WriteRange(lo, n int, buf *Buffer, off int) {
+	if n == 0 {
+		return
+	}
+	if lo < 0 || lo+n > len(f.data) {
+		panic("aem: WriteRange out of bounds")
+	}
+	copy(f.data[lo:lo+n], buf.data[off:off+n])
+	first := lo / f.ma.b
+	last := (lo + n - 1) / f.ma.b
+	f.ma.ctr.Write(uint64(last - first + 1))
+}
+
+// Append grows the file by the records in buf[off:off+n], charging one
+// write per touched block (appends that extend a partially filled tail
+// block re-write that block, exactly as a real device would).
+func (f *File) Append(buf *Buffer, off, n int) {
+	if n == 0 {
+		return
+	}
+	lo := len(f.data)
+	f.data = append(f.data, buf.data[off:off+n]...)
+	first := lo / f.ma.b
+	last := (lo + n - 1) / f.ma.b
+	f.ma.ctr.Write(uint64(last - first + 1))
+}
+
+// Truncate shrinks the file to n records (metadata only, uncharged).
+func (f *File) Truncate(n int) {
+	if n < 0 || n > len(f.data) {
+		panic("aem: bad truncate length")
+	}
+	f.data = f.data[:n]
+}
+
+// Unwrap exposes the raw records for verification only. Simulated
+// algorithms must not call it.
+func (f *File) Unwrap() []seq.Record { return f.data }
+
+// Slice returns a view of records [lo, hi) as a File sharing storage, for
+// algorithms that recurse on sub-ranges. The view's blocks are relative to
+// lo, which the paper's "partition at the granularity of blocks" step
+// keeps aligned; misaligned views still charge correctly per touched block
+// because charging is computed from the view's own offsets conservatively.
+func (f *File) Slice(lo, hi int) *File {
+	if lo < 0 || hi > len(f.data) || lo > hi {
+		panic("aem: bad slice bounds")
+	}
+	return &File{ma: f.ma, data: f.data[lo:hi:hi]}
+}
+
+// On returns a view of the same file whose transfers charge (and whose
+// buffers must belong to) machine ma — the Asymmetric Private-Cache model
+// of Section 2, where every processor owns a private primary memory but
+// all share the secondary memory the file lives in.
+func (f *File) On(ma *Machine) *File {
+	if ma.b != f.ma.b {
+		panic("aem: cross-machine view requires identical block size")
+	}
+	return &File{ma: ma, data: f.data}
+}

@@ -1,0 +1,213 @@
+package aem
+
+import (
+	"testing"
+
+	"asymsort/internal/seq"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct{ m, b, slack int }{
+		{0, 1, 0},  // M < B disguised: m=0
+		{4, 8, 0},  // M < B
+		{8, 0, 0},  // B = 0
+		{8, 4, -1}, // negative slack
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d,slack=%d) did not panic", tc.m, tc.b, tc.slack)
+				}
+			}()
+			New(tc.m, tc.b, 1, tc.slack)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("omega=0 did not panic")
+			}
+		}()
+		New(8, 4, 0, 0)
+	}()
+}
+
+func TestAllocEnforcesCapacity(t *testing.T) {
+	ma := New(16, 4, 2, 1) // capacity 16 + 4
+	a := ma.Alloc(16)
+	b := ma.Alloc(4)
+	if ma.MemUsed() != 20 {
+		t.Errorf("MemUsed = %d", ma.MemUsed())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("over-allocation did not panic")
+			}
+		}()
+		ma.Alloc(1)
+	}()
+	b.Free()
+	c := ma.Alloc(4) // fits again after free
+	if ma.PeakMemUsed() != 20 {
+		t.Errorf("PeakMemUsed = %d, want 20", ma.PeakMemUsed())
+	}
+	a.Free()
+	c.Free()
+	if ma.MemUsed() != 0 {
+		t.Errorf("MemUsed after frees = %d", ma.MemUsed())
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	ma := New(8, 4, 1, 0)
+	b := ma.Alloc(4)
+	b.Free()
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	b.Free()
+}
+
+func TestFileFromCharges(t *testing.T) {
+	ma := New(64, 8, 3, 0)
+	f := ma.FileFrom(seq.Uniform(20, 1)) // 20 records, B=8 → 3 blocks
+	if f.Blocks() != 3 {
+		t.Errorf("Blocks = %d, want 3", f.Blocks())
+	}
+	if s := ma.Stats(); s.Writes != 3 || s.Reads != 0 {
+		t.Errorf("stats = %+v, want writes=3", s)
+	}
+	if ma.IOCost() != 3*3 {
+		t.Errorf("IOCost = %d, want 9", ma.IOCost())
+	}
+}
+
+func TestReadWriteBlockRoundTrip(t *testing.T) {
+	ma := New(64, 4, 2, 4)
+	in := seq.Uniform(10, 2)
+	f := ma.FileFrom(in)
+	buf := ma.Alloc(4)
+	defer buf.Free()
+
+	got := make([]seq.Record, 0, 10)
+	for blk := 0; blk < f.Blocks(); blk++ {
+		n := f.ReadBlock(blk, buf, 0)
+		for i := 0; i < n; i++ {
+			got = append(got, buf.Get(i))
+		}
+	}
+	if !seq.IsPermutation(got, in) {
+		t.Fatal("round trip lost records")
+	}
+	if s := ma.Stats(); s.Reads != 3 {
+		t.Errorf("reads = %d, want 3", s.Reads)
+	}
+
+	// Write back a modified tail block (2 records).
+	buf.Set(0, seq.Record{Key: 999, Val: 1})
+	buf.Set(1, seq.Record{Key: 998, Val: 2})
+	f.WriteBlock(2, buf, 0, 2)
+	if f.Unwrap()[8].Key != 999 || f.Unwrap()[9].Key != 998 {
+		t.Error("WriteBlock did not persist")
+	}
+}
+
+func TestRangeOpsChargePerBlock(t *testing.T) {
+	ma := New(64, 4, 1, 8)
+	f := ma.NewFile(32)
+	buf := ma.Alloc(16)
+	defer buf.Free()
+	base := ma.Stats()
+	// Records 2..12 span blocks 0,1,2,3 → 4 reads.
+	f.ReadRange(2, 11, buf, 0)
+	d := ma.Stats().Sub(base)
+	if d.Reads != 4 {
+		t.Errorf("ReadRange charged %d reads, want 4", d.Reads)
+	}
+	base = ma.Stats()
+	// Records 4..8 span block 1 only → 1 write.
+	f.WriteRange(4, 4, buf, 0)
+	if d := ma.Stats().Sub(base); d.Writes != 1 {
+		t.Errorf("WriteRange charged %d writes, want 1", d.Writes)
+	}
+	// Zero-length ops are free.
+	base = ma.Stats()
+	f.ReadRange(0, 0, buf, 0)
+	f.WriteRange(0, 0, buf, 0)
+	if d := ma.Stats().Sub(base); d.Reads != 0 || d.Writes != 0 {
+		t.Errorf("zero-length ops charged %+v", d)
+	}
+}
+
+func TestAppendCharging(t *testing.T) {
+	ma := New(64, 4, 1, 8)
+	f := ma.NewFile(0)
+	buf := ma.Alloc(8)
+	for i := 0; i < 8; i++ {
+		buf.Set(i, seq.Record{Key: uint64(i)})
+	}
+	base := ma.Stats()
+	f.Append(buf, 0, 3) // partial block: 1 write
+	if d := ma.Stats().Sub(base); d.Writes != 1 {
+		t.Errorf("append 3 charged %d writes", d.Writes)
+	}
+	base = ma.Stats()
+	f.Append(buf, 3, 5) // extends block 0 and fills block 1: 2 writes
+	if d := ma.Stats().Sub(base); d.Writes != 2 {
+		t.Errorf("append 5 charged %d writes, want 2", d.Writes)
+	}
+	if f.Len() != 8 {
+		t.Errorf("Len = %d", f.Len())
+	}
+	for i, r := range f.Unwrap() {
+		if r.Key != uint64(i) {
+			t.Fatalf("append content wrong at %d", i)
+		}
+	}
+}
+
+func TestSliceSharesStorage(t *testing.T) {
+	ma := New(64, 4, 1, 4)
+	f := ma.FileFrom(seq.Sorted(16))
+	v := f.Slice(4, 12)
+	if v.Len() != 8 || v.Blocks() != 2 {
+		t.Errorf("view len=%d blocks=%d", v.Len(), v.Blocks())
+	}
+	buf := ma.Alloc(4)
+	defer buf.Free()
+	v.ReadBlock(0, buf, 0)
+	if buf.Get(0).Key != 4 {
+		t.Errorf("view block 0 starts at key %d, want 4", buf.Get(0).Key)
+	}
+	buf.Set(0, seq.Record{Key: 777})
+	v.WriteBlock(0, buf, 0, 1)
+	if f.Unwrap()[4].Key != 777 {
+		t.Error("write through view did not reach parent")
+	}
+}
+
+func TestBlockOutOfRangePanics(t *testing.T) {
+	ma := New(64, 4, 1, 4)
+	f := ma.NewFile(8)
+	buf := ma.Alloc(4)
+	defer buf.Free()
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range block did not panic")
+		}
+	}()
+	f.ReadBlock(2, buf, 0)
+}
+
+func TestTruncate(t *testing.T) {
+	ma := New(64, 4, 1, 0)
+	f := ma.NewFile(8)
+	f.Truncate(3)
+	if f.Len() != 3 || f.Blocks() != 1 {
+		t.Errorf("after truncate: len=%d blocks=%d", f.Len(), f.Blocks())
+	}
+}

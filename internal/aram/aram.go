@@ -1,0 +1,144 @@
+// Package aram implements the Asymmetric RAM model of Section 2 of the
+// paper: a standard RAM in which every write to memory costs ω > 1 while
+// reads (and all register operations) cost 1.
+//
+// A Memory owns the read/write ledger for one simulated machine. Algorithms
+// hold their data in instrumented containers — Array for indexed storage,
+// Cell for a single location — and every Get/Set is tallied. Go locals act
+// as the RAM's registers: manipulating values already loaded is free, which
+// mirrors the model (the cost is charged at the load/store boundary, not
+// per ALU operation).
+//
+// Counting granularity is one logical record or node per operation, i.e.
+// O(1) machine words, matching the unit the paper's bounds are stated in.
+package aram
+
+import (
+	"fmt"
+
+	"asymsort/internal/cost"
+)
+
+// Memory is one simulated asymmetric RAM: an ω parameter plus the ledger
+// all containers created from it share.
+type Memory struct {
+	omega uint64
+	ctr   cost.Counter
+}
+
+// New returns a Memory charging omega per write. omega must be >= 1
+// (omega == 1 recovers the classical symmetric RAM, used for baselines).
+func New(omega uint64) *Memory {
+	if omega < 1 {
+		panic("aram: omega must be >= 1")
+	}
+	return &Memory{omega: omega}
+}
+
+// Omega returns the write-cost multiplier.
+func (m *Memory) Omega() uint64 { return m.omega }
+
+// Stats returns a snapshot of the reads and writes charged so far.
+func (m *Memory) Stats() cost.Snapshot { return m.ctr.Snapshot() }
+
+// Cost returns reads + ω·writes charged so far.
+func (m *Memory) Cost() uint64 { return m.ctr.Cost(m.omega) }
+
+// Reset zeroes the ledger (the containers and their contents survive).
+func (m *Memory) Reset() { m.ctr.Reset() }
+
+// ChargeRead records n reads against the ledger. Exposed so that packages
+// building their own instrumented data structures (e.g. the red-black tree
+// in core/ramsort) can charge at the granularity of their own node type.
+func (m *Memory) ChargeRead(n uint64) { m.ctr.Read(n) }
+
+// ChargeWrite records n writes against the ledger.
+func (m *Memory) ChargeWrite(n uint64) { m.ctr.Write(n) }
+
+// chargeRead and chargeWrite are the internal aliases used by containers.
+func (m *Memory) chargeRead(n uint64)  { m.ctr.Read(n) }
+func (m *Memory) chargeWrite(n uint64) { m.ctr.Write(n) }
+
+// Array is an instrumented fixed-capacity array of T living in a Memory.
+type Array[T any] struct {
+	mem  *Memory
+	data []T
+}
+
+// NewArray allocates an instrumented array of length n. Allocation itself
+// is not charged: the paper's algorithms are charged for the values they
+// write, not for address-space reservation, and charging allocation would
+// double-count the initializing writes every algorithm already performs.
+func NewArray[T any](mem *Memory, n int) *Array[T] {
+	if n < 0 {
+		panic("aram: negative array length")
+	}
+	return &Array[T]{mem: mem, data: make([]T, n)}
+}
+
+// FromSlice copies vals into a fresh instrumented array, charging one write
+// per element (the cost of materializing the input in simulated memory).
+func FromSlice[T any](mem *Memory, vals []T) *Array[T] {
+	a := NewArray[T](mem, len(vals))
+	copy(a.data, vals)
+	mem.chargeWrite(uint64(len(vals)))
+	return a
+}
+
+// Len returns the array length (free: lengths live in registers).
+func (a *Array[T]) Len() int { return len(a.data) }
+
+// Get loads element i, charging one read.
+func (a *Array[T]) Get(i int) T {
+	a.mem.chargeRead(1)
+	return a.data[i]
+}
+
+// Set stores v at element i, charging one write.
+func (a *Array[T]) Set(i int, v T) {
+	a.mem.chargeWrite(1)
+	a.data[i] = v
+}
+
+// Swap exchanges elements i and j, charging two reads and two writes.
+func (a *Array[T]) Swap(i, j int) {
+	a.mem.chargeRead(2)
+	a.mem.chargeWrite(2)
+	a.data[i], a.data[j] = a.data[j], a.data[i]
+}
+
+// Unwrap returns the backing slice without charging. For verification and
+// test assertions only; simulated algorithms must not call it.
+func (a *Array[T]) Unwrap() []T { return a.data }
+
+// Memory returns the Memory this array charges against.
+func (a *Array[T]) Memory() *Memory { return a.mem }
+
+// String identifies the array for debugging.
+func (a *Array[T]) String() string {
+	return fmt.Sprintf("aram.Array(len=%d)", len(a.data))
+}
+
+// Cell is a single instrumented memory location.
+type Cell[T any] struct {
+	mem *Memory
+	v   T
+}
+
+// NewCell allocates a cell holding v, charging one write for the store.
+func NewCell[T any](mem *Memory, v T) *Cell[T] {
+	mem.chargeWrite(1)
+	return &Cell[T]{mem: mem, v: v}
+}
+
+// Get loads the cell, charging one read.
+func (c *Cell[T]) Get() T {
+	c.mem.chargeRead(1)
+	return c.v
+}
+
+// Set stores v, charging one write.
+func (c *Cell[T]) Set(v T) {
+	c.mem.chargeWrite(1)
+	c.v = v
+}

@@ -1,0 +1,119 @@
+package aram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnZeroOmega(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestArrayCharging(t *testing.T) {
+	mem := New(5)
+	a := NewArray[int](mem, 4)
+	if s := mem.Stats(); s.Reads != 0 || s.Writes != 0 {
+		t.Fatalf("allocation charged: %+v", s)
+	}
+	a.Set(0, 10)
+	a.Set(1, 20)
+	_ = a.Get(0)
+	s := mem.Stats()
+	if s.Reads != 1 || s.Writes != 2 {
+		t.Errorf("stats = %+v, want reads=1 writes=2", s)
+	}
+	if got := mem.Cost(); got != 1+5*2 {
+		t.Errorf("Cost = %d, want 11", got)
+	}
+}
+
+func TestArraySwap(t *testing.T) {
+	mem := New(2)
+	a := FromSlice(mem, []int{1, 2, 3})
+	before := mem.Stats()
+	a.Swap(0, 2)
+	d := mem.Stats().Sub(before)
+	if d.Reads != 2 || d.Writes != 2 {
+		t.Errorf("Swap cost = %+v, want reads=2 writes=2", d)
+	}
+	if a.Unwrap()[0] != 3 || a.Unwrap()[2] != 1 {
+		t.Errorf("Swap result = %v", a.Unwrap())
+	}
+}
+
+func TestFromSliceChargesWrites(t *testing.T) {
+	mem := New(1)
+	_ = FromSlice(mem, []int{1, 2, 3, 4})
+	if s := mem.Stats(); s.Writes != 4 || s.Reads != 0 {
+		t.Errorf("FromSlice stats = %+v, want writes=4", s)
+	}
+}
+
+func TestCell(t *testing.T) {
+	mem := New(3)
+	c := NewCell(mem, 7)
+	if s := mem.Stats(); s.Writes != 1 {
+		t.Fatalf("NewCell writes = %d, want 1", s.Writes)
+	}
+	if v := c.Get(); v != 7 {
+		t.Errorf("Get = %d", v)
+	}
+	c.Set(9)
+	if v := c.Get(); v != 9 {
+		t.Errorf("Get after Set = %d", v)
+	}
+	s := mem.Stats()
+	if s.Reads != 2 || s.Writes != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestReset(t *testing.T) {
+	mem := New(2)
+	a := FromSlice(mem, []int{1})
+	mem.Reset()
+	if s := mem.Stats(); s.Reads != 0 || s.Writes != 0 {
+		t.Errorf("after Reset: %+v", s)
+	}
+	if a.Get(0) != 1 {
+		t.Error("Reset destroyed contents")
+	}
+}
+
+func TestNegativeArrayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewArray(-1) did not panic")
+		}
+	}()
+	NewArray[int](New(1), -1)
+}
+
+// Property: after any sequence of Set/Get, cost == reads + ω·writes.
+func TestCostIdentity(t *testing.T) {
+	f := func(ops []bool, omegaRaw uint8) bool {
+		omega := uint64(omegaRaw%32) + 1
+		mem := New(omega)
+		a := NewArray[int](mem, 8)
+		var r, w uint64
+		for i, op := range ops {
+			if op {
+				a.Set(i%8, i)
+				w++
+			} else {
+				_ = a.Get(i % 8)
+				r++
+			}
+		}
+		s := mem.Stats()
+		return s.Reads == r && s.Writes == w && mem.Cost() == r+omega*w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

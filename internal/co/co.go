@@ -1,0 +1,122 @@
+// Package co is the execution substrate for the paper's Section 5
+// low-depth cache-oblivious algorithms. An algorithm written against a
+// Ctx is simultaneously metered in two models, exactly as the paradigm of
+// Section 2 prescribes:
+//
+//   - its memory accesses drive the Asymmetric Ideal-Cache simulator
+//     (package icache) in the computation's natural sequential order,
+//     yielding the sequential cache complexity Q₁; and
+//   - its fork-join structure drives the work-depth tracker (package wd),
+//     yielding work (reads/writes) and depth with writes charged ω.
+//
+// Arrays allocated from the Ctx live in the simulated address space; each
+// Get/Set touches the cache at the element's address and charges the
+// strand's work/depth ledger.
+package co
+
+import (
+	"asymsort/internal/icache"
+	"asymsort/internal/wd"
+)
+
+// Ctx carries both meters. Fork-join operations thread fresh wd strands
+// while cache accesses remain in sequential order. A Ctx in record mode
+// (see Record) additionally captures the fork-join access trace.
+type Ctx struct {
+	Cache *icache.Sim
+	WD    *wd.T
+	rec   *recorder
+}
+
+// NewCtx builds a context over the given cache simulator, creating a root
+// work-depth strand with the cache's ω.
+func NewCtx(cache *icache.Sim) *Ctx {
+	return &Ctx{Cache: cache, WD: wd.NewRoot(cache.Omega())}
+}
+
+// Omega returns the shared write-cost parameter.
+func (c *Ctx) Omega() uint64 { return c.Cache.Omega() }
+
+// Parallel runs branches as parallel siblings in the depth algebra; the
+// cache sees them in sequential order (the paradigm's analysis order).
+func (c *Ctx) Parallel(branches ...func(*Ctx)) {
+	kids := c.recFork(len(branches))
+	fs := make([]func(*wd.T), len(branches))
+	for i, f := range branches {
+		i, f := i, f
+		fs[i] = func(t *wd.T) {
+			child := Ctx{Cache: c.Cache, WD: t}
+			if kids != nil {
+				child.rec = &recorder{node: kids[i]}
+			}
+			f(&child)
+		}
+	}
+	c.WD.Parallel(fs...)
+}
+
+// ParFor runs body(i) for i in [0, n) as parallel strands.
+func (c *Ctx) ParFor(n int, body func(*Ctx, int)) {
+	kids := c.recFork(n)
+	child := Ctx{Cache: c.Cache}
+	var rec recorder
+	c.WD.ParFor(n, func(t *wd.T, i int) {
+		child.WD = t
+		if kids != nil {
+			rec.node = kids[i]
+			child.rec = &rec
+		}
+		body(&child, i)
+	})
+}
+
+// Arr is an array of T in the simulated address space. One element = one
+// word of the cache model (records are the unit all the paper's B and M
+// are measured in).
+type Arr[T any] struct {
+	cache *icache.Sim
+	base  int64
+	data  []T
+}
+
+// NewArr allocates a block-aligned array of n elements.
+func NewArr[T any](c *Ctx, n int) *Arr[T] {
+	return &Arr[T]{cache: c.Cache, base: c.Cache.AllocWords(n), data: make([]T, n)}
+}
+
+// FromSlice allocates an array holding a copy of vals, charging the
+// materializing writes as one parallel pass (depth O(ω)).
+func FromSlice[T any](c *Ctx, vals []T) *Arr[T] {
+	a := NewArr[T](c, len(vals))
+	c.ParFor(len(vals), func(c *Ctx, i int) {
+		a.Set(c, i, vals[i])
+	})
+	return a
+}
+
+// Len returns the element count (free).
+func (a *Arr[T]) Len() int { return len(a.data) }
+
+// Get loads element i: one cache access, one work-read, one depth unit.
+func (a *Arr[T]) Get(c *Ctx, i int) T {
+	a.cache.Access(a.base+int64(i), false)
+	c.WD.Read(1)
+	c.recAccess(a.base+int64(i), false)
+	return a.data[i]
+}
+
+// Set stores element i: one (write) cache access, one work-write, ω depth.
+func (a *Arr[T]) Set(c *Ctx, i int, v T) {
+	a.cache.Access(a.base+int64(i), true)
+	c.WD.Write(1)
+	c.recAccess(a.base+int64(i), true)
+	a.data[i] = v
+}
+
+// Slice returns a view sharing storage and addresses.
+func (a *Arr[T]) Slice(lo, hi int) *Arr[T] {
+	return &Arr[T]{cache: a.cache, base: a.base + int64(lo), data: a.data[lo:hi]}
+}
+
+// Unwrap exposes the backing slice for verification only.
+func (a *Arr[T]) Unwrap() []T { return a.data }

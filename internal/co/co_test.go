@@ -1,0 +1,166 @@
+package co
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"asymsort/internal/icache"
+	"asymsort/internal/seq"
+	"asymsort/internal/xrand"
+)
+
+func newCtx(omega uint64) *Ctx {
+	return NewCtx(icache.New(16, 64, omega, icache.PolicyRWLRU))
+}
+
+func TestArrGetSet(t *testing.T) {
+	c := newCtx(4)
+	a := NewArr[int](c, 10)
+	a.Set(c, 3, 42)
+	if got := a.Get(c, 3); got != 42 {
+		t.Errorf("Get = %d", got)
+	}
+	w := c.WD.Work()
+	if w.Reads != 1 || w.Writes != 1 {
+		t.Errorf("work = %+v", w)
+	}
+	if c.WD.Depth() != 1+4 {
+		t.Errorf("depth = %d, want 5", c.WD.Depth())
+	}
+}
+
+func TestSliceSharesAddresses(t *testing.T) {
+	c := newCtx(2)
+	a := NewArr[int](c, 100)
+	v := a.Slice(10, 20)
+	v.Set(c, 0, 7)
+	if a.Unwrap()[10] != 7 {
+		t.Error("slice write did not reach parent")
+	}
+}
+
+func TestScanMatchesSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 8, 17, 100, 1024} {
+		c := newCtx(2)
+		a := NewArr[uint64](c, n)
+		r := xrand.New(uint64(n))
+		want := make([]uint64, n)
+		sum := uint64(0)
+		for i := 0; i < n; i++ {
+			v := r.Uint64n(50)
+			a.Unwrap()[i] = v
+			want[i] = sum
+			sum += v
+		}
+		if got := Scan(c, a); got != sum {
+			t.Fatalf("n=%d: total %d want %d", n, got, sum)
+		}
+		for i, v := range a.Unwrap() {
+			if v != want[i] {
+				t.Fatalf("n=%d: scan[%d] = %d want %d", n, i, v, want[i])
+			}
+		}
+	}
+}
+
+func TestMergeAndMergeSort(t *testing.T) {
+	f := func(seed uint64, szRaw uint16) bool {
+		n := int(szRaw % 2000)
+		in := seq.Uniform(n, seed)
+		c := newCtx(2)
+		arr := FromSlice(c, in)
+		out := MergeSort(c, arr)
+		return seq.IsSorted(out.Unwrap()) && seq.IsPermutation(out.Unwrap(), in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeExplicit(t *testing.T) {
+	a := seq.Uniform(300, 1)
+	b := seq.Uniform(200, 2)
+	sort.Slice(a, func(i, j int) bool { return seq.TotalLess(a[i], a[j]) })
+	sort.Slice(b, func(i, j int) bool { return seq.TotalLess(b[i], b[j]) })
+	c := newCtx(2)
+	out := NewArr[seq.Record](c, 500)
+	Merge(c, FromSlice(c, a), FromSlice(c, b), out)
+	if !seq.IsSorted(out.Unwrap()) {
+		t.Fatal("merge output unsorted")
+	}
+	want := append(append([]seq.Record{}, a...), b...)
+	if !seq.IsPermutation(out.Unwrap(), want) {
+		t.Fatal("merge lost records")
+	}
+}
+
+func TestTransposeCorrect(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {2, 3}, {8, 8}, {5, 17}, {33, 9}, {64, 64}} {
+		rows, cols := dims[0], dims[1]
+		c := newCtx(2)
+		a := NewArr[uint64](c, rows*cols)
+		for i := range a.Unwrap() {
+			a.Unwrap()[i] = uint64(i)
+		}
+		out := NewArr[uint64](c, rows*cols)
+		Transpose(c, a, out, rows, cols)
+		for r := 0; r < rows; r++ {
+			for cc := 0; cc < cols; cc++ {
+				if got := out.Unwrap()[cc*rows+r]; got != uint64(r*cols+cc) {
+					t.Fatalf("%dx%d: T[%d][%d] = %d", rows, cols, cc, r, got)
+				}
+			}
+		}
+	}
+}
+
+// Cache-obliviousness sanity: a sequential scan through an Arr costs ~n/B
+// misses under either policy.
+func TestScanMissCount(t *testing.T) {
+	const n = 4096
+	cache := icache.New(16, 64, 4, icache.PolicyLRU)
+	c := NewCtx(cache)
+	a := NewArr[uint64](c, n)
+	base := cache.Stats()
+	for i := 0; i < n; i++ {
+		a.Get(c, i)
+	}
+	d := cache.Stats().Sub(base)
+	if d.Reads != n/16 {
+		t.Errorf("scan misses = %d, want %d", d.Reads, n/16)
+	}
+}
+
+// Transpose should be cache-efficient: misses within a small factor of
+// the compulsory 2·n²/B (tall-cache regime).
+func TestTransposeCacheEfficient(t *testing.T) {
+	const dim = 64                                    // 4096 words
+	cache := icache.New(16, 256, 4, icache.PolicyLRU) // M = 4096 ≥ B²
+	c := NewCtx(cache)
+	a := NewArr[uint64](c, dim*dim)
+	out := NewArr[uint64](c, dim*dim)
+	base := cache.Stats()
+	Transpose(c, a, out, dim, dim)
+	cache.Flush()
+	d := cache.Stats().Sub(base)
+	compulsory := uint64(2 * dim * dim / 16)
+	if d.Reads+d.Writes > 4*compulsory {
+		t.Errorf("transpose I/O %d exceeds 4x compulsory %d", d.Reads+d.Writes, compulsory)
+	}
+}
+
+func TestParallelDepthAlgebra(t *testing.T) {
+	c := newCtx(10)
+	c.Parallel(
+		func(c *Ctx) { c.WD.Read(100) },
+		func(c *Ctx) { c.WD.Write(5) },
+	)
+	if c.WD.Depth() != 100 {
+		t.Errorf("depth = %d, want max(100, 50)", c.WD.Depth())
+	}
+	w := c.WD.Work()
+	if w.Reads != 100 || w.Writes != 5 {
+		t.Errorf("work = %+v", w)
+	}
+}

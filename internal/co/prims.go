@@ -1,0 +1,215 @@
+package co
+
+import (
+	"math/bits"
+
+	"asymsort/internal/seq"
+)
+
+// This file provides the cache-oblivious parallel subroutines §5.1 cites
+// from [9] (Blelloch, Gibbons, Simhadri, SPAA'10): prefix sums, merging,
+// mergesort, and matrix transpose — here instrumented on the Ctx so both
+// cache complexity and depth are measured.
+
+// CeilLog2 returns ⌈log₂ n⌉ (0 for n ≤ 1).
+func CeilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Scan computes the exclusive prefix sum of a in place and returns the
+// total: O(n/B) cache misses, O(n) work, O(ω log n) depth.
+func Scan(c *Ctx, a *Arr[uint64]) uint64 {
+	n := a.Len()
+	if n == 0 {
+		return 0
+	}
+	if n&(n-1) != 0 {
+		p := 1 << bits.Len(uint(n))
+		pad := NewArr[uint64](c, p)
+		c.ParFor(n, func(c *Ctx, i int) { pad.Set(c, i, a.Get(c, i)) })
+		total := scanPow2(c, pad)
+		c.ParFor(n, func(c *Ctx, i int) { a.Set(c, i, pad.Get(c, i)) })
+		return total
+	}
+	return scanPow2(c, a)
+}
+
+func scanPow2(c *Ctx, a *Arr[uint64]) uint64 {
+	n := a.Len()
+	for d := 1; d < n; d *= 2 {
+		stride := 2 * d
+		c.ParFor(n/stride, func(c *Ctx, i int) {
+			lo := i*stride + d - 1
+			hi := i*stride + stride - 1
+			a.Set(c, hi, a.Get(c, hi)+a.Get(c, lo))
+		})
+	}
+	total := a.Get(c, n-1)
+	a.Set(c, n-1, 0)
+	for d := n / 2; d >= 1; d /= 2 {
+		stride := 2 * d
+		c.ParFor(n/stride, func(c *Ctx, i int) {
+			lo := i*stride + d - 1
+			hi := i*stride + stride - 1
+			t := a.Get(c, lo)
+			a.Set(c, lo, a.Get(c, hi))
+			a.Set(c, hi, a.Get(c, hi)+t)
+		})
+	}
+	return total
+}
+
+// diagSearch returns how many elements of a fall among the first k of the
+// merge of a and b (ties favour a).
+func diagSearch(c *Ctx, a, b *Arr[seq.Record], k int) int {
+	n, m := a.Len(), b.Len()
+	lo := 0
+	if k > m {
+		lo = k - m
+	}
+	hi := k
+	if hi > n {
+		hi = n
+	}
+	for lo < hi {
+		i := int(uint(lo+hi) >> 1)
+		j := k - i - 1
+		if !seq.TotalLess(b.Get(c, j), a.Get(c, i)) {
+			lo = i + 1
+		} else {
+			hi = i
+		}
+	}
+	return lo
+}
+
+// Merge merges sorted a and b into out (len n+m): O((n+m)/B) misses,
+// O(n+m) work, O(ω log(n+m)) depth via merge-path chunking.
+func Merge(c *Ctx, a, b, out *Arr[seq.Record]) {
+	n, m := a.Len(), b.Len()
+	total := n + m
+	if out.Len() != total {
+		panic("co: Merge output length mismatch")
+	}
+	if total == 0 {
+		return
+	}
+	L := CeilLog2(total)
+	if L < 8 {
+		L = 8
+	}
+	chunks := (total + L - 1) / L
+	c.ParFor(chunks, func(c *Ctx, t int) {
+		k0 := t * L
+		k1 := k0 + L
+		if k1 > total {
+			k1 = total
+		}
+		i0 := diagSearch(c, a, b, k0)
+		i1 := diagSearch(c, a, b, k1)
+		j0, j1 := k0-i0, k1-i1
+		i, j, k := i0, j0, k0
+		for i < i1 && j < j1 {
+			av, bv := a.Get(c, i), b.Get(c, j)
+			if !seq.TotalLess(bv, av) {
+				out.Set(c, k, av)
+				i++
+			} else {
+				out.Set(c, k, bv)
+				j++
+			}
+			k++
+		}
+		for i < i1 {
+			out.Set(c, k, a.Get(c, i))
+			i++
+			k++
+		}
+		for j < j1 {
+			out.Set(c, k, b.Get(c, j))
+			j++
+			k++
+		}
+	})
+}
+
+// MergeSort sorts in into a fresh array: O((n/B)·log(n/M)) misses,
+// O(n log n) work, O(ω log² n) depth. Used for sorting samples inside the
+// §5.1 sort (the paper's "cache-oblivious mergesort" subroutine).
+func MergeSort(c *Ctx, in *Arr[seq.Record]) *Arr[seq.Record] {
+	n := in.Len()
+	out := NewArr[seq.Record](c, n)
+	if n <= 16 {
+		seqSortInto(c, in, out)
+		return out
+	}
+	mid := n / 2
+	var left, right *Arr[seq.Record]
+	c.Parallel(
+		func(c *Ctx) { left = MergeSort(c, in.Slice(0, mid)) },
+		func(c *Ctx) { right = MergeSort(c, in.Slice(mid, n)) },
+	)
+	Merge(c, left, right, out)
+	return out
+}
+
+// seqSortInto binary-insertion sorts in into out.
+func seqSortInto(c *Ctx, in, out *Arr[seq.Record]) {
+	n := in.Len()
+	for i := 0; i < n; i++ {
+		v := in.Get(c, i)
+		lo, hi := 0, i
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if !seq.TotalLess(v, out.Get(c, mid)) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		for j := i; j > lo; j-- {
+			out.Set(c, j, out.Get(c, j-1))
+		}
+		out.Set(c, lo, v)
+	}
+}
+
+// Transpose writes the rows×cols row-major matrix a into out as a
+// cols×rows row-major matrix, by cache-oblivious divide and conquer:
+// O(rows·cols/B) misses (with a tall cache), O(ω log(rows+cols)) depth.
+func Transpose[T any](c *Ctx, a, out *Arr[T], rows, cols int) {
+	if a.Len() != rows*cols || out.Len() != rows*cols {
+		panic("co: Transpose dimension mismatch")
+	}
+	transposeRec(c, a, out, 0, rows, 0, cols, cols, rows)
+}
+
+// transposeRec handles the submatrix rows [r0,r1) × cols [c0,c1); aCols
+// and outCols are the leading dimensions of a and out.
+func transposeRec[T any](c *Ctx, a, out *Arr[T], r0, r1, c0, c1, aCols, outCols int) {
+	dr, dc := r1-r0, c1-c0
+	if dr*dc <= 64 {
+		for r := r0; r < r1; r++ {
+			for cc := c0; cc < c1; cc++ {
+				out.Set(c, cc*outCols+r, a.Get(c, r*aCols+cc))
+			}
+		}
+		return
+	}
+	if dr >= dc {
+		mid := (r0 + r1) / 2
+		c.Parallel(
+			func(c *Ctx) { transposeRec(c, a, out, r0, mid, c0, c1, aCols, outCols) },
+			func(c *Ctx) { transposeRec(c, a, out, mid, r1, c0, c1, aCols, outCols) },
+		)
+	} else {
+		mid := (c0 + c1) / 2
+		c.Parallel(
+			func(c *Ctx) { transposeRec(c, a, out, r0, r1, c0, mid, aCols, outCols) },
+			func(c *Ctx) { transposeRec(c, a, out, r0, r1, mid, c1, aCols, outCols) },
+		)
+	}
+}

@@ -1,0 +1,100 @@
+package co
+
+import "asymsort/internal/icache"
+
+// Fork-join trace recording: when a Ctx carries a recorder, every memory
+// access and every Parallel/ParFor fork is captured as a tree of
+// TraceNodes. The scheduler simulators (package sched) replay this tree
+// under work-stealing or parallel-depth-first schedules to measure the
+// parallel cache complexity bounds of Section 2.
+
+// TraceNode is one strand of a recorded nested-parallel computation: an
+// alternating sequence of sequential access runs and parallel forks.
+type TraceNode struct {
+	Segs []TraceSeg
+}
+
+// TraceSeg is either a run of sequential accesses (Acc != nil) or a
+// parallel fork into child strands (Kids != nil).
+type TraceSeg struct {
+	Acc  []icache.Access
+	Kids []*TraceNode
+}
+
+// recorder is carried by a Ctx in record mode.
+type recorder struct {
+	node *TraceNode
+}
+
+// Record switches c into trace-recording mode and returns the root node.
+// Recording adds memory proportional to the access count; use on
+// moderate-size computations.
+func (c *Ctx) Record() *TraceNode {
+	root := &TraceNode{}
+	c.rec = &recorder{node: root}
+	return root
+}
+
+// recAccess appends a memory access to the current strand's open run.
+func (c *Ctx) recAccess(addr int64, write bool) {
+	if c.rec == nil {
+		return
+	}
+	n := c.rec.node
+	blk := addr / int64(c.Cache.B())
+	if len(n.Segs) == 0 || n.Segs[len(n.Segs)-1].Acc == nil {
+		n.Segs = append(n.Segs, TraceSeg{})
+	}
+	last := &n.Segs[len(n.Segs)-1]
+	last.Acc = append(last.Acc, icache.Access{Block: blk, Write: write})
+}
+
+// recFork opens a parallel fork with n children and returns their nodes
+// (nil when not recording).
+func (c *Ctx) recFork(n int) []*TraceNode {
+	if c.rec == nil {
+		return nil
+	}
+	kids := make([]*TraceNode, n)
+	for i := range kids {
+		kids[i] = &TraceNode{}
+	}
+	c.rec.node.Segs = append(c.rec.node.Segs, TraceSeg{Kids: kids})
+	return kids
+}
+
+// CountAccesses returns the total number of recorded accesses.
+func (n *TraceNode) CountAccesses() int {
+	total := 0
+	for _, s := range n.Segs {
+		if s.Acc != nil {
+			total += len(s.Acc)
+		} else {
+			for _, k := range s.Kids {
+				total += k.CountAccesses()
+			}
+		}
+	}
+	return total
+}
+
+// CriticalPath returns the length (in accesses) of the longest
+// sequential dependence chain — the unweighted depth D used to size the
+// PDF scheduler's shared cache (M + pBD).
+func (n *TraceNode) CriticalPath() int {
+	total := 0
+	for _, s := range n.Segs {
+		if s.Acc != nil {
+			total += len(s.Acc)
+			continue
+		}
+		longest := 0
+		for _, k := range s.Kids {
+			if d := k.CriticalPath(); d > longest {
+				longest = d
+			}
+		}
+		total += longest
+	}
+	return total
+}

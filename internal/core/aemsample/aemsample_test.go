@@ -1,0 +1,174 @@
+package aemsample
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asymsort/internal/aem"
+	"asymsort/internal/core/aemsort"
+	"asymsort/internal/seq"
+)
+
+func newMachine(m, b int, omega uint64) *aem.Machine {
+	return aem.New(m, b, omega, 4)
+}
+
+func TestSortCorrectness(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 50, 1000, 5000, 20000} {
+			ma := newMachine(64, 8, 8)
+			in := seq.Uniform(n, uint64(n)+uint64(k))
+			out := Sort(ma, ma.FileFrom(in), k, 42)
+			if !seq.IsSorted(out.Unwrap()) {
+				t.Fatalf("k=%d n=%d: not sorted", k, n)
+			}
+			if !seq.IsPermutation(out.Unwrap(), in) {
+				t.Fatalf("k=%d n=%d: not a permutation", k, n)
+			}
+		}
+	}
+}
+
+func TestSortAdversarial(t *testing.T) {
+	gens := map[string][]seq.Record{
+		"sorted":      seq.Sorted(8000),
+		"reversed":    seq.Reversed(8000),
+		"fewdistinct": seq.FewDistinct(8000, 2, 3),
+		"allequal":    seq.FewDistinct(8000, 1, 3),
+		"zipf":        seq.Zipf(8000, 20, 2.0, 4),
+	}
+	for name, in := range gens {
+		ma := newMachine(64, 8, 8)
+		out := Sort(ma, ma.FileFrom(in), 4, 7)
+		if !seq.IsSorted(out.Unwrap()) || !seq.IsPermutation(out.Unwrap(), in) {
+			t.Errorf("%s: bad sample sort", name)
+		}
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	f := func(seed uint64, szRaw uint16, kRaw uint8) bool {
+		n := int(szRaw % 6000)
+		k := int(kRaw%8) + 1
+		ma := newMachine(32, 4, 4)
+		in := seq.Uniform(n, seed)
+		out := Sort(ma, ma.FileFrom(in), k, seed^0xabcdef)
+		return seq.IsSorted(out.Unwrap()) && seq.IsPermutation(out.Unwrap(), in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 4.5 shape: measured R and W within small constants of the
+// stated bounds, across k.
+func TestTheorem45Shape(t *testing.T) {
+	const m, b = 256, 16
+	const n = 1 << 16
+	for _, k := range []int{1, 2, 4, 8} {
+		ma := newMachine(m, b, 8)
+		f := ma.FileFrom(seq.Uniform(n, uint64(k)+1))
+		base := ma.Stats()
+		out := Sort(ma, f, k, 9)
+		d := ma.Stats().Sub(base)
+		if !seq.IsSorted(out.Unwrap()) {
+			t.Fatalf("k=%d unsorted", k)
+		}
+		rB := TheoreticalReads(n, m, b, k)
+		wB := TheoreticalWrites(n, m, b, k)
+		if float64(d.Reads) > 4*float64(rB) {
+			t.Errorf("k=%d: reads %d > 4x bound %d", k, d.Reads, rB)
+		}
+		if float64(d.Writes) > 4*float64(wB) {
+			t.Errorf("k=%d: writes %d > 4x bound %d", k, d.Writes, wB)
+		}
+	}
+}
+
+// Raising k lowers writes and raises reads — the §4 trade-off.
+func TestKTradeoff(t *testing.T) {
+	const m, b = 256, 16
+	const n = 1 << 17
+	measure := func(k int) (r, w uint64) {
+		ma := newMachine(m, b, 8)
+		f := ma.FileFrom(seq.Uniform(n, 3))
+		base := ma.Stats()
+		Sort(ma, f, k, 5)
+		d := ma.Stats().Sub(base)
+		return d.Reads, d.Writes
+	}
+	r1, w1 := measure(1)
+	r8, w8 := measure(8)
+	if w8 >= w1 {
+		t.Errorf("writes did not drop: k=1 %d vs k=8 %d", w1, w8)
+	}
+	if r8 <= r1 {
+		t.Errorf("reads did not grow: k=1 %d vs k=8 %d", r1, r8)
+	}
+}
+
+// Sample sort and mergesort have the same asymptotics (both Theorem 4.3 /
+// 4.5): their measured write counts agree within a small constant factor.
+func TestAgreesWithMergesort(t *testing.T) {
+	const m, b, k = 256, 16, 4
+	const n = 1 << 16
+	maS := newMachine(m, b, 8)
+	fS := maS.FileFrom(seq.Uniform(n, 1))
+	baseS := maS.Stats()
+	Sort(maS, fS, k, 2)
+	dS := maS.Stats().Sub(baseS)
+
+	maM := newMachine(m, b, 8)
+	fM := maM.FileFrom(seq.Uniform(n, 1))
+	baseM := maM.Stats()
+	aemsort.MergeSort(maM, fM, k)
+	dM := maM.Stats().Sub(baseM)
+
+	ratio := float64(dS.Writes) / float64(dM.Writes)
+	if ratio > 4 || ratio < 0.25 {
+		t.Errorf("sample sort writes %d vs mergesort %d: ratio %.2f outside [0.25,4]",
+			dS.Writes, dM.Writes, ratio)
+	}
+}
+
+func TestMemoryDiscipline(t *testing.T) {
+	ma := newMachine(128, 16, 4)
+	f := ma.FileFrom(seq.Uniform(1<<14, 6))
+	Sort(ma, f, 4, 11)
+	if ma.PeakMemUsed() > ma.Capacity() {
+		t.Errorf("peak %d exceeds capacity %d", ma.PeakMemUsed(), ma.Capacity())
+	}
+	if ma.MemUsed() != 0 {
+		t.Errorf("leaked %d records of arena", ma.MemUsed())
+	}
+}
+
+func TestInvalidKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 did not panic")
+		}
+	}()
+	ma := newMachine(32, 4, 2)
+	Sort(ma, ma.NewFile(10), 0, 1)
+}
+
+func TestBucketOf(t *testing.T) {
+	sp := []seq.Record{{Key: 10, Val: 0}, {Key: 20, Val: 0}, {Key: 20, Val: 5}}
+	cases := []struct {
+		r    seq.Record
+		want int
+	}{
+		{seq.Record{Key: 5, Val: 0}, 0},
+		{seq.Record{Key: 10, Val: 0}, 0}, // equal to splitter 0 → not less → bucket 0
+		{seq.Record{Key: 10, Val: 1}, 1}, // above (10,0) by tiebreak
+		{seq.Record{Key: 20, Val: 3}, 2}, // between (20,0) and (20,5)
+		{seq.Record{Key: 20, Val: 9}, 3}, // above all
+		{seq.Record{Key: 99, Val: 0}, 3},
+	}
+	for _, tc := range cases {
+		if got := bucketOf(sp, tc.r); got != tc.want {
+			t.Errorf("bucketOf(%+v) = %d, want %d", tc.r, got, tc.want)
+		}
+	}
+}

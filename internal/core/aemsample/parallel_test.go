@@ -1,0 +1,146 @@
+package aemsample
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asymsort/internal/aem"
+	"asymsort/internal/seq"
+)
+
+func newCluster(p, m, b int, omega uint64) []*aem.Machine {
+	procs := make([]*aem.Machine, p)
+	for i := range procs {
+		procs[i] = aem.New(m, b, omega, 4)
+	}
+	return procs
+}
+
+func TestParallelSortCorrectness(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 100, 1000, 20000} {
+			procs := newCluster(p, 64, 8, 8)
+			in := procs[0].FileFrom(seq.Uniform(n, uint64(n)+uint64(p)))
+			res := ParallelSort(procs, in, 2, 42)
+			if !seq.IsSorted(res.Out.Unwrap()) {
+				t.Fatalf("p=%d n=%d: not sorted", p, n)
+			}
+			if !seq.IsPermutation(res.Out.Unwrap(), in.Unwrap()) {
+				t.Fatalf("p=%d n=%d: not a permutation", p, n)
+			}
+		}
+	}
+}
+
+func TestParallelSortAdversarial(t *testing.T) {
+	gens := map[string][]seq.Record{
+		"sorted":   seq.Sorted(8000),
+		"reversed": seq.Reversed(8000),
+		"allequal": seq.FewDistinct(8000, 1, 3),
+	}
+	for name, in := range gens {
+		procs := newCluster(4, 64, 8, 8)
+		f := procs[0].FileFrom(in)
+		res := ParallelSort(procs, f, 2, 7)
+		if !seq.IsSorted(res.Out.Unwrap()) || !seq.IsPermutation(res.Out.Unwrap(), in) {
+			t.Errorf("%s: bad parallel sort", name)
+		}
+	}
+}
+
+func TestParallelSortProperty(t *testing.T) {
+	f := func(seed uint64, szRaw uint16, pRaw, kRaw uint8) bool {
+		n := int(szRaw % 5000)
+		p := int(pRaw%8) + 1
+		k := int(kRaw%4) + 1
+		procs := newCluster(p, 32, 4, 4)
+		in := procs[0].FileFrom(seq.Uniform(n, seed))
+		res := ParallelSort(procs, in, k, seed^99)
+		return seq.IsSorted(res.Out.Unwrap()) && seq.IsPermutation(res.Out.Unwrap(), in.Unwrap())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The §4.2 claim: linear speedup — makespan shrinks proportionally with p
+// (within scheduling slack), while total work stays within a constant of
+// the sequential cost.
+func TestParallelSpeedup(t *testing.T) {
+	const n = 1 << 16
+	const m, b, k = 128, 16, 4
+	in := seq.Uniform(n, 5)
+	makespan := func(p int) (uint64, uint64) {
+		procs := newCluster(p, m, b, 8)
+		f := procs[0].FileFrom(in)
+		res := ParallelSort(procs, f, k, 3)
+		return res.Makespan, res.Total.Cost(8)
+	}
+	m1, t1 := makespan(1)
+	m8, t8 := makespan(8)
+	if m8*3 > m1 {
+		t.Errorf("p=8 makespan %d vs p=1 %d: less than 3x speedup", m8, m1)
+	}
+	// Total work must not blow up with p (same algorithm, same tasks).
+	if float64(t8) > 1.2*float64(t1) {
+		t.Errorf("total work grew with p: %d → %d", t1, t8)
+	}
+}
+
+// Per-processor loads should be roughly balanced under round-robin.
+func TestParallelLoadBalance(t *testing.T) {
+	const n = 1 << 15
+	procs := newCluster(4, 128, 16, 8)
+	in := procs[0].FileFrom(seq.Uniform(n, 9))
+	res := ParallelSort(procs, in, 4, 2)
+	var minC, maxC uint64
+	for i, s := range res.PerProc {
+		c := s.Cost(8)
+		if i == 0 || c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	// Processor 0 also does splitter selection and metadata, so allow a
+	// generous spread, but the heaviest processor should not exceed 4x
+	// the lightest.
+	if minC == 0 || maxC > 4*minC {
+		t.Errorf("imbalanced: min %d max %d (per-proc %v)", minC, maxC, res.PerProc)
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { ParallelSort(nil, nil, 1, 1) },
+		func() {
+			procs := newCluster(2, 32, 4, 2)
+			ParallelSort(procs, procs[0].NewFile(10), 0, 1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFileOnChargesAccessor(t *testing.T) {
+	ma1 := aem.New(32, 4, 2, 4)
+	ma2 := aem.New(32, 4, 2, 4)
+	f := ma1.FileFrom(seq.Uniform(8, 1)) // charges ma1: 2 writes
+	buf := ma2.Alloc(4)
+	defer buf.Free()
+	f.On(ma2).ReadBlock(0, buf, 0)
+	if ma2.Stats().Reads != 1 {
+		t.Errorf("accessor machine reads = %d, want 1", ma2.Stats().Reads)
+	}
+	if ma1.Stats().Reads != 0 {
+		t.Errorf("owner machine charged for accessor's read")
+	}
+}

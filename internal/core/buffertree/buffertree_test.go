@@ -1,0 +1,329 @@
+package buffertree
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"asymsort/internal/aem"
+	"asymsort/internal/seq"
+	"asymsort/internal/xrand"
+)
+
+// pqMachine builds a machine with the arena slack the PQ needs: alpha
+// (M/4) plus staging and emptying blocks.
+func pqMachine(m, b int, omega uint64) *aem.Machine {
+	return aem.New(m, b, omega, m/(4*b)+8)
+}
+
+func TestTreeInsertAndInvariants(t *testing.T) {
+	ma := pqMachine(64, 8, 4)
+	tr := NewTree(ma, 2)
+	defer tr.Close()
+	r := xrand.New(3)
+	for i := 0; i < 5000; i++ {
+		tr.Insert(seq.Record{Key: r.Next(), Val: uint64(i)})
+		if i%617 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.CountElements(); got != 5000 {
+		t.Errorf("physical count %d, want 5000", got)
+	}
+	if tr.Len() != 5000 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestTreePopLeftmostDrainsSorted(t *testing.T) {
+	ma := pqMachine(64, 8, 4)
+	tr := NewTree(ma, 2)
+	defer tr.Close()
+	const n = 3000
+	in := seq.Uniform(n, 7)
+	for _, rec := range in {
+		tr.Insert(rec)
+	}
+	var drained []seq.Record
+	for tr.Len() > 0 {
+		f := tr.PopLeftmostLeaf()
+		if f == nil {
+			t.Fatalf("nil pop with Len = %d", tr.Len())
+		}
+		leaf := f.Unwrap()
+		// Each popped leaf is internally sorted…
+		if !seq.IsSorted(leaf) {
+			t.Fatal("popped leaf not sorted")
+		}
+		drained = append(drained, leaf...)
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// …and the concatenation of pops is globally sorted.
+	if !seq.IsSorted(drained) {
+		t.Fatal("concatenated pops not globally sorted")
+	}
+	if !seq.IsPermutation(drained, in) {
+		t.Fatal("pops lost records")
+	}
+}
+
+func TestTreeInterleavedInsertPop(t *testing.T) {
+	ma := pqMachine(64, 8, 2)
+	tr := NewTree(ma, 2)
+	defer tr.Close()
+	r := xrand.New(9)
+	inserted := 0
+	popped := 0
+	var lastPopMax *seq.Record
+	for step := 0; step < 40; step++ {
+		burst := 200 + r.Intn(400)
+		for i := 0; i < burst; i++ {
+			// Keys above the consumed watermark so global pop order stays
+			// meaningful (a PQ inserts arbitrary keys; the tree alone has
+			// no such guarantee — this test focuses on tree mechanics).
+			var k uint64
+			if lastPopMax != nil {
+				k = lastPopMax.Key + 1 + r.Uint64n(1<<30)
+			} else {
+				k = r.Uint64n(1 << 40)
+			}
+			tr.Insert(seq.Record{Key: k, Val: uint64(inserted)})
+			inserted++
+		}
+		if tr.Len() > 0 && r.Bool() {
+			f := tr.PopLeftmostLeaf()
+			leaf := f.Unwrap()
+			if !seq.IsSorted(leaf) {
+				t.Fatal("pop not sorted")
+			}
+			popped += len(leaf)
+			if len(leaf) > 0 {
+				mx := leaf[len(leaf)-1]
+				lastPopMax = &mx
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if tr.Len() != inserted-popped {
+			t.Fatalf("Len = %d, want %d", tr.Len(), inserted-popped)
+		}
+	}
+}
+
+func TestPQMatchesReferenceHeap(t *testing.T) {
+	ma := pqMachine(64, 8, 4)
+	q := NewPQ(ma, 2)
+	defer q.Close()
+	r := xrand.New(21)
+	var ref []seq.Record
+	for step := 0; step < 6000; step++ {
+		if len(ref) == 0 || r.Float64() < 0.55 {
+			rec := seq.Record{Key: r.Uint64n(1 << 32), Val: uint64(step)}
+			q.Insert(rec)
+			ref = append(ref, rec)
+			sort.Slice(ref, func(i, j int) bool { return seq.TotalLess(ref[i], ref[j]) })
+		} else {
+			got, ok := q.DeleteMin()
+			if !ok {
+				t.Fatalf("step %d: DeleteMin failed with %d queued", step, len(ref))
+			}
+			if got != ref[0] {
+				t.Fatalf("step %d: DeleteMin = %+v, want %+v", step, got, ref[0])
+			}
+			ref = ref[1:]
+		}
+		if q.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, q.Len(), len(ref))
+		}
+		if !q.PairsOK() {
+			t.Fatalf("step %d: pair-list invariant violated", step)
+		}
+	}
+}
+
+func TestPQDrainAscending(t *testing.T) {
+	ma := pqMachine(64, 8, 4)
+	q := NewPQ(ma, 4)
+	defer q.Close()
+	const n = 20000
+	in := seq.Uniform(n, 5)
+	for _, rec := range in {
+		q.Insert(rec)
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	var out []seq.Record
+	for {
+		r, ok := q.DeleteMin()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	if !seq.IsSorted(out) || !seq.IsPermutation(out, in) {
+		t.Fatal("PQ drain incorrect")
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len after drain = %d", q.Len())
+	}
+}
+
+func TestPQSizeDecomposition(t *testing.T) {
+	ma := pqMachine(64, 8, 2)
+	q := NewPQ(ma, 2)
+	defer q.Close()
+	r := xrand.New(33)
+	live := 0
+	for step := 0; step < 4000; step++ {
+		if live == 0 || r.Float64() < 0.6 {
+			q.Insert(seq.Record{Key: r.Next(), Val: uint64(step)})
+			live++
+		} else {
+			q.DeleteMin()
+			live--
+		}
+		if step%401 == 0 {
+			sum := q.AlphaLen() + q.BetaValid() + q.TreeLen()
+			if sum != live || q.Len() != live {
+				t.Fatalf("step %d: alpha %d + beta %d + tree %d = %d, Len %d, want %d",
+					step, q.AlphaLen(), q.BetaValid(), q.TreeLen(), sum, q.Len(), live)
+			}
+		}
+	}
+}
+
+func TestPQMinDoesNotRemove(t *testing.T) {
+	ma := pqMachine(64, 8, 2)
+	q := NewPQ(ma, 2)
+	defer q.Close()
+	q.Insert(seq.Record{Key: 5, Val: 1})
+	q.Insert(seq.Record{Key: 3, Val: 2})
+	m1, ok := q.Min()
+	if !ok || m1.Key != 3 {
+		t.Fatalf("Min = %+v, %v", m1, ok)
+	}
+	if q.Len() != 2 {
+		t.Errorf("Min removed an element")
+	}
+	d, _ := q.DeleteMin()
+	if d != m1 {
+		t.Errorf("DeleteMin %+v != Min %+v", d, m1)
+	}
+}
+
+func TestPQEmpty(t *testing.T) {
+	ma := pqMachine(64, 8, 2)
+	q := NewPQ(ma, 2)
+	defer q.Close()
+	if _, ok := q.DeleteMin(); ok {
+		t.Error("DeleteMin on empty returned ok")
+	}
+	if _, ok := q.Min(); ok {
+		t.Error("Min on empty returned ok")
+	}
+}
+
+func TestHeapSortCorrectness(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		for _, n := range []int{0, 1, 100, 1000, 10000} {
+			ma := pqMachine(64, 8, 8)
+			in := seq.Uniform(n, uint64(n)+uint64(k)*3)
+			out := HeapSort(ma, ma.FileFrom(in), k)
+			if !seq.IsSorted(out.Unwrap()) {
+				t.Fatalf("k=%d n=%d: not sorted", k, n)
+			}
+			if !seq.IsPermutation(out.Unwrap(), in) {
+				t.Fatalf("k=%d n=%d: not a permutation", k, n)
+			}
+		}
+	}
+}
+
+func TestHeapSortAdversarial(t *testing.T) {
+	gens := map[string][]seq.Record{
+		"sorted":      seq.Sorted(5000),
+		"reversed":    seq.Reversed(5000),
+		"fewdistinct": seq.FewDistinct(5000, 2, 3),
+	}
+	for name, in := range gens {
+		ma := pqMachine(64, 8, 4)
+		out := HeapSort(ma, ma.FileFrom(in), 2)
+		if !seq.IsSorted(out.Unwrap()) || !seq.IsPermutation(out.Unwrap(), in) {
+			t.Errorf("%s: bad heapsort", name)
+		}
+	}
+}
+
+func TestHeapSortProperty(t *testing.T) {
+	f := func(seed uint64, szRaw uint16, kRaw uint8) bool {
+		n := int(szRaw % 4000)
+		k := int(kRaw%4) + 1
+		ma := pqMachine(32, 4, 4)
+		in := seq.Uniform(n, seed)
+		out := HeapSort(ma, ma.FileFrom(in), k)
+		return seq.IsSorted(out.Unwrap()) && seq.IsPermutation(out.Unwrap(), in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 4.10 shape: per-operation writes O((1/B)(1+log_{kM/B} n)) and
+// the read:write ratio roughly k-fold. Constants are loose; the shape is
+// what must hold.
+func TestTheorem410Shape(t *testing.T) {
+	const m, b = 128, 16
+	const n = 1 << 15
+	perOpWrites := func(k int) (wPerOp, ratio float64) {
+		ma := pqMachine(m, b, 8)
+		f := ma.FileFrom(seq.Uniform(n, uint64(k)))
+		base := ma.Stats()
+		HeapSort(ma, f, k)
+		d := ma.Stats().Sub(base)
+		return float64(d.Writes) / float64(2*n), d.Ratio()
+	}
+	w1, _ := perOpWrites(1)
+	w4, r4 := perOpWrites(4)
+	if w4 >= w1 {
+		t.Errorf("k=4 writes/op %.4f not below k=1 %.4f", w4, w1)
+	}
+	// Bound: writes/op ≤ c·(1/B)(1+log_{kM/B} n) with a generous c.
+	bound := 8.0 / float64(b) * (1 + math.Log(float64(n))/math.Log(float64(4*m/b)))
+	if w4 > bound {
+		t.Errorf("k=4 writes/op %.4f exceeds shape bound %.4f", w4, bound)
+	}
+	if r4 < 2 {
+		t.Errorf("k=4 read:write ratio %.2f; expected reads ≫ writes", r4)
+	}
+}
+
+func TestPQMemoryDiscipline(t *testing.T) {
+	ma := pqMachine(64, 8, 4)
+	f := ma.FileFrom(seq.Uniform(1<<13, 2))
+	HeapSort(ma, f, 2)
+	if ma.PeakMemUsed() > ma.Capacity() {
+		t.Errorf("peak %d exceeds capacity %d", ma.PeakMemUsed(), ma.Capacity())
+	}
+	if ma.MemUsed() != 0 {
+		t.Errorf("leaked %d records of arena", ma.MemUsed())
+	}
+}
+
+func TestNewPQValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 did not panic")
+		}
+	}()
+	NewPQ(pqMachine(32, 4, 2), 0)
+}

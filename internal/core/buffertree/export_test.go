@@ -1,0 +1,126 @@
+package buffertree
+
+import (
+	"fmt"
+
+	"asymsort/internal/seq"
+)
+
+// CheckInvariants walks the tree verifying the §4.3 structural invariants.
+// Verification reads raw storage (Unwrap) and charges nothing.
+func (t *Tree) CheckInvariants() error {
+	return t.checkNode(t.root, nil, nil, true)
+}
+
+func (t *Tree) checkNode(n *node, lo, hi *seq.Record, isRoot bool) error {
+	// Buffer invariant: the suffix beyond position lB is one sorted run.
+	buf := n.buffer.Unwrap()
+	for i := t.lB + 1; i < len(buf); i++ {
+		if seq.TotalLess(buf[i], buf[i-1]) {
+			return fmt.Errorf("buffer suffix unsorted at %d", i)
+		}
+	}
+	// Range invariant: every element (buffer and data) within (lo, hi].
+	inRange := func(r seq.Record) bool {
+		if lo != nil && seq.TotalLess(r, *lo) {
+			return false
+		}
+		if hi != nil && !seq.TotalLess(r, *hi) {
+			return false
+		}
+		return true
+	}
+	for _, r := range buf {
+		if !inRange(r) {
+			return fmt.Errorf("buffer element %+v outside range", r)
+		}
+	}
+	if n.leaf {
+		data := n.data.Unwrap()
+		if len(data) > t.lB {
+			return fmt.Errorf("leaf holds %d > lB = %d", len(data), t.lB)
+		}
+		for i := 1; i < len(data); i++ {
+			if seq.TotalLess(data[i], data[i-1]) {
+				return fmt.Errorf("leaf data unsorted at %d", i)
+			}
+		}
+		for _, r := range data {
+			if !inRange(r) {
+				return fmt.Errorf("leaf element %+v outside range", r)
+			}
+		}
+		return nil
+	}
+	if len(n.children) > t.l {
+		return fmt.Errorf("internal node has %d > l = %d children", len(n.children), t.l)
+	}
+	if len(n.seps) != len(n.children)-1 {
+		return fmt.Errorf("separator count %d for %d children", len(n.seps), len(n.children))
+	}
+	for i := 1; i < len(n.seps); i++ {
+		if !seq.TotalLess(n.seps[i-1], n.seps[i]) {
+			return fmt.Errorf("separators unsorted at %d", i)
+		}
+	}
+	for i, c := range n.children {
+		var cl, ch *seq.Record
+		if i > 0 {
+			cl = &n.seps[i-1]
+		} else {
+			cl = lo
+		}
+		if i < len(n.seps) {
+			ch = &n.seps[i]
+		} else {
+			ch = hi
+		}
+		if err := t.checkNode(c, cl, ch, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountElements returns the number of records physically in the tree
+// (buffers + leaf data + root stage), for size-consistency tests.
+func (t *Tree) CountElements() int {
+	return t.countNode(t.root) + t.rootFill
+}
+
+func (t *Tree) countNode(n *node) int {
+	total := n.buffer.Len()
+	if n.leaf {
+		return total + n.data.Len()
+	}
+	for _, c := range n.children {
+		total += t.countNode(c)
+	}
+	return total
+}
+
+// BetaPhysicalLen exposes beta's physical length for tests.
+func (q *PQ) BetaPhysicalLen() int { return q.betaLen() }
+
+// BetaValid exposes beta's valid-element count.
+func (q *PQ) BetaValid() int { return q.betaValid }
+
+// AlphaLen exposes alpha's size.
+func (q *PQ) AlphaLen() int { return q.alpha.Len() }
+
+// TreeLen exposes the buffer tree's element count.
+func (q *PQ) TreeLen() int { return q.tree.Len() }
+
+// PairsOK verifies the §4.3.3 pair-list invariant: indices strictly
+// ascending, records strictly descending.
+func (q *PQ) PairsOK() bool {
+	for j := 1; j < len(q.pairs); j++ {
+		if q.pairs[j-1].idx >= q.pairs[j].idx {
+			return false
+		}
+		if !seq.TotalLess(q.pairs[j].rec, q.pairs[j-1].rec) {
+			return false
+		}
+	}
+	return true
+}

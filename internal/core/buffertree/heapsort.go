@@ -1,0 +1,48 @@
+package buffertree
+
+import (
+	"asymsort/internal/aem"
+)
+
+// HeapSort sorts in into a fresh file by pushing every record through the
+// buffer-tree priority queue — the paper's third AEM sorting algorithm:
+// O((kn/B)(1+log_{kM/B} n)) reads and O((n/B)(1+log_{kM/B} n)) writes
+// (Theorem 4.10's closing remark).
+func HeapSort(ma *aem.Machine, in *aem.File, k int) *aem.File {
+	n := in.Len()
+	out := ma.NewFile(n)
+	q := NewPQ(ma, k)
+	defer q.Close()
+
+	buf := ma.Alloc(ma.B())
+	for blk := 0; blk < in.Blocks(); blk++ {
+		cnt := in.ReadBlock(blk, buf, 0)
+		for i := 0; i < cnt; i++ {
+			q.Insert(buf.Get(i))
+		}
+	}
+	off := 0
+	fill := 0
+	for {
+		r, ok := q.DeleteMin()
+		if !ok {
+			break
+		}
+		buf.Set(fill, r)
+		fill++
+		if fill == ma.B() {
+			out.WriteRange(off, fill, buf, 0)
+			off += fill
+			fill = 0
+		}
+	}
+	if fill > 0 {
+		out.WriteRange(off, fill, buf, 0)
+		off += fill
+	}
+	buf.Free()
+	if off != n {
+		panic("buffertree: HeapSort lost records")
+	}
+	return out
+}

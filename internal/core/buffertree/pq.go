@@ -1,0 +1,357 @@
+package buffertree
+
+import (
+	"asymsort/internal/aem"
+	"asymsort/internal/core/aemsort"
+	"asymsort/internal/inmem"
+	"asymsort/internal/seq"
+)
+
+// PQ is the external priority queue of §4.3.3: a buffer tree plus two
+// working sets that keep the smallest elements close.
+//
+//   - alpha: at most M/4 smallest elements of the whole queue, resident in
+//     primary memory (operations on it are free; its space is reserved in
+//     the machine's arena).
+//   - beta: at most 2kM of the next-smallest, in external memory, appended
+//     through one resident block. Deletion from beta is implicit, via the
+//     (i, x) pair list of §4.3.3: every element with index ≤ i and record
+//     ≤ x is invalid. Beta is rebuilt (compacted) after k extractions or
+//     on overflow.
+//
+// Routing invariant (the paper's key comparisons): an insert goes to
+// alpha iff it is below alpha's max while alpha is non-empty, else to
+// beta iff below beta's max, else into the tree. Alpha overflow evicts
+// its maximum into beta; beta overflow spills its largest kM into the
+// tree. Because alpha admits only elements below its current maximum,
+// alpha always holds the |alpha| smallest elements of the queue, beta the
+// next |betaValid|, and DeleteMin can serve from alpha alone.
+type PQ struct {
+	ma *aem.Machine
+	k  int
+
+	alpha    *inmem.Treap[seq.Record]
+	alphaCap int
+	alphaBuf *aem.Buffer // arena reservation backing alpha
+
+	beta       *aem.File
+	betaStage  *aem.Buffer
+	betaFill   int
+	betaValid  int
+	betaMax    seq.Record
+	haveMax    bool
+	pairs      []pair // implicit-deletion list: idx ascending, rec descending
+	extracts   int    // extractions since the last rebuild
+	betaCap    int    // 2kM
+	spillCount int    // kM
+
+	tree *Tree
+	size int
+}
+
+// pair marks all beta elements with index ≤ idx and record ≤ rec invalid.
+type pair struct {
+	idx int
+	rec seq.Record
+}
+
+// NewPQ creates an empty priority queue on ma with branching parameter k.
+// The machine needs arena headroom for alpha (M/4), two staging blocks,
+// and the buffer tree's emptying machinery (M + a few blocks) — build it
+// with slackBlocks ≥ M/(4B) + 8.
+func NewPQ(ma *aem.Machine, k int) *PQ {
+	if k < 1 {
+		panic("buffertree: k must be >= 1")
+	}
+	m := ma.M()
+	alphaCap := m / 4
+	if alphaCap < 1 {
+		alphaCap = 1
+	}
+	return &PQ{
+		ma:         ma,
+		k:          k,
+		alpha:      inmem.NewTreap(seq.TotalLess, alphaCap),
+		alphaCap:   alphaCap,
+		alphaBuf:   ma.Alloc(alphaCap),
+		beta:       ma.NewFile(0),
+		betaStage:  ma.Alloc(ma.B()),
+		betaCap:    2 * k * m,
+		spillCount: k * m,
+		tree:       NewTree(ma, k),
+	}
+}
+
+// Close releases the queue's persistent arena reservations.
+func (q *PQ) Close() {
+	q.alphaBuf.Free()
+	q.betaStage.Free()
+	q.tree.Close()
+}
+
+// Len returns the number of queued elements.
+func (q *PQ) Len() int { return q.size }
+
+// Insert queues r.
+func (q *PQ) Insert(r seq.Record) {
+	q.size++
+	if q.alpha.Len() > 0 {
+		if mx, _ := q.alpha.Max(); seq.TotalLess(r, mx) {
+			q.alpha.Insert(r)
+			if q.alpha.Len() > q.alphaCap {
+				// The evicted maximum is ≤ every element outside alpha
+				// (alpha holds the queue's smallest), so it always joins
+				// beta, per the paper ("move the largest element to the
+				// beta working set").
+				ev, _ := q.alpha.DeleteMax()
+				q.appendBeta(ev)
+			}
+			return
+		}
+	}
+	// Fresh non-alpha insert: beta iff strictly below beta's max, else the
+	// buffer tree. An empty beta routes to the tree (its max is -∞); beta
+	// is only ever (re)populated from the tree's smallest leaf or alpha
+	// evictions, which preserves beta ≤ tree.
+	if q.haveMax && seq.TotalLess(r, q.betaMax) {
+		q.appendBeta(r)
+		return
+	}
+	q.tree.Insert(r)
+}
+
+// appendBeta appends r through the staging block and maintains the max
+// and capacity bookkeeping.
+func (q *PQ) appendBeta(r seq.Record) {
+	q.betaStage.Set(q.betaFill, r)
+	q.betaFill++
+	if q.betaFill == q.ma.B() {
+		q.beta.Append(q.betaStage, 0, q.betaFill)
+		q.betaFill = 0
+	}
+	q.betaValid++
+	if !q.haveMax || seq.TotalLess(q.betaMax, r) {
+		q.betaMax, q.haveMax = r, true
+	}
+	if q.betaValid >= q.betaCap {
+		q.spillBeta()
+	}
+}
+
+// betaLen is the total physical length of beta (file + stage).
+func (q *PQ) betaLen() int { return q.beta.Len() + q.betaFill }
+
+// betaAt reads beta element p given a resident block buffer. Elements in
+// the staging block are resident and free; file elements cost block reads,
+// amortized by the sequential access pattern of all callers (the buffer
+// retains the last block read).
+func (q *PQ) betaAt(p int, buf *aem.Buffer, cur *int) seq.Record {
+	if p >= q.beta.Len() {
+		return q.betaStage.Get(p - q.beta.Len())
+	}
+	blk := p / q.ma.B()
+	if *cur != blk {
+		q.beta.ReadBlock(blk, buf, 0)
+		*cur = blk
+	}
+	return buf.Get(p % q.ma.B())
+}
+
+// validScan walks every beta element in index order, reporting each valid
+// one to visit. Uses the pair list of §4.3.3: element (p, r) is invalid
+// iff the first pair with idx ≥ p has rec ≥ r.
+func (q *PQ) validScan(visit func(r seq.Record)) {
+	buf := q.ma.Alloc(q.ma.B())
+	defer buf.Free()
+	cur := -1
+	pi := 0
+	n := q.betaLen()
+	for p := 0; p < n; p++ {
+		for pi < len(q.pairs) && q.pairs[pi].idx < p {
+			pi++
+		}
+		r := q.betaAt(p, buf, &cur)
+		if pi < len(q.pairs) && !seq.TotalLess(q.pairs[pi].rec, r) {
+			continue // invalid: r ≤ x_j for the governing pair
+		}
+		visit(r)
+	}
+}
+
+// ExtractBatch removes the up-to-count smallest valid elements from beta
+// (Lemma 4.8: O(kM/B) reads, amortized O(1) writes) and returns them in
+// ascending order. Used to refill alpha.
+func (q *PQ) extractBetaBatch(count int) []seq.Record {
+	if count > q.betaValid {
+		count = q.betaValid
+	}
+	if count == 0 {
+		return nil
+	}
+	// One read-only pass keeping the count smallest valid elements.
+	cand := inmem.NewTreap(seq.TotalLess, count)
+	q.validScan(func(r seq.Record) {
+		if cand.Len() < count {
+			cand.Insert(r)
+		} else if mx, _ := cand.Max(); seq.TotalLess(r, mx) {
+			cand.DeleteMax()
+			cand.Insert(r)
+		}
+	})
+	out := make([]seq.Record, 0, count)
+	cand.Ascend(func(r seq.Record) bool {
+		out = append(out, r)
+		return true
+	})
+	// Implicitly delete them: truncate pairs dominated by the new one and
+	// append (len, x). One O(1)-size write for the pair.
+	x := out[len(out)-1]
+	for len(q.pairs) > 0 && !seq.TotalLess(x, q.pairs[len(q.pairs)-1].rec) {
+		q.pairs = q.pairs[:len(q.pairs)-1]
+	}
+	q.pairs = append(q.pairs, pair{idx: q.betaLen() - 1, rec: x})
+	q.ma.ChargeWrite(1) // the appended (i, x) pair (Lemma 4.8's O(1) writes)
+	q.betaValid -= len(out)
+	q.extracts++
+	if q.extracts >= q.k {
+		q.rebuildBeta()
+	}
+	if q.betaValid == 0 {
+		q.resetBeta()
+	}
+	return out
+}
+
+// rebuildBeta compacts beta to its valid elements (Lemma 4.9: O(kM/B)
+// reads and writes) and clears the pair list.
+func (q *PQ) rebuildBeta() {
+	newFile := q.ma.NewFile(0)
+	stage := q.ma.Alloc(q.ma.B())
+	fill := 0
+	q.validScan(func(r seq.Record) {
+		stage.Set(fill, r)
+		fill++
+		if fill == q.ma.B() {
+			newFile.Append(stage, 0, fill)
+			fill = 0
+		}
+	})
+	q.beta = newFile
+	// Move the partial tail into the resident staging block.
+	for i := 0; i < fill; i++ {
+		q.betaStage.Set(i, stage.Get(i))
+	}
+	q.betaFill = fill
+	stage.Free()
+	q.pairs = q.pairs[:0]
+	q.extracts = 0
+	if q.betaLen() != q.betaValid {
+		panic("buffertree: rebuild miscounted valid elements")
+	}
+}
+
+// resetBeta clears beta entirely (valid count is zero).
+func (q *PQ) resetBeta() {
+	q.beta = q.ma.NewFile(0)
+	q.betaFill = 0
+	q.pairs = q.pairs[:0]
+	q.extracts = 0
+	q.haveMax = false
+}
+
+// spillBeta moves the largest kM elements of beta into the buffer tree
+// (rebuild, then selection-sort split — §4.3.3 overflow handling).
+func (q *PQ) spillBeta() {
+	q.rebuildBeta()
+	// Flush the stage so the whole of beta is sortable as a file.
+	if q.betaFill > 0 {
+		q.beta.Append(q.betaStage, 0, q.betaFill)
+		q.betaFill = 0
+	}
+	n := q.beta.Len()
+	sorted := q.ma.NewFile(n)
+	aemsort.SelectionSortFile(q.ma, q.beta, sorted)
+	keep := n - q.spillCount
+	if keep < 0 {
+		keep = 0
+	}
+	// Feed the largest kM into the tree, keep the rest as the new beta.
+	buf := q.ma.Alloc(q.ma.B())
+	for p := keep; p < n; {
+		blk := p / q.ma.B()
+		cnt := sorted.ReadBlock(blk, buf, 0)
+		lo := p % q.ma.B()
+		for i := lo; i < cnt && p < n; i++ {
+			q.tree.Insert(buf.Get(i))
+			p++
+		}
+	}
+	buf.Free()
+	q.beta = sorted.Slice(0, keep)
+	q.betaValid = keep
+	q.pairs = q.pairs[:0]
+	q.extracts = 0
+	if keep > 0 {
+		q.betaMax = sorted.Unwrap()[keep-1] // known at write time
+		q.haveMax = true
+	} else {
+		q.haveMax = false
+	}
+}
+
+// DeleteMin removes and returns the smallest element.
+func (q *PQ) DeleteMin() (seq.Record, bool) {
+	if q.size == 0 {
+		return seq.Record{}, false
+	}
+	if q.alpha.Len() == 0 {
+		q.refillAlpha()
+	}
+	r, ok := q.alpha.DeleteMin()
+	if !ok {
+		panic("buffertree: size positive but nothing extractable")
+	}
+	q.size--
+	return r, true
+}
+
+// Min returns the smallest element without removing it.
+func (q *PQ) Min() (seq.Record, bool) {
+	if q.size == 0 {
+		return seq.Record{}, false
+	}
+	if q.alpha.Len() == 0 {
+		q.refillAlpha()
+	}
+	return q.alpha.Min()
+}
+
+// refillAlpha pulls the next M/4 smallest elements out of beta, refilling
+// beta from the tree's leftmost leaf first if needed.
+func (q *PQ) refillAlpha() {
+	if q.betaValid == 0 && q.tree.Len() > 0 {
+		q.refillBeta()
+	}
+	batch := q.extractBetaBatch(q.alphaCap)
+	for _, r := range batch {
+		q.alpha.Insert(r)
+	}
+}
+
+// refillBeta moves the tree's leftmost leaf (its globally smallest
+// records, after path emptying) into the empty beta working set.
+func (q *PQ) refillBeta() {
+	leafData := q.tree.PopLeftmostLeaf()
+	if leafData == nil {
+		return
+	}
+	q.resetBeta()
+	buf := q.ma.Alloc(q.ma.B())
+	defer buf.Free()
+	for blk := 0; blk < leafData.Blocks(); blk++ {
+		cnt := leafData.ReadBlock(blk, buf, 0)
+		for i := 0; i < cnt; i++ {
+			q.appendBeta(buf.Get(i))
+		}
+	}
+}

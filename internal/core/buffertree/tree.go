@@ -1,0 +1,573 @@
+// Package buffertree implements Section 4.3 of the paper: a buffer tree
+// [Arge '03] with branching factor l = kM/B — a factor k larger than the
+// classic l = M/B — and the external priority queue built on it, with the
+// alpha/beta working-set structure that keeps DeleteMin write-efficient.
+// Sorting via this priority queue ("AEM heapsort") costs
+// O((kn/B)(1+log_{kM/B} n)) reads and O((n/B)(1+log_{kM/B} n)) writes
+// (Theorem 4.10), matching the other two Section 4 sorts.
+//
+// Layout per node:
+//
+//   - every node owns an unsorted buffer of partially-inserted elements in
+//     external memory; the invariant of §4.3.1 holds: elements beyond the
+//     lB-th position form one sorted run (written by the most recent
+//     parent emptying);
+//   - internal nodes have between l/4 and l children ((a,b)-tree with
+//     a = l/4, b = l), except along the left spine where whole-leaf
+//     deletions may underflow — the paper's priority queue likewise only
+//     deletes whole leftmost leaves and needs no fusions (heights only
+//     shrink under such deletions);
+//   - leaves store up to lB = kM records sorted in external memory.
+//
+// Emptying a full buffer (Lemma 4.6) sorts its first lB elements with the
+// Lemma 4.2 selection sort, merges the result with the sorted tail, and
+// distributes the merged stream to the children in one linear pass:
+// O(kX/B) reads and O(X/B) writes for an X-element buffer.
+//
+// Separator keys and child pointers are Go-side metadata: O(l) words per
+// node, the α-factor space the paper itself accounts as lower order.
+package buffertree
+
+import (
+	"asymsort/internal/aem"
+	"asymsort/internal/core/aemsort"
+	"asymsort/internal/seq"
+)
+
+// node is one buffer-tree node.
+type node struct {
+	leaf     bool
+	buffer   *aem.File    // unsorted prefix + sorted suffix (see above)
+	data     *aem.File    // leaves only: sorted stored records
+	children []*node      // internal only
+	seps     []seq.Record // internal only: len(children)-1 separators;
+	// child i holds records < seps[i] (and ≥ seps[i-1]); comparisons use
+	// the total order seq.TotalLess.
+
+	queued bool // already on a cascade list (dedupe)
+}
+
+// Tree is a buffer tree of records.
+type Tree struct {
+	ma   *aem.Machine
+	k    int
+	l    int // branching factor kM/B
+	lB   int // leaf/buffer capacity l·B = kM
+	root *node
+	size int // records resident in the tree (buffers + leaves + root stage)
+
+	rootStage *aem.Buffer // the root buffer's partially filled block
+	rootFill  int
+
+	fullInternal []*node
+	fullLeaves   []*node
+}
+
+// NewTree creates an empty buffer tree with branching factor kM/B on ma.
+// The machine must be built with enough slack for the emptying machinery
+// (SelectionSortFile's M + a handful of streaming blocks); 8 slack blocks
+// suffice on top of any arena the caller occupies.
+func NewTree(ma *aem.Machine, k int) *Tree {
+	if k < 1 {
+		panic("buffertree: k must be >= 1")
+	}
+	if ma.M()%ma.B() != 0 {
+		panic("buffertree: M must be a multiple of B")
+	}
+	l := k * ma.M() / ma.B()
+	if l < 4 {
+		l = 4 // (a,b) parameters need a = l/4 ≥ 1
+	}
+	t := &Tree{
+		ma:        ma,
+		k:         k,
+		l:         l,
+		lB:        l * ma.B(),
+		rootStage: ma.Alloc(ma.B()),
+	}
+	t.root = t.newLeaf()
+	return t
+}
+
+func (t *Tree) newLeaf() *node {
+	return &node{leaf: true, buffer: t.ma.NewFile(0), data: t.ma.NewFile(0)}
+}
+
+// Len returns the number of records in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Branching returns l = kM/B.
+func (t *Tree) Branching() int { return t.l }
+
+// Close releases the root staging block.
+func (t *Tree) Close() { t.rootStage.Free() }
+
+// Insert adds r to the tree: append to the root buffer through the
+// resident staging block (amortized O(1/B) writes), then cascade if full.
+func (t *Tree) Insert(r seq.Record) {
+	t.rootStage.Set(t.rootFill, r)
+	t.rootFill++
+	t.size++
+	if t.rootFill == t.ma.B() {
+		t.root.buffer.Append(t.rootStage, 0, t.rootFill)
+		t.rootFill = 0
+		if t.root.buffer.Len() >= t.lB {
+			t.overflowRoot()
+		}
+	}
+}
+
+// flushRootStage forces the staged records into the root buffer (used
+// before operations that must see every inserted element).
+func (t *Tree) flushRootStage() {
+	if t.rootFill > 0 {
+		t.root.buffer.Append(t.rootStage, 0, t.rootFill)
+		t.rootFill = 0
+	}
+}
+
+// enqueueFull adds n to the appropriate cascade list exactly once.
+func (t *Tree) enqueueFull(n *node) {
+	if n.queued {
+		return
+	}
+	n.queued = true
+	if n.leaf {
+		t.fullLeaves = append(t.fullLeaves, n)
+	} else {
+		t.fullInternal = append(t.fullInternal, n)
+	}
+}
+
+// overflowRoot starts the two-phase emptying cascade of §4.3.1.
+func (t *Tree) overflowRoot() {
+	t.enqueueFull(t.root)
+	t.drainCascade()
+}
+
+// drainCascade runs phase 1 (internal buffer emptying) to exhaustion, then
+// phase 2 (full-leaf handling, one leaf at a time).
+func (t *Tree) drainCascade() {
+	for len(t.fullInternal) > 0 {
+		n := t.fullInternal[len(t.fullInternal)-1]
+		t.fullInternal = t.fullInternal[:len(t.fullInternal)-1]
+		n.queued = false
+		t.emptyInternal(n)
+	}
+	for len(t.fullLeaves) > 0 {
+		lf := t.fullLeaves[len(t.fullLeaves)-1]
+		t.fullLeaves = t.fullLeaves[:len(t.fullLeaves)-1]
+		lf.queued = false
+		t.emptyLeaf(lf)
+		// Leaf splitting can cascade internal splits but never refills
+		// buffers, so no internal node becomes full here.
+	}
+}
+
+// sortedBufferStream sorts n's buffer into a single sorted file: the first
+// min(lB, X) elements via the Lemma 4.2 selection sort, merged with the
+// already-sorted suffix. The returned file replaces the buffer (which is
+// reset to empty).
+func (t *Tree) sortedBufferStream(n *node) *aem.File {
+	x := n.buffer.Len()
+	sortLen := x
+	if sortLen > t.lB {
+		sortLen = t.lB
+	}
+	sorted := t.ma.NewFile(sortLen)
+	if sortLen > 0 {
+		aemsort.SelectionSortFile(t.ma, n.buffer.Slice(0, sortLen), sorted)
+	}
+	var out *aem.File
+	if x > sortLen {
+		out = t.mergeStreams(sorted, n.buffer.Slice(sortLen, x))
+	} else {
+		out = sorted
+	}
+	n.buffer = t.ma.NewFile(0)
+	return out
+}
+
+// mergeStreams merges two sorted files into a fresh sorted file with
+// three resident blocks (two readers, one writer): linear I/O.
+func (t *Tree) mergeStreams(a, b *aem.File) *aem.File {
+	bsz := t.ma.B()
+	out := t.ma.NewFile(0)
+	ra := newFileReader(a, t.ma.Alloc(bsz))
+	rb := newFileReader(b, t.ma.Alloc(bsz))
+	stage := t.ma.Alloc(bsz)
+	defer ra.free()
+	defer rb.free()
+	defer stage.Free()
+	fill := 0
+	emit := func(r seq.Record) {
+		stage.Set(fill, r)
+		fill++
+		if fill == bsz {
+			out.Append(stage, 0, fill)
+			fill = 0
+		}
+	}
+	av, aok := ra.peek()
+	bv, bok := rb.peek()
+	for aok || bok {
+		if !bok || (aok && !seq.TotalLess(bv, av)) {
+			emit(av)
+			ra.advance()
+			av, aok = ra.peek()
+		} else {
+			emit(bv)
+			rb.advance()
+			bv, bok = rb.peek()
+		}
+	}
+	if fill > 0 {
+		out.Append(stage, 0, fill)
+	}
+	return out
+}
+
+// emptyInternal empties n's buffer: sort (split trick), then distribute
+// the sorted stream to the children by separator, appending each child's
+// share to its buffer. Children pushed past lB join the cascade lists.
+func (t *Tree) emptyInternal(n *node) {
+	if n.buffer.Len() == 0 {
+		return
+	}
+	stream := t.sortedBufferStream(n)
+	bsz := t.ma.B()
+	rd := newFileReader(stream, t.ma.Alloc(bsz))
+	stage := t.ma.Alloc(bsz)
+	defer rd.free()
+	defer stage.Free()
+
+	child := 0
+	fill := 0
+	flush := func() {
+		if fill > 0 {
+			n.children[child].buffer.Append(stage, 0, fill)
+			fill = 0
+		}
+	}
+	for {
+		r, ok := rd.peek()
+		if !ok {
+			break
+		}
+		// Advance to the child whose range holds r.
+		for child < len(n.seps) && !seq.TotalLess(r, n.seps[child]) {
+			flush()
+			child++
+		}
+		stage.Set(fill, r)
+		fill++
+		if fill == bsz {
+			flush()
+		}
+		rd.advance()
+	}
+	flush()
+	for _, c := range n.children {
+		if c.buffer.Len() >= t.lB {
+			t.enqueueFull(c)
+		}
+	}
+}
+
+// emptyLeaf merges lf's buffer into its stored data and rebalances if the
+// leaf outgrew lB (§4.3.1 phase 2).
+func (t *Tree) emptyLeaf(lf *node) {
+	if lf.buffer.Len() == 0 && lf.data.Len() <= t.lB {
+		return
+	}
+	stream := t.sortedBufferStream(lf)
+	merged := t.mergeStreams(stream, lf.data)
+	lf.data = merged
+	if merged.Len() <= t.lB {
+		return
+	}
+	t.splitLeaf(lf)
+}
+
+// splitLeaf splits an oversized leaf into chunks of between lB/4 and lB
+// records and threads them into the parent, cascading internal splits.
+func (t *Tree) splitLeaf(lf *node) {
+	total := lf.data.Len()
+	target := t.lB / 2
+	if target < 1 {
+		target = 1
+	}
+	numChunks := (total + target - 1) / target
+	if numChunks < 2 {
+		numChunks = 2
+	}
+	chunks := make([]*node, 0, numChunks)
+	seps := make([]seq.Record, 0, numChunks-1)
+	for i := 0; i < numChunks; i++ {
+		lo := i * total / numChunks
+		hi := (i + 1) * total / numChunks
+		c := &node{leaf: true, buffer: t.ma.NewFile(0), data: lf.data.Slice(lo, hi)}
+		chunks = append(chunks, c)
+		if i > 0 {
+			// The separator is the first record of the chunk; it was in
+			// memory when the merge wrote this position, so reading it
+			// back is free (metadata extracted at write time).
+			seps = append(seps, lf.data.Unwrap()[lo])
+		}
+	}
+	t.replaceChild(lf, chunks, seps)
+}
+
+// replaceChild substitutes old (somewhere in the tree) with the given
+// sibling group, splitting ancestors whose child count exceeds l.
+func (t *Tree) replaceChild(old *node, group []*node, groupSeps []seq.Record) {
+	parent := t.findParent(t.root, old)
+	if parent == nil {
+		if old != t.root {
+			panic("buffertree: node not found in tree")
+		}
+		// The root splits: new internal root above the group.
+		t.root = &node{leaf: false, buffer: t.ma.NewFile(0), children: group, seps: groupSeps}
+		return
+	}
+	idx := childIndex(parent, old)
+	newChildren := make([]*node, 0, len(parent.children)+len(group)-1)
+	newChildren = append(newChildren, parent.children[:idx]...)
+	newChildren = append(newChildren, group...)
+	newChildren = append(newChildren, parent.children[idx+1:]...)
+	newSeps := make([]seq.Record, 0, len(parent.seps)+len(groupSeps))
+	newSeps = append(newSeps, parent.seps[:idx]...)
+	newSeps = append(newSeps, groupSeps...)
+	newSeps = append(newSeps, parent.seps[idx:]...)
+	parent.children = newChildren
+	parent.seps = newSeps
+	if len(parent.children) > t.l {
+		t.splitInternal(parent)
+	}
+}
+
+// splitInternal splits an over-wide internal node into parts of ~l/2
+// children each and threads the parts into ITS parent, cascading upward.
+func (t *Tree) splitInternal(n *node) {
+	c := len(n.children)
+	half := t.l / 2
+	if half < 2 {
+		half = 2
+	}
+	numParts := (c + half - 1) / half
+	if numParts < 2 {
+		numParts = 2
+	}
+	parts := make([]*node, 0, numParts)
+	partSeps := make([]seq.Record, 0, numParts-1)
+	for p := 0; p < numParts; p++ {
+		lo := p * c / numParts
+		hi := (p + 1) * c / numParts
+		part := &node{
+			leaf:     false,
+			buffer:   t.ma.NewFile(0),
+			children: n.children[lo:hi:hi],
+			seps:     n.seps[lo : hi-1 : hi-1],
+		}
+		parts = append(parts, part)
+		if p > 0 {
+			partSeps = append(partSeps, n.seps[lo-1])
+		}
+	}
+	// n's buffer is empty at split time: splits are triggered during
+	// phase 2 (leaf handling), after every ancestor buffer on the path
+	// was emptied in phase 1. Assert the invariant cheaply.
+	if n.buffer.Len() != 0 {
+		panic("buffertree: splitting a node with a non-empty buffer")
+	}
+	t.replaceChild(n, parts, partSeps)
+}
+
+// findParent locates the parent of target by walking separators: O(depth)
+// metadata reads, uncharged like all separator navigation.
+func (t *Tree) findParent(cur, target *node) *node {
+	if cur.leaf {
+		return nil
+	}
+	for _, c := range cur.children {
+		if c == target {
+			return cur
+		}
+	}
+	// Descend towards the subtree that could contain target by structure:
+	// walk all children (metadata-only, and tree depth is O(log n); the
+	// simple scan keeps the code free of parent pointers).
+	for _, c := range cur.children {
+		if p := t.findParent(c, target); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+func childIndex(parent, child *node) int {
+	for i, c := range parent.children {
+		if c == child {
+			return i
+		}
+	}
+	panic("buffertree: childIndex: not a child")
+}
+
+// PopLeftmostLeaf empties every buffer on the root-to-leftmost-leaf path,
+// detaches the leftmost leaf, and returns its sorted contents as a file
+// (the caller — the priority queue — streams it into the beta working
+// set). Returns nil when the tree is empty.
+func (t *Tree) PopLeftmostLeaf() *aem.File {
+	t.flushRootStage()
+	if t.size == 0 {
+		return nil
+	}
+	// Repeatedly empty the shallowest non-empty buffer on the leftmost
+	// path; elements only move downward, so this terminates.
+	for {
+		n := t.root
+		var dirty *node
+		for {
+			if n.buffer.Len() > 0 && !n.leaf {
+				dirty = n
+				break
+			}
+			if n.leaf {
+				break
+			}
+			n = n.children[0]
+		}
+		if dirty == nil {
+			break
+		}
+		t.emptyInternal(dirty)
+		t.drainCascade()
+	}
+	// The leftmost leaf may still hold a (< lB) buffer: fold it in.
+	lf := t.root
+	for !lf.leaf {
+		lf = lf.children[0]
+	}
+	if lf.buffer.Len() > 0 {
+		lf.data = t.mergeStreams(t.sortedBufferStream(lf), lf.data)
+	}
+	out := lf.data
+	t.detachLeftmostLeaf()
+	t.size -= out.Len()
+	return out
+}
+
+// detachLeftmostLeaf removes the leftmost leaf, pruning emptied ancestors
+// (left-spine underflow is permitted; see the package comment).
+func (t *Tree) detachLeftmostLeaf() {
+	if t.root.leaf {
+		t.root = t.newLeaf()
+		return
+	}
+	// Find the leftmost leaf's parent.
+	parent := t.root
+	for !parent.children[0].leaf {
+		parent = parent.children[0]
+	}
+	parent.children = parent.children[1:]
+	if len(parent.seps) > 0 {
+		parent.seps = parent.seps[1:]
+	}
+	// Prune empty ancestors and collapse single-child roots.
+	t.pruneLeftSpine()
+}
+
+// pruneLeftSpine removes empty internal nodes along the left spine and
+// collapses the root while it has a single child and an empty buffer.
+func (t *Tree) pruneLeftSpine() {
+	for {
+		if t.root.leaf {
+			return
+		}
+		if len(t.root.children) == 0 {
+			// Everything under the root is gone; any residue in the root
+			// buffer becomes a fresh root leaf's buffer.
+			buf := t.root.buffer
+			t.root = t.newLeaf()
+			t.root.buffer = buf
+			return
+		}
+		if len(t.root.children) == 1 && t.root.buffer.Len() == 0 {
+			t.root = t.root.children[0]
+			continue
+		}
+		// Walk down the left spine removing empty internal children.
+		n := t.root
+		changed := false
+		for !n.leaf {
+			c := n.children[0]
+			if !c.leaf && len(c.children) == 0 {
+				orphan := c.buffer
+				n.children = n.children[1:]
+				if len(n.seps) > 0 {
+					n.seps = n.seps[1:]
+				}
+				if orphan.Len() > 0 {
+					// A childless node's buffer would normally be empty
+					// (path emptying precedes detachment); if records are
+					// present, re-insert them through the root so every
+					// buffer invariant is re-established.
+					t.reinsertFile(orphan)
+				}
+				changed = true
+				break
+			}
+			n = c
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// reinsertFile pushes every record of f back through the normal insert
+// path without changing the tree's logical size (the records were already
+// counted).
+func (t *Tree) reinsertFile(f *aem.File) {
+	bsz := t.ma.B()
+	buf := t.ma.Alloc(bsz)
+	defer buf.Free()
+	for blk := 0; blk < f.Blocks(); blk++ {
+		cnt := f.ReadBlock(blk, buf, 0)
+		for i := 0; i < cnt; i++ {
+			t.Insert(buf.Get(i))
+			t.size-- // Insert counted it again
+		}
+	}
+}
+
+// fileReader streams a file block by block through one resident buffer.
+type fileReader struct {
+	f     *aem.File
+	buf   *aem.Buffer
+	blk   int
+	pos   int
+	count int
+}
+
+func newFileReader(f *aem.File, buf *aem.Buffer) *fileReader {
+	r := &fileReader{f: f, buf: buf, blk: -1}
+	return r
+}
+
+func (r *fileReader) peek() (seq.Record, bool) {
+	for r.blk < 0 || r.pos >= r.count {
+		if r.blk+1 >= r.f.Blocks() {
+			return seq.Record{}, false
+		}
+		r.blk++
+		r.count = r.f.ReadBlock(r.blk, r.buf, 0)
+		r.pos = 0
+	}
+	return r.buf.Get(r.pos), true
+}
+
+func (r *fileReader) advance() { r.pos++ }
+
+func (r *fileReader) free() { r.buf.Free() }

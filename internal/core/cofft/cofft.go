@@ -1,0 +1,196 @@
+// Package cofft implements Section 5.2 of the paper: the parallel
+// cache-oblivious Fast Fourier Transform with asymmetric read and write
+// costs, based on the six-step Cooley–Tukey factorization.
+//
+// The symmetric (classic) algorithm views the input as a √n×√n matrix and
+// recurses on both row batches. The asymmetric variant (paper steps 1–5)
+// factors n = n1·n2 with n2 = √(n/ω) and n1 = ω·n2, and computes each
+// length-n1 row DFT with an inner factorization (ω, n1/ω) whose ω-point
+// column DFTs are evaluated by brute force — ω reads and one write per
+// value — wasting a factor ω in reads to remove a level of recursion
+// (and with it a full round of writes). Bounds:
+// R(n) = O((ωn/B)·log_{ωM}(ωn)), W(n) = O((n/B)·log_{ωM}(ωn)), and
+// depth O(ω log n log log n).
+//
+// All transforms return the DFT in natural order:
+// out[k] = Σ_j in[j]·e^{-2πi·jk/n}; tests verify against the O(n²) direct
+// evaluation. n and ω must be powers of two (the paper's assumption).
+package cofft
+
+import (
+	"math"
+	"math/bits"
+
+	"asymsort/internal/co"
+)
+
+// Options configures FFT.
+type Options struct {
+	// Classic selects the symmetric √n×√n recursion (ω plays no role in
+	// the structure) — the E10 baseline.
+	Classic bool
+}
+
+// smallCutoff is the size at or below which the iterative in-place
+// radix-2 transform runs directly.
+const smallCutoff = 16
+
+// FFT transforms v (length a power of two) in place into its DFT in
+// natural order, charging cache misses and work/depth to c.
+func FFT(c *co.Ctx, v *co.Arr[complex128], opt Options) {
+	n := v.Len()
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic("cofft: length must be a power of two")
+	}
+	fftRec(c, v, opt)
+}
+
+func fftRec(c *co.Ctx, v *co.Arr[complex128], opt Options) {
+	n := v.Len()
+	if n <= smallCutoff {
+		iterativeFFT(c, v)
+		return
+	}
+	omega := int(c.Omega())
+	if opt.Classic {
+		omega = 1
+	}
+	// Factor n = n1·n2, n2 = 2^⌊lg(n/min(ω,n/4))/2⌋ so that n1 = n/n2 is a
+	// multiple of the brute radix when the asymmetric path is active.
+	eff := omega
+	if eff > n/4 {
+		eff = maxPow2AtMost(n / 4)
+	}
+	if eff < 1 {
+		eff = 1
+	}
+	lgRest := bits.Len(uint(n/eff)) - 1
+	n2 := 1 << (lgRest / 2)
+	n1 := n / n2
+
+	// Step 1: view as n1×n2, transpose to n2×n1 (rows are fixed j2).
+	t1 := co.NewArr[complex128](c, n)
+	co.Transpose(c, v, t1, n1, n2)
+
+	// Step 2: DFT each length-n1 row; the asymmetric variant uses the
+	// inner (eff, n1/eff) factorization with brute-force columns.
+	c.ParFor(n2, func(c *co.Ctx, r int) {
+		row := t1.Slice(r*n1, (r+1)*n1)
+		if eff > 1 && n1 >= 2*eff {
+			fftRowBrute(c, row, eff, opt)
+		} else {
+			fftRec(c, row, opt)
+		}
+	})
+
+	// Twiddle: t1[j2][k1] *= W_n^{j2·k1}.
+	c.ParFor(n, func(c *co.Ctx, idx int) {
+		j2 := idx / n1
+		k1 := idx % n1
+		if j2 != 0 && k1 != 0 {
+			t1.Set(c, idx, t1.Get(c, idx)*twiddle(n, j2*k1))
+		}
+	})
+
+	// Step 3: transpose n2×n1 → n1×n2 (rows are fixed k1).
+	t2 := co.NewArr[complex128](c, n)
+	co.Transpose(c, t1, t2, n2, n1)
+
+	// Step 4: DFT each length-n2 row recursively.
+	c.ParFor(n1, func(c *co.Ctx, r int) {
+		fftRec(c, t2.Slice(r*n2, (r+1)*n2), opt)
+	})
+
+	// Step 5: transpose n1×n2 → n2×n1 and write back: natural order.
+	co.Transpose(c, t2, v, n1, n2)
+}
+
+// fftRowBrute computes the DFT of row (length n1 = g·m) by the inner
+// six-step with the g-point column DFTs evaluated brute force: per output
+// value, g reads and one write (the paper's step 2(b)i), with the inner
+// twiddle W_{n1}^{i·j} folded into that write. Then each length-m row is
+// transformed recursively and a final transpose restores natural order.
+func fftRowBrute(c *co.Ctx, row *co.Arr[complex128], g int, opt Options) {
+	n1 := row.Len()
+	m := n1 / g
+	scratch := co.NewArr[complex128](c, n1)
+	// Brute-force column DFTs + twiddle: scratch[i·m + j] =
+	// W_{n1}^{i·j} · Σ_s row[s·m + j]·W_g^{s·i}.
+	c.ParFor(g, func(c *co.Ctx, i int) {
+		for j := 0; j < m; j++ {
+			var acc complex128
+			for s := 0; s < g; s++ {
+				acc += row.Get(c, s*m+j) * twiddle(g, s*i)
+			}
+			scratch.Set(c, i*m+j, acc*twiddle(n1, i*j))
+		}
+	})
+	// Recursive transforms of the g rows of length m.
+	c.ParFor(g, func(c *co.Ctx, i int) {
+		fftRec(c, scratch.Slice(i*m, (i+1)*m), opt)
+	})
+	// Transpose g×m → m×g back into the row: natural order.
+	co.Transpose(c, scratch, row, g, m)
+}
+
+// iterativeFFT is the in-place radix-2 Cooley–Tukey transform used at the
+// base case (all accesses charged; the data is small enough to be cache
+// resident in every experiment).
+func iterativeFFT(c *co.Ctx, v *co.Arr[complex128]) {
+	n := v.Len()
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			a, b := v.Get(c, i), v.Get(c, j)
+			v.Set(c, i, b)
+			v.Set(c, j, a)
+		}
+	}
+	for size := 2; size <= n; size *= 2 {
+		half := size / 2
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := twiddle(size, k)
+				a := v.Get(c, start+k)
+				b := v.Get(c, start+half+k) * w
+				v.Set(c, start+k, a+b)
+				v.Set(c, start+half+k, a-b)
+			}
+		}
+	}
+}
+
+// twiddle returns e^{-2πi·k/n}.
+func twiddle(n, k int) complex128 {
+	theta := -2 * math.Pi * float64(k%n) / float64(n)
+	s, co_ := math.Sincos(theta)
+	return complex(co_, s)
+}
+
+// maxPow2AtMost returns the largest power of two ≤ x (x ≥ 1).
+func maxPow2AtMost(x int) int {
+	return 1 << (bits.Len(uint(x)) - 1)
+}
+
+// DirectDFT evaluates the O(n²) definition — the correctness reference
+// for tests and examples (uncharged; it operates on raw slices).
+func DirectDFT(in []complex128) []complex128 {
+	n := len(in)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			acc += in[j] * twiddle(n, j*k)
+		}
+		out[k] = acc
+	}
+	return out
+}

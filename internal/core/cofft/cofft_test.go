@@ -1,0 +1,175 @@
+package cofft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"asymsort/internal/co"
+	"asymsort/internal/icache"
+	"asymsort/internal/xrand"
+)
+
+func newCtx(omega uint64) *co.Ctx {
+	return co.NewCtx(icache.New(16, 64, omega, icache.PolicyRWLRU))
+}
+
+func randomComplex(n int, seed uint64) []complex128 {
+	r := xrand.New(seed)
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(r.Float64()*2-1, r.Float64()*2-1)
+	}
+	return out
+}
+
+func maxErr(got []complex128, want []complex128) float64 {
+	worst := 0.0
+	for i := range got {
+		if d := cmplx.Abs(got[i] - want[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func runFFT(t *testing.T, n int, omega uint64, classic bool) []complex128 {
+	t.Helper()
+	in := randomComplex(n, uint64(n)+omega)
+	c := newCtx(omega)
+	arr := co.FromSlice(c, in)
+	FFT(c, arr, Options{Classic: classic})
+	want := DirectDFT(in)
+	if err := maxErr(arr.Unwrap(), want); err > 1e-8*float64(n) {
+		t.Fatalf("n=%d ω=%d classic=%v: max error %g", n, omega, classic, err)
+	}
+	return arr.Unwrap()
+}
+
+func TestFFTMatchesDirectDFT(t *testing.T) {
+	for _, omega := range []uint64{1, 2, 4, 8} {
+		for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024} {
+			runFFT(t, n, omega, false)
+		}
+	}
+}
+
+func TestClassicFFTMatchesDirectDFT(t *testing.T) {
+	for _, n := range []int{16, 64, 256, 1024} {
+		runFFT(t, n, 8, true)
+	}
+}
+
+func TestFFTNonPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two did not panic")
+		}
+	}()
+	c := newCtx(2)
+	FFT(c, co.NewArr[complex128](c, 12), Options{})
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// DFT of a unit impulse is all ones.
+	const n = 64
+	c := newCtx(4)
+	arr := co.NewArr[complex128](c, n)
+	arr.Unwrap()[0] = 1
+	FFT(c, arr, Options{})
+	for i, v := range arr.Unwrap() {
+		if cmplx.Abs(v-1) > 1e-9 {
+			t.Fatalf("impulse DFT[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	const n = 512
+	in := randomComplex(n, 3)
+	c := newCtx(8)
+	arr := co.FromSlice(c, in)
+	FFT(c, arr, Options{})
+	var timeE, freqE float64
+	for i := range in {
+		timeE += cmplx.Abs(in[i]) * cmplx.Abs(in[i])
+	}
+	for _, v := range arr.Unwrap() {
+		freqE += cmplx.Abs(v) * cmplx.Abs(v)
+	}
+	if math.Abs(freqE-float64(n)*timeE) > 1e-6*freqE {
+		t.Errorf("Parseval: freq %g vs n·time %g", freqE, float64(n)*timeE)
+	}
+}
+
+// §5.2 shape: the asymmetric variant's cache read:write ratio grows with
+// ω, and its write-backs do not exceed the classic variant's.
+func TestAsymmetricWriteShape(t *testing.T) {
+	const n = 1 << 16
+	in := randomComplex(n, 5)
+	measure := func(omega uint64, classic bool) (r, w uint64) {
+		c := co.NewCtx(icache.New(16, 16, omega, icache.PolicyRWLRU))
+		arr := co.FromSlice(c, in)
+		base := c.Cache.Stats()
+		FFT(c, arr, Options{Classic: classic})
+		c.Cache.Flush()
+		d := c.Cache.Stats().Sub(base)
+		return d.Reads, d.Writes
+	}
+	_, wClassic := measure(8, true)
+	rAsym, wAsym := measure(8, false)
+	if wAsym > wClassic {
+		t.Errorf("asymmetric writes %d exceed classic %d", wAsym, wClassic)
+	}
+	if float64(rAsym) < 1.2*float64(wAsym) {
+		t.Errorf("read:write ratio %.2f too small", float64(rAsym)/float64(wAsym))
+	}
+	r2, w2 := measure(2, false)
+	r16, w16 := measure(16, false)
+	if float64(r16)/float64(w16) <= float64(r2)/float64(w2) {
+		t.Errorf("ratio did not grow with ω: %.2f → %.2f",
+			float64(r2)/float64(w2), float64(r16)/float64(w16))
+	}
+}
+
+// Work shape: work-writes per element stay near-flat across a 16x size
+// increase (the log base grows with ωM, levels shrink).
+func TestWriteWorkNearLinear(t *testing.T) {
+	perElem := func(n int) float64 {
+		in := randomComplex(n, 7)
+		c := newCtx(8)
+		arr := co.FromSlice(c, in)
+		FFT(c, arr, Options{})
+		return float64(c.WD.Work().Writes) / float64(n)
+	}
+	small := perElem(1 << 12)
+	big := perElem(1 << 16)
+	if big > 2*small {
+		t.Errorf("writes/elem grew %.2f → %.2f", small, big)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	// FFT(a + b) == FFT(a) + FFT(b).
+	const n = 256
+	a := randomComplex(n, 11)
+	b := randomComplex(n, 12)
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = a[i] + b[i]
+	}
+	run := func(in []complex128) []complex128 {
+		c := newCtx(4)
+		arr := co.FromSlice(c, in)
+		FFT(c, arr, Options{})
+		out := make([]complex128, n)
+		copy(out, arr.Unwrap())
+		return out
+	}
+	fa, fb, fs := run(a), run(b), run(sum)
+	for i := range fs {
+		if cmplx.Abs(fs[i]-(fa[i]+fb[i])) > 1e-8 {
+			t.Fatalf("linearity violated at %d", i)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package cofft
+
+import "asymsort/internal/co"
+
+// IFFT transforms v in place into its inverse DFT (natural order):
+// out[j] = (1/n)·Σ_k v[k]·e^{+2πi·jk/n}. It is implemented by the
+// conjugate trick over FFT, so it inherits the asymmetric read/write
+// bounds of §5.2 plus O(n/B) extra for the conjugation passes.
+func IFFT(c *co.Ctx, v *co.Arr[complex128], opt Options) {
+	n := v.Len()
+	if n == 0 {
+		return
+	}
+	conjugateScale(c, v, 1)
+	FFT(c, v, opt)
+	conjugateScale(c, v, 1/float64(n))
+}
+
+// conjugateScale replaces each element with conj(x)·scale.
+func conjugateScale(c *co.Ctx, v *co.Arr[complex128], scale float64) {
+	c.ParFor(v.Len(), func(c *co.Ctx, i int) {
+		x := v.Get(c, i)
+		v.Set(c, i, complex(real(x)*scale, -imag(x)*scale))
+	})
+}
+
+// Convolve returns the cyclic convolution of a and b (equal power-of-two
+// lengths) via three transforms — the classic FFT application, here
+// write-efficient end to end: out[j] = Σ_i a[i]·b[(j−i) mod n].
+func Convolve(c *co.Ctx, a, b *co.Arr[complex128], opt Options) *co.Arr[complex128] {
+	n := a.Len()
+	if b.Len() != n {
+		panic("cofft: Convolve length mismatch")
+	}
+	fa := copyArr(c, a)
+	fb := copyArr(c, b)
+	FFT(c, fa, opt)
+	FFT(c, fb, opt)
+	c.ParFor(n, func(c *co.Ctx, i int) {
+		fa.Set(c, i, fa.Get(c, i)*fb.Get(c, i))
+	})
+	IFFT(c, fa, opt)
+	return fa
+}
+
+func copyArr(c *co.Ctx, a *co.Arr[complex128]) *co.Arr[complex128] {
+	out := co.NewArr[complex128](c, a.Len())
+	c.ParFor(a.Len(), func(c *co.Ctx, i int) {
+		out.Set(c, i, a.Get(c, i))
+	})
+	return out
+}

@@ -1,0 +1,111 @@
+package cofft
+
+import (
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"asymsort/internal/co"
+)
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	for _, n := range []int{1, 2, 16, 64, 512, 4096} {
+		for _, classic := range []bool{false, true} {
+			in := randomComplex(n, uint64(n)+7)
+			c := newCtx(8)
+			arr := co.FromSlice(c, in)
+			FFT(c, arr, Options{Classic: classic})
+			IFFT(c, arr, Options{Classic: classic})
+			if err := maxErr(arr.Unwrap(), in); err > 1e-9*float64(n) {
+				t.Fatalf("n=%d classic=%v: roundtrip error %g", n, classic, err)
+			}
+		}
+	}
+}
+
+func TestIFFTProperty(t *testing.T) {
+	f := func(seed uint64, lgRaw uint8) bool {
+		n := 1 << (lgRaw % 10)
+		in := randomComplex(n, seed)
+		c := newCtx(4)
+		arr := co.FromSlice(c, in)
+		FFT(c, arr, Options{})
+		IFFT(c, arr, Options{})
+		return maxErr(arr.Unwrap(), in) <= 1e-9*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Convolution with a unit impulse is the identity; with a shifted impulse
+// it is a cyclic rotation.
+func TestConvolveImpulse(t *testing.T) {
+	const n = 64
+	sig := randomComplex(n, 3)
+	c := newCtx(8)
+	a := co.FromSlice(c, sig)
+
+	impulse := make([]complex128, n)
+	impulse[0] = 1
+	out := Convolve(c, a, co.FromSlice(c, impulse), Options{})
+	if err := maxErr(out.Unwrap(), sig); err > 1e-9*n {
+		t.Fatalf("identity convolution error %g", err)
+	}
+
+	shifted := make([]complex128, n)
+	shifted[3] = 1
+	out2 := Convolve(c, a, co.FromSlice(c, shifted), Options{})
+	want := make([]complex128, n)
+	for j := range want {
+		want[j] = sig[((j-3)%n+n)%n]
+	}
+	if err := maxErr(out2.Unwrap(), want); err > 1e-9*n {
+		t.Fatalf("shift convolution error %g", err)
+	}
+}
+
+// Convolution against the O(n²) definition.
+func TestConvolveMatchesDirect(t *testing.T) {
+	const n = 128
+	a := randomComplex(n, 5)
+	b := randomComplex(n, 6)
+	want := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			want[j] += a[i] * b[((j-i)%n+n)%n]
+		}
+	}
+	c := newCtx(4)
+	out := Convolve(c, co.FromSlice(c, a), co.FromSlice(c, b), Options{})
+	if err := maxErr(out.Unwrap(), want); err > 1e-8*n {
+		t.Fatalf("convolution error %g", err)
+	}
+}
+
+func TestConvolveLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	c := newCtx(2)
+	Convolve(c, co.NewArr[complex128](c, 8), co.NewArr[complex128](c, 16), Options{})
+}
+
+func TestIFFTEnergyPreserved(t *testing.T) {
+	const n = 256
+	in := randomComplex(n, 9)
+	c := newCtx(4)
+	arr := co.FromSlice(c, in)
+	FFT(c, arr, Options{})
+	IFFT(c, arr, Options{})
+	var before, after float64
+	for i := range in {
+		before += cmplx.Abs(in[i])
+		after += cmplx.Abs(arr.Unwrap()[i])
+	}
+	if diff := before - after; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("energy drifted by %g", diff)
+	}
+}

@@ -1,0 +1,255 @@
+// Package comatmul implements Section 5.3 of the paper: matrix
+// multiplication with asymmetric read and write costs.
+//
+// Three algorithms:
+//
+//   - Blocked (Theorem 5.2): the cache-AWARE √M×√M blocked multiply —
+//     O(n³/(B√M)) reads but only O(n²/B) writes, because each output
+//     block stays resident until complete.
+//   - Classic cache-oblivious: 2×2 divide and conquer (8 subproducts),
+//     Θ(n³/(B√M)) reads AND writes.
+//   - Asymmetric cache-oblivious (Theorem 5.3): recursion on ω×ω
+//     subproblem grids with the products contributing to an output block
+//     executed sequentially (so the block stays resident across all ω
+//     accumulations), plus the randomized first round — branching 2^b
+//     with b uniform in {1..⌊lg ω⌋} — that gives the expected extra
+//     Θ(log ω) saving. Expected costs: O(n³ω/(B√M·log ω)) reads and
+//     O(n³/(B√M·log ω)) writes; depth O(ωn).
+//
+// Matrices are square, row-major, in the simulated address space; Mat
+// views carry (row, col, dim, stride) so subproblems alias the parent
+// storage, exactly like the real algorithm.
+package comatmul
+
+import (
+	"math/bits"
+
+	"asymsort/internal/co"
+	"asymsort/internal/xrand"
+)
+
+// Mat is a square submatrix view over a co.Arr.
+type Mat struct {
+	arr    *co.Arr[float64]
+	row    int
+	col    int
+	dim    int
+	stride int
+}
+
+// NewMat allocates a dim×dim matrix.
+func NewMat(c *co.Ctx, dim int) Mat {
+	return Mat{arr: co.NewArr[float64](c, dim*dim), dim: dim, stride: dim}
+}
+
+// MatFrom allocates a matrix holding a copy of vals (row-major).
+func MatFrom(c *co.Ctx, vals []float64, dim int) Mat {
+	if len(vals) != dim*dim {
+		panic("comatmul: MatFrom dimension mismatch")
+	}
+	m := NewMat(c, dim)
+	c.ParFor(dim*dim, func(c *co.Ctx, i int) {
+		m.arr.Set(c, i, vals[i])
+	})
+	return m
+}
+
+// Dim returns the view's dimension.
+func (m Mat) Dim() int { return m.dim }
+
+// Get loads element (r, c) of the view.
+func (m Mat) Get(ctx *co.Ctx, r, c int) float64 {
+	return m.arr.Get(ctx, (m.row+r)*m.stride+(m.col+c))
+}
+
+// Set stores element (r, c) of the view.
+func (m Mat) Set(ctx *co.Ctx, r, c int, v float64) {
+	m.arr.Set(ctx, (m.row+r)*m.stride+(m.col+c), v)
+}
+
+// Sub returns the g×g-grid quadrant (i, j) of size dim/g.
+func (m Mat) Sub(g, i, j int) Mat {
+	d := m.dim / g
+	return Mat{arr: m.arr, row: m.row + i*d, col: m.col + j*d, dim: d, stride: m.stride}
+}
+
+// Unwrap returns the raw backing slice of a FULL (unsliced) matrix for
+// verification only.
+func (m Mat) Unwrap() []float64 {
+	if m.row != 0 || m.col != 0 || m.stride != m.dim {
+		panic("comatmul: Unwrap of a proper submatrix view")
+	}
+	return m.arr.Unwrap()
+}
+
+// leafDim is the base-case dimension of the divide-and-conquer variants.
+const leafDim = 8
+
+// Options configures Multiply.
+type Options struct {
+	// Classic selects the symmetric 2×2 recursion baseline.
+	Classic bool
+	// Seed drives the randomized first-round branching factor.
+	Seed uint64
+	// FirstRound controls the §5.3 randomized first round:
+	//   0  — randomized (the paper's algorithm): branching 2^b with b
+	//        uniform in {1..⌊lg ω⌋};
+	//  -1  — disabled: the deterministic ω×ω recursion throughout (the
+	//        pre-randomization variant, as an ablation);
+	//  >0  — fixed first-round branching 2^FirstRound (for ablations).
+	FirstRound int
+}
+
+// Multiply computes C += A·B cache-obliviously per Options. A, B, C must
+// be views of equal dimension, a power of two.
+func Multiply(c *co.Ctx, a, b, out Mat, opt Options) {
+	n := a.Dim()
+	if b.Dim() != n || out.Dim() != n {
+		panic("comatmul: dimension mismatch")
+	}
+	if n&(n-1) != 0 {
+		panic("comatmul: dimension must be a power of two")
+	}
+	if opt.Classic {
+		recurse(c, a, b, out, 2)
+		return
+	}
+	omega := int(c.Omega())
+	g := maxPow2AtMost(omega)
+	if g < 2 {
+		g = 2
+	}
+	first := 0
+	switch {
+	case opt.FirstRound > 0:
+		first = 1 << opt.FirstRound
+	case opt.FirstRound == 0 && g > 2:
+		lg := bits.Len(uint(g)) - 1
+		rng := xrand.New(opt.Seed)
+		first = 1 << (1 + rng.Intn(lg))
+	}
+	if first > 1 {
+		recurseFirst(c, a, b, out, first, g)
+		return
+	}
+	recurse(c, a, b, out, g)
+}
+
+// recurseFirst performs one round at branching factor `first`, then
+// continues with the standard factor g.
+func recurseFirst(c *co.Ctx, a, b, out Mat, first, g int) {
+	n := a.Dim()
+	if n <= leafDim || first > n/2 {
+		recurse(c, a, b, out, g)
+		return
+	}
+	c.ParFor(first*first, func(c *co.Ctx, idx int) {
+		i, j := idx/first, idx%first
+		for k := 0; k < first; k++ {
+			recurse(c, a.Sub(first, i, k), b.Sub(first, k, j), out.Sub(first, i, j), g)
+		}
+	})
+}
+
+// recurse is the g×g divide and conquer: output blocks in parallel, the g
+// products of one output block sequential (so the block stays resident
+// across its accumulations). The branching narrows near the leaves so
+// subproblems never shrink below leafDim (tiny leaves would blow up the
+// work constant without changing the cache shape).
+func recurse(c *co.Ctx, a, b, out Mat, g int) {
+	n := a.Dim()
+	if n <= leafDim {
+		leafMultiply(c, a, b, out)
+		return
+	}
+	gUse := g
+	if n/gUse < leafDim {
+		gUse = maxPow2AtMost(n / leafDim)
+		if gUse < 2 {
+			leafMultiply(c, a, b, out)
+			return
+		}
+	}
+	c.ParFor(gUse*gUse, func(c *co.Ctx, idx int) {
+		i, j := idx/gUse, idx%gUse
+		for k := 0; k < gUse; k++ {
+			recurse(c, a.Sub(gUse, i, k), b.Sub(gUse, k, j), out.Sub(gUse, i, j), g)
+		}
+	})
+}
+
+// leafMultiply accumulates C += A·B directly. The inner loop keeps the
+// running sum in a register and writes each C element once per leaf.
+func leafMultiply(c *co.Ctx, a, b, out Mat) {
+	n := a.Dim()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			acc := out.Get(c, i, j)
+			for k := 0; k < n; k++ {
+				acc += a.Get(c, i, k) * b.Get(c, k, j)
+			}
+			out.Set(c, i, j, acc)
+		}
+	}
+}
+
+// BlockedMultiply is the Theorem 5.2 cache-aware algorithm: output blocks
+// of side s (pick s ≈ √(M/3) so three blocks fit) computed one at a time,
+// each fully accumulated before moving on: O(n³/(Bs)) reads, O(n²/B)
+// writes.
+func BlockedMultiply(c *co.Ctx, a, b, out Mat, blockSide int) {
+	n := a.Dim()
+	if blockSide < 1 {
+		panic("comatmul: blockSide must be positive")
+	}
+	if b.Dim() != n || out.Dim() != n {
+		panic("comatmul: dimension mismatch")
+	}
+	for i0 := 0; i0 < n; i0 += blockSide {
+		for j0 := 0; j0 < n; j0 += blockSide {
+			iHi := minInt(i0+blockSide, n)
+			jHi := minInt(j0+blockSide, n)
+			for k0 := 0; k0 < n; k0 += blockSide {
+				kHi := minInt(k0+blockSide, n)
+				for i := i0; i < iHi; i++ {
+					for j := j0; j < jHi; j++ {
+						acc := out.Get(c, i, j)
+						for k := k0; k < kHi; k++ {
+							acc += a.Get(c, i, k) * b.Get(c, k, j)
+						}
+						out.Set(c, i, j, acc)
+					}
+				}
+			}
+		}
+	}
+}
+
+// NaiveMultiply is the O(n³) reference used by tests (uncharged, raw
+// slices).
+func NaiveMultiply(a, b []float64, n int) []float64 {
+	out := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			av := a[i*n+k]
+			for j := 0; j < n; j++ {
+				out[i*n+j] += av * b[k*n+j]
+			}
+		}
+	}
+	return out
+}
+
+func maxPow2AtMost(x int) int {
+	if x < 1 {
+		return 1
+	}
+	return 1 << (bits.Len(uint(x)) - 1)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,188 @@
+package cosort
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asymsort/internal/co"
+	"asymsort/internal/icache"
+	"asymsort/internal/seq"
+)
+
+func newCtx(omega uint64) *co.Ctx {
+	// B=16 words, 64 resident blocks → M = 1024 words, tall-cache OK.
+	return co.NewCtx(icache.New(16, 64, omega, icache.PolicyRWLRU))
+}
+
+func TestSortCorrectness(t *testing.T) {
+	for _, omega := range []uint64{1, 2, 4, 8, 16} {
+		for _, n := range []int{0, 1, 2, 31, 32, 33, 100, 1000, 10000} {
+			in := seq.Uniform(n, uint64(n)+omega)
+			c := newCtx(omega)
+			out := Sort(c, co.FromSlice(c, in), Options{Seed: 1})
+			if !seq.IsSorted(out.Unwrap()) {
+				t.Fatalf("ω=%d n=%d: not sorted", omega, n)
+			}
+			if !seq.IsPermutation(out.Unwrap(), in) {
+				t.Fatalf("ω=%d n=%d: not a permutation", omega, n)
+			}
+		}
+	}
+}
+
+func TestClassicVariantCorrectness(t *testing.T) {
+	for _, n := range []int{100, 5000} {
+		in := seq.Uniform(n, 7)
+		c := newCtx(8)
+		out := Sort(c, co.FromSlice(c, in), Options{Seed: 2, Classic: true})
+		if !seq.IsSorted(out.Unwrap()) || !seq.IsPermutation(out.Unwrap(), in) {
+			t.Fatalf("classic n=%d: bad sort", n)
+		}
+	}
+}
+
+func TestSortAdversarial(t *testing.T) {
+	gens := map[string][]seq.Record{
+		"sorted":      seq.Sorted(5000),
+		"reversed":    seq.Reversed(5000),
+		"fewdistinct": seq.FewDistinct(5000, 2, 3),
+		"allequal":    seq.FewDistinct(5000, 1, 3),
+	}
+	for name, in := range gens {
+		c := newCtx(8)
+		out := Sort(c, co.FromSlice(c, in), Options{Seed: 3})
+		if !seq.IsSorted(out.Unwrap()) || !seq.IsPermutation(out.Unwrap(), in) {
+			t.Errorf("%s: bad sort", name)
+		}
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	f := func(seed uint64, szRaw uint16, omRaw uint8, classic bool) bool {
+		n := int(szRaw % 4000)
+		omega := uint64(omRaw%16) + 1
+		in := seq.Uniform(n, seed)
+		c := newCtx(omega)
+		out := Sort(c, co.FromSlice(c, in), Options{Seed: seed, Classic: classic})
+		return seq.IsSorted(out.Unwrap()) && seq.IsPermutation(out.Unwrap(), in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 5.1 headline: the asymmetric variant trades reads for writes.
+// The log-base effect (log_{ωM} vs log_M levels) needs n ≫ M, so this
+// test uses a small cache (M = 256 words) and n = 2^18.
+func TestAsymmetricBeatsClassicOnWrites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-n write-shape comparison")
+	}
+	const n = 1 << 18
+	const omega = 8
+	in := seq.Uniform(n, 5)
+
+	measure := func(classic bool) (reads, writes uint64) {
+		c := co.NewCtx(icache.New(16, 16, omega, icache.PolicyRWLRU))
+		arr := co.FromSlice(c, in)
+		base := c.Cache.Stats()
+		Sort(c, arr, Options{Seed: 4, Classic: classic})
+		c.Cache.Flush()
+		d := c.Cache.Stats().Sub(base)
+		return d.Reads, d.Writes
+	}
+	_, wClassic := measure(true)
+	rAsym, wAsym := measure(false)
+	if wAsym >= wClassic {
+		t.Errorf("asymmetric writes %d not below classic %d", wAsym, wClassic)
+	}
+	if float64(rAsym) < 1.5*float64(wAsym) {
+		t.Errorf("read:write ratio %.2f too small for ω=%d", float64(rAsym)/float64(wAsym), omega)
+	}
+}
+
+// Read:write ratio grows with ω (the Θ(ω) trade of Theorem 5.1).
+func TestRatioGrowsWithOmega(t *testing.T) {
+	const n = 1 << 14
+	in := seq.Uniform(n, 6)
+	ratio := func(omega uint64) float64 {
+		c := newCtx(omega)
+		arr := co.FromSlice(c, in)
+		base := c.Cache.Stats()
+		Sort(c, arr, Options{Seed: 4})
+		c.Cache.Flush()
+		d := c.Cache.Stats().Sub(base)
+		return d.Ratio()
+	}
+	r2 := ratio(2)
+	r16 := ratio(16)
+	if r16 <= r2 {
+		t.Errorf("ratio did not grow with ω: ω=2 → %.2f, ω=16 → %.2f", r2, r16)
+	}
+}
+
+// Work shape: writes O(n·polylog-free): per-element work-writes stay near
+// flat while reads grow like ω per element.
+func TestWorkShape(t *testing.T) {
+	const omega = 8
+	perElem := func(n int) (r, w float64) {
+		in := seq.Uniform(n, 3)
+		c := newCtx(omega)
+		arr := co.FromSlice(c, in)
+		Sort(c, arr, Options{Seed: 2})
+		work := c.WD.Work()
+		return float64(work.Reads) / float64(n), float64(work.Writes) / float64(n)
+	}
+	_, wSmall := perElem(1 << 12)
+	_, wBig := perElem(1 << 16)
+	// Writes per element may grow with the (log_{ωM} n) level count but
+	// slowly; 16x the input must not double it.
+	if wBig > 2*wSmall {
+		t.Errorf("writes/elem grew %.2f → %.2f across 16x n", wSmall, wBig)
+	}
+}
+
+// Depth shape: depth/(ω·lg²(n)) stays bounded as n grows (Theorem 5.1's
+// O(ω log²(n/ω)) depth).
+func TestDepthShape(t *testing.T) {
+	const omega = 4
+	depthUnit := func(n int) float64 {
+		in := seq.Uniform(n, 3)
+		c := newCtx(omega)
+		arr := co.FromSlice(c, in)
+		Sort(c, arr, Options{Seed: 2})
+		lg := float64(co.CeilLog2(n))
+		return float64(c.WD.Depth()) / (float64(omega) * lg * lg)
+	}
+	small := depthUnit(1 << 12)
+	big := depthUnit(1 << 16)
+	if big > 2*small {
+		t.Errorf("depth/(ω lg² n) grew %.2f → %.2f; not O(ω log²n)", small, big)
+	}
+}
+
+func TestIsqrtCeil(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 2, 4: 2, 5: 3, 9: 3, 10: 4, 100: 10, 101: 11}
+	for n, want := range cases {
+		if got := isqrtCeil(n); got != want {
+			t.Errorf("isqrtCeil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	in := seq.Uniform(3000, 9)
+	run := func() (uint64, uint64) {
+		c := newCtx(4)
+		arr := co.FromSlice(c, in)
+		Sort(c, arr, Options{Seed: 11})
+		c.Cache.Flush()
+		s := c.Cache.Stats()
+		return s.Reads, s.Writes
+	}
+	r1, w1 := run()
+	r2, w2 := run()
+	if r1 != r2 || w1 != w2 {
+		t.Errorf("same seed, different costs: (%d,%d) vs (%d,%d)", r1, w1, r2, w2)
+	}
+}

@@ -1,0 +1,381 @@
+// Package pramsort implements Algorithm 1 of the paper: the Asymmetric
+// CRCW PRAM sample sort achieving O(n log n) reads, O(n) writes, and
+// O(ω log n) depth w.h.p. (Theorem 3.2).
+//
+// The algorithm, step by step (numbers match the paper's listing):
+//
+//  1. Sample records independently with probability 1/log n; sort the
+//     sample (the paper uses Cole's mergesort — see Options.RealSampleSort
+//     for the substitution policy).
+//  2. Use every (log n)-th sample element as a splitter; allocate an array
+//     of c·log² n slots per bucket.
+//  3. Binary-search each record's bucket on the splitters.
+//  4. Place records into their bucket arrays by repeatedly trying random
+//     slots (the "placement problem"), sequential within groups of log n
+//     records and parallel across groups.
+//  5. Pack out the empty slots with a prefix sum and concatenate.
+//  6. (Optional, for O(ω log n) depth) Two rounds of deterministic
+//     sub-splitting inside each bucket — Lemma 3.1.
+//  7. Sort each remaining bucket with the sequential asymmetric RAM sort
+//     of Section 3 (red-black tree insertion).
+//
+// Concurrent CRCW writes of step 4 are emulated by the sequential
+// simulator: a write to an empty slot always succeeds and the per-record
+// verification read the real algorithm needs is charged, so the read/write
+// counts match the CRCW execution.
+package pramsort
+
+import (
+	"math/bits"
+
+	"asymsort/internal/aram"
+	"asymsort/internal/core/ramsort"
+	"asymsort/internal/prim"
+	"asymsort/internal/seq"
+	"asymsort/internal/wd"
+)
+
+// Options configures Sort.
+type Options struct {
+	// Seed drives the sampling and placement randomness; runs with the
+	// same seed are identical.
+	Seed uint64
+	// DeepSplit enables step 6 (two rounds of Lemma 3.1 splitting), the
+	// paper's optional step that brings the depth to O(ω log n).
+	DeepSplit bool
+	// RealSampleSort sorts samples with the measured parallel mergesort
+	// (O(ω log² s) depth) instead of the Cole cost oracle (O(ω log s)
+	// depth, charged per its published bounds). The oracle is the default
+	// so the end-to-end depth matches Theorem 3.2; see DESIGN.md §2.
+	RealSampleSort bool
+	// SlotFactor is c in the per-bucket array size c·log² n. Zero means
+	// the default of 4 (≥2x expected occupancy w.h.p.). If a placement
+	// round fails, the factor doubles and the work is re-charged, exactly
+	// as a restarted w.h.p. algorithm would pay.
+	SlotFactor int
+}
+
+// smallCutoff is the size below which Sort degenerates to the sequential
+// RAM sort — below it log²n buckets are meaningless.
+const smallCutoff = 256
+
+// ceilLog2 returns ⌈log₂ n⌉ for n ≥ 2, else 1.
+func ceilLog2(n int) int {
+	if n <= 2 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// hashAt gives the deterministic per-index random stream used by sampling
+// and placement: position-keyed so that parallel strands need no shared
+// PRNG state (register arithmetic, uncharged).
+func hashAt(seed, i, round uint64) uint64 {
+	x := seed ^ (i * 0x9e3779b97f4a7c15) ^ (round * 0xbf58476d1ce4e5b9)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// slot is one cell of a bucket array in step 4.
+type slot struct {
+	rec  seq.Record
+	used bool
+}
+
+// Sort sorts in into a fresh array per Algorithm 1, charging all work and
+// depth to c.
+func Sort(c *wd.T, in *wd.Array[seq.Record], opt Options) *wd.Array[seq.Record] {
+	n := in.Len()
+	out := wd.NewArray[seq.Record](n)
+	if n == 0 {
+		return out
+	}
+	if n <= smallCutoff {
+		for i := 0; i < n; i++ {
+			out.Set(c, i, in.Get(c, i))
+		}
+		leafSort(c, out)
+		return out
+	}
+	slotFactor := opt.SlotFactor
+	if slotFactor <= 0 {
+		slotFactor = 4
+	}
+	logn := ceilLog2(n)
+
+	// Step 1: sample with probability 1/log n, then sort the sample.
+	sample := prim.Pack(c, in, func(c *wd.T, i int) bool {
+		return hashAt(opt.Seed, uint64(i), 0)%uint64(logn) == 0
+	})
+	sortedSample := sortSample(c, sample, opt)
+
+	// Step 2: every (log n)-th sample element becomes a splitter.
+	numSplitters := sortedSample.Len() / logn
+	splitters := wd.NewArray[uint64](numSplitters)
+	c.ParFor(numSplitters, func(c *wd.T, j int) {
+		splitters.Set(c, j, sortedSample.Get(c, (j+1)*logn-1).Key)
+	})
+	buckets := numSplitters + 1
+
+	// Step 3: locate each record's bucket by binary search.
+	bucketID := wd.NewArray[uint64](n)
+	c.ParFor(n, func(c *wd.T, i int) {
+		r := in.Get(c, i)
+		bucketID.Set(c, i, uint64(prim.SearchSplitters(c, splitters, r.Key)))
+	})
+
+	// Step 4: randomized placement into per-bucket slot arrays. On the
+	// (w.h.p.-excluded) event that a record exhausts its tries, the whole
+	// placement restarts with twice the slots, and is charged again.
+	var slots *wd.Array[slot]
+	var slotsPerBucket int
+	for attempt := 0; ; attempt++ {
+		expected := (n + buckets - 1) / buckets
+		minSlots := slotFactor * logn * logn
+		if minSlots < slotFactor*expected {
+			minSlots = slotFactor * expected
+		}
+		slotsPerBucket = minSlots
+		slots = wd.NewArray[slot](buckets * slotsPerBucket)
+		if place(c, in, bucketID, slots, slotsPerBucket, opt.Seed+uint64(attempt)*1e9, logn) {
+			break
+		}
+		slotFactor *= 2
+	}
+
+	// Step 5: pack out empty cells. The slot arrays are concatenated in
+	// bucket order, so the packed result is grouped by bucket.
+	flags := wd.NewArray[uint64](slots.Len())
+	c.ParFor(slots.Len(), func(c *wd.T, i int) {
+		v := uint64(0)
+		if slots.Get(c, i).used {
+			v = 1
+		}
+		flags.Set(c, i, v)
+	})
+	prim.Scan(c, flags)
+	c.ParFor(slots.Len(), func(c *wd.T, i int) {
+		s := slots.Get(c, i)
+		if s.used {
+			out.Set(c, int(flags.Get(c, i)), s.rec)
+		}
+	})
+	// Bucket boundaries fall out of the scanned flags at bucket starts.
+	bounds := make([]int, buckets+1)
+	for b := 0; b < buckets; b++ {
+		bounds[b] = int(flags.Get(c, b*slotsPerBucket))
+	}
+	bounds[buckets] = n
+	c.Write(uint64(buckets) + 1)
+
+	// Steps 6+7: refine each bucket (optionally) and sort it.
+	c.ParFor(buckets, func(c *wd.T, b int) {
+		seg := out.Slice(bounds[b], bounds[b+1])
+		if !opt.DeepSplit {
+			leafSort(c, seg)
+			return
+		}
+		// Two rounds of Lemma 3.1 splitting; the sub-buckets of each round
+		// are sorted in parallel (sequentializing them would put the sum,
+		// not the max, of the leaf depths on the critical path).
+		round1 := lemma31Split(c, seg, opt)
+		c.ParFor(len(round1), func(c *wd.T, i int) {
+			s1 := round1[i]
+			sub := seg.Slice(s1.lo, s1.hi)
+			round2 := lemma31Split(c, sub, opt)
+			c.ParFor(len(round2), func(c *wd.T, j int) {
+				s2 := round2[j]
+				leafSort(c, sub.Slice(s2.lo, s2.hi))
+			})
+		})
+	})
+	return out
+}
+
+// sortSample dispatches between the Cole oracle and the real mergesort.
+func sortSample(c *wd.T, s *wd.Array[seq.Record], opt Options) *wd.Array[seq.Record] {
+	if opt.RealSampleSort {
+		return prim.MergeSort(c, s)
+	}
+	return prim.OracleColeSort(c, s)
+}
+
+// place scatters every record into a random empty slot of its bucket's
+// array: groups of log n records run sequentially inside, in parallel
+// across groups (the paper's grouping that bounds the tries per group by
+// O(log n) w.h.p.). Returns false if any record exceeded its try budget.
+func place(c *wd.T, in *wd.Array[seq.Record], bucketID *wd.Array[uint64],
+	slots *wd.Array[slot], slotsPerBucket int, seed uint64, logn int) bool {
+	n := in.Len()
+	groups := (n + logn - 1) / logn
+	ok := true
+	maxTries := 32 * logn
+	c.ParFor(groups, func(c *wd.T, g int) {
+		lo, hi := g*logn, (g+1)*logn
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			r := in.Get(c, i)
+			b := int(bucketID.Get(c, i))
+			base := b * slotsPerBucket
+			placed := false
+			for try := 0; try < maxTries; try++ {
+				pos := base + int(hashAt(seed, uint64(i), uint64(try+1))%uint64(slotsPerBucket))
+				s := slots.Get(c, pos)
+				if s.used {
+					continue
+				}
+				slots.Set(c, pos, slot{rec: r, used: true})
+				// CRCW verification: read back to confirm this strand's
+				// write took effect (arbitrary-write semantics).
+				if v := slots.Get(c, pos); v.rec == r {
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				ok = false
+				return
+			}
+		}
+	})
+	return ok
+}
+
+// segBound is a half-open range within a parent segment.
+type segBound struct{ lo, hi int }
+
+// lemma31Split partitions the m-record segment into ~m^{1/3} buckets per
+// Lemma 3.1: sort groups of m^{1/3} sequentially, sample every ⌈log m⌉-th
+// element of each sorted group, sort the sample, pick m^{1/3}−1 splitters,
+// and integer-sort records by bucket number. The segment is overwritten
+// with the bucket-grouped order and the bucket ranges are returned.
+// Cost: O(m log m) reads, O(m) writes, O(ω·m^{1/3} log m) depth.
+func lemma31Split(c *wd.T, seg *wd.Array[seq.Record], opt Options) []segBound {
+	m := seg.Len()
+	if m <= 64 {
+		return []segBound{{0, m}}
+	}
+	logm := ceilLog2(m)
+	groupLen := icbrt(m)
+	numGroups := (m + groupLen - 1) / groupLen
+
+	// Sort each group sequentially (tree sort: O(g log g) reads, O(g) writes).
+	c.ParFor(numGroups, func(c *wd.T, g int) {
+		lo, hi := g*groupLen, (g+1)*groupLen
+		if hi > m {
+			hi = m
+		}
+		leafSort(c, seg.Slice(lo, hi))
+	})
+
+	// Sample every ⌈log m⌉-th record of each sorted group. At practical
+	// sizes the lemma's regime m^{1/3} ≥ log m may not hold yet (it needs
+	// n beyond ~2^20); clamp the stride to the group length so every group
+	// still contributes a sample — a larger sample only strengthens the
+	// splitter quality at lower-order extra cost.
+	stride := logm
+	if stride > groupLen {
+		stride = groupLen
+	}
+	sample := prim.Pack(c, seg, func(c *wd.T, i int) bool {
+		return (i%groupLen)%stride == stride-1
+	})
+	if sample.Len() == 0 {
+		return []segBound{{0, m}}
+	}
+	sortedSample := sortSample(c, sample, opt)
+
+	// m^{1/3} − 1 evenly spaced splitters from the sample.
+	numSplitters := groupLen - 1
+	if numSplitters > sortedSample.Len() {
+		numSplitters = sortedSample.Len()
+	}
+	splitters := wd.NewArray[uint64](numSplitters)
+	c.ParFor(numSplitters, func(c *wd.T, j int) {
+		pos := (j + 1) * sortedSample.Len() / (numSplitters + 1)
+		if pos >= sortedSample.Len() {
+			pos = sortedSample.Len() - 1
+		}
+		splitters.Set(c, j, sortedSample.Get(c, pos).Key)
+	})
+	buckets := numSplitters + 1
+
+	// Integer sort by bucket number (stable counting sort).
+	sorted, bounds := prim.CountingSort(c, seg, buckets, func(r seq.Record) int {
+		return searchKeys(splitters.Unwrap(), r.Key)
+	})
+	// The key function above reads splitters without charging; charge the
+	// binary-search reads it performed: one ⌈log buckets⌉ read chain per
+	// record, twice (histogram and scatter passes).
+	c.ChargeSpan(2*uint64(m)*uint64(ceilLog2(buckets)+1), 0, uint64(ceilLog2(buckets)+1))
+
+	// Copy the bucket-grouped order back into the segment.
+	c.ParFor(m, func(c *wd.T, i int) {
+		seg.Set(c, i, sorted.Get(c, i))
+	})
+	res := make([]segBound, 0, buckets)
+	for b := 0; b < buckets; b++ {
+		res = append(res, segBound{bounds[b], bounds[b+1]})
+	}
+	return res
+}
+
+// searchKeys is an uncharged binary search over raw splitter keys, used
+// inside CountingSort's key callback (its reads are charged in bulk by the
+// caller — see lemma31Split).
+func searchKeys(splitters []uint64, key uint64) int {
+	lo, hi := 0, len(splitters)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if splitters[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// icbrt returns ⌈m^{1/3}⌉ via integer search.
+func icbrt(m int) int {
+	lo, hi := 1, 1
+	for hi*hi*hi < m {
+		hi *= 2
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if mid*mid*mid < m {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// leafSort sorts a segment in place with the sequential RAM sort of
+// Section 3 (red-black tree insertion): O(m log m) reads, O(m) writes,
+// depth = its sequential cost.
+func leafSort(c *wd.T, seg *wd.Array[seq.Record]) {
+	m := seg.Len()
+	if m <= 1 {
+		return
+	}
+	recs := make([]seq.Record, m)
+	for i := 0; i < m; i++ {
+		recs[i] = seg.Get(c, i)
+	}
+	lm := aram.New(1)
+	arr := aram.FromSlice(lm, recs)
+	sorted := ramsort.TreeSort(arr).Unwrap()
+	st := lm.Stats()
+	c.ChargeSeq(st.Reads, st.Writes)
+	for i := 0; i < m; i++ {
+		seg.Set(c, i, sorted[i])
+	}
+}

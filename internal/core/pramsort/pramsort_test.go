@@ -1,0 +1,186 @@
+package pramsort
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"asymsort/internal/seq"
+	"asymsort/internal/wd"
+)
+
+func toArr(rs []seq.Record) *wd.Array[seq.Record] {
+	a := wd.NewArray[seq.Record](len(rs))
+	copy(a.Unwrap(), rs)
+	return a
+}
+
+func TestSortCorrectnessAllVariants(t *testing.T) {
+	variants := map[string]Options{
+		"oracle":          {Seed: 1},
+		"oracle+deep":     {Seed: 1, DeepSplit: true},
+		"realsample":      {Seed: 1, RealSampleSort: true},
+		"realsample+deep": {Seed: 1, RealSampleSort: true, DeepSplit: true},
+	}
+	for name, opt := range variants {
+		for _, n := range []int{0, 1, 2, 100, 255, 256, 257, 1000, 10000} {
+			in := seq.Uniform(n, uint64(n)+3)
+			c := wd.NewRoot(8)
+			out := Sort(c, toArr(in), opt).Unwrap()
+			if !seq.IsSorted(out) {
+				t.Fatalf("%s n=%d: not sorted", name, n)
+			}
+			if !seq.IsPermutation(out, in) {
+				t.Fatalf("%s n=%d: not a permutation", name, n)
+			}
+		}
+	}
+}
+
+func TestSortAdversarialInputs(t *testing.T) {
+	gens := map[string]func() []seq.Record{
+		"sorted":      func() []seq.Record { return seq.Sorted(5000) },
+		"reversed":    func() []seq.Record { return seq.Reversed(5000) },
+		"fewdistinct": func() []seq.Record { return seq.FewDistinct(5000, 3, 1) },
+		"zipf":        func() []seq.Record { return seq.Zipf(5000, 50, 1.5, 2) },
+	}
+	for name, gen := range gens {
+		in := gen()
+		c := wd.NewRoot(4)
+		out := Sort(c, toArr(in), Options{Seed: 5, DeepSplit: true}).Unwrap()
+		if !seq.IsSorted(out) || !seq.IsPermutation(out, in) {
+			t.Errorf("%s: bad sort", name)
+		}
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	f := func(seed uint64, szRaw uint16, deep bool) bool {
+		n := int(szRaw % 4000)
+		in := seq.Uniform(n, seed)
+		c := wd.NewRoot(4)
+		out := Sort(c, toArr(in), Options{Seed: seed, DeepSplit: deep}).Unwrap()
+		return seq.IsSorted(out) && seq.IsPermutation(out, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortDeterministicForSeed(t *testing.T) {
+	in := seq.Uniform(3000, 7)
+	c1 := wd.NewRoot(4)
+	c2 := wd.NewRoot(4)
+	Sort(c1, toArr(in), Options{Seed: 9})
+	Sort(c2, toArr(in), Options{Seed: 9})
+	if c1.Work() != c2.Work() || c1.Depth() != c2.Depth() {
+		t.Errorf("same seed, different costs: %v/%d vs %v/%d",
+			c1.Work(), c1.Depth(), c2.Work(), c2.Depth())
+	}
+}
+
+// Theorem 3.2 write bound: O(n) writes — per-element writes stay flat as n
+// grows 16-fold.
+func TestWritesLinear(t *testing.T) {
+	perElem := func(n int) float64 {
+		in := seq.Uniform(n, 3)
+		c := wd.NewRoot(8)
+		Sort(c, toArr(in), Options{Seed: 4})
+		return float64(c.Work().Writes) / float64(n)
+	}
+	small := perElem(1 << 13)
+	big := perElem(1 << 17)
+	if big > small*1.5 {
+		t.Errorf("writes/n grew %.2f -> %.2f; not O(n)", small, big)
+	}
+}
+
+// Theorem 3.2 read bound: O(n log n).
+func TestReadsNLogN(t *testing.T) {
+	perUnit := func(n int) float64 {
+		in := seq.Uniform(n, 3)
+		c := wd.NewRoot(8)
+		Sort(c, toArr(in), Options{Seed: 4})
+		return float64(c.Work().Reads) / (float64(n) * math.Log2(float64(n)))
+	}
+	small := perUnit(1 << 13)
+	big := perUnit(1 << 17)
+	if big > small*1.6 || small > big*1.6 {
+		t.Errorf("reads/(n lg n) moved %.2f -> %.2f; not Θ(n log n)", small, big)
+	}
+}
+
+// Theorem 3.2 depth bound with step 6: O(ω log n).
+func TestDepthOmegaLogN(t *testing.T) {
+	perUnit := func(n int, omega uint64) float64 {
+		in := seq.Uniform(n, 3)
+		c := wd.NewRoot(omega)
+		Sort(c, toArr(in), Options{Seed: 4, DeepSplit: true})
+		return float64(c.Depth()) / (float64(omega) * math.Log2(float64(n)))
+	}
+	small := perUnit(1<<13, 32)
+	big := perUnit(1<<17, 32)
+	if big > small*2.0 {
+		t.Errorf("depth/(ω lg n) grew %.2f -> %.2f; not O(ω log n)", small, big)
+	}
+}
+
+// Without step 6 the depth may be polylog-worse but the sort must still be
+// far shallower than the sequential cost.
+func TestDepthParallelism(t *testing.T) {
+	const n = 1 << 15
+	in := seq.Uniform(n, 3)
+	c := wd.NewRoot(8)
+	Sort(c, toArr(in), Options{Seed: 4})
+	w := c.Work()
+	seqCost := w.Reads + 8*w.Writes
+	if c.Depth()*50 > seqCost {
+		t.Errorf("depth %d vs sequential cost %d: parallelism < 50x", c.Depth(), seqCost)
+	}
+}
+
+// The placement restart path: a tiny SlotFactor forces overflow; the sort
+// must still succeed by doubling the factor.
+func TestPlacementRestartRecovers(t *testing.T) {
+	in := seq.Uniform(4000, 11)
+	c := wd.NewRoot(2)
+	out := Sort(c, toArr(in), Options{Seed: 2, SlotFactor: 1}).Unwrap()
+	if !seq.IsSorted(out) || !seq.IsPermutation(out, in) {
+		t.Error("sort with SlotFactor=1 failed")
+	}
+}
+
+func TestSmallInputsUseLeafPath(t *testing.T) {
+	// n ≤ smallCutoff goes straight to the RAM sort; verify costs are
+	// charged (non-zero reads) and output correct.
+	in := seq.Uniform(smallCutoff, 13)
+	c := wd.NewRoot(4)
+	out := Sort(c, toArr(in), Options{Seed: 1}).Unwrap()
+	if !seq.IsSorted(out) || !seq.IsPermutation(out, in) {
+		t.Fatal("small-input path incorrect")
+	}
+	if c.Work().Reads == 0 || c.Work().Writes == 0 {
+		t.Error("small-input path charged nothing")
+	}
+}
+
+func TestIcbrt(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 7: 2, 8: 2, 9: 3, 27: 3, 28: 4, 1000: 10, 1001: 11}
+	for m, want := range cases {
+		if got := icbrt(m); got != want {
+			t.Errorf("icbrt(%d) = %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestHashAtDeterministic(t *testing.T) {
+	if hashAt(1, 2, 3) != hashAt(1, 2, 3) {
+		t.Error("hashAt not deterministic")
+	}
+	if hashAt(1, 2, 3) == hashAt(1, 2, 4) {
+		t.Error("hashAt ignores round")
+	}
+	if hashAt(1, 2, 3) == hashAt(2, 2, 3) {
+		t.Error("hashAt ignores seed")
+	}
+}

@@ -1,0 +1,62 @@
+package ramsort
+
+import "asymsort/internal/aram"
+
+// PriorityQueue is the write-efficient comparison-based priority queue of
+// Section 3: Insert and DeleteMin each cost O(log n) reads and amortized
+// O(1) writes, versus the Θ(log n) writes of a binary heap. Duplicate keys
+// are permitted; the underlying tree stores one node per element.
+type PriorityQueue struct {
+	t *Tree
+}
+
+// NewPriorityQueue returns an empty queue charging against mem.
+func NewPriorityQueue(mem *aram.Memory, capacityHint int) *PriorityQueue {
+	return &PriorityQueue{t: NewTree(mem, capacityHint)}
+}
+
+// Len returns the number of elements queued.
+func (q *PriorityQueue) Len() int { return q.t.Len() }
+
+// Insert queues key with payload val.
+func (q *PriorityQueue) Insert(key, val uint64) { q.t.Insert(key, val) }
+
+// DeleteMin removes and returns the minimum-key element.
+func (q *PriorityQueue) DeleteMin() (key, val uint64, ok bool) {
+	return q.t.DeleteMin()
+}
+
+// Min reports the minimum without removing it: O(log n) reads, no writes.
+func (q *PriorityQueue) Min() (key, val uint64, ok bool) { return q.t.Min() }
+
+// Dict is the write-efficient comparison-based dictionary of Section 3:
+// Insert, Delete, and Search in O(log n) reads and amortized O(1) writes
+// per operation.
+type Dict struct {
+	t *Tree
+}
+
+// NewDict returns an empty dictionary charging against mem.
+func NewDict(mem *aram.Memory, capacityHint int) *Dict {
+	return &Dict{t: NewTree(mem, capacityHint)}
+}
+
+// Len returns the number of keys stored.
+func (d *Dict) Len() int { return d.t.Len() }
+
+// Insert maps key to val, replacing any existing mapping.
+func (d *Dict) Insert(key, val uint64) {
+	if i := d.t.findNode(key); i != nilIdx {
+		n := d.t.load(i)
+		n.val = val
+		d.t.store(i, n)
+		return
+	}
+	d.t.Insert(key, val)
+}
+
+// Search returns the value under key.
+func (d *Dict) Search(key uint64) (val uint64, ok bool) { return d.t.Search(key) }
+
+// Delete removes key, reporting whether it was present.
+func (d *Dict) Delete(key uint64) bool { return d.t.Delete(key) }

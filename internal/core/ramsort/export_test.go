@@ -1,0 +1,4 @@
+package ramsort
+
+// CheckInvariants exposes red-black invariant verification to tests.
+func (t *Tree) CheckInvariants() (int, error) { return t.checkInvariants() }

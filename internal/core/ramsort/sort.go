@@ -1,0 +1,192 @@
+package ramsort
+
+import (
+	"asymsort/internal/aram"
+	"asymsort/internal/seq"
+	"asymsort/internal/xrand"
+)
+
+// TreeSort sorts in by inserting every record into a red-black tree and
+// reading them back in order — the paper's Section 3 asymmetric RAM sort.
+// Cost: O(n log n) reads, O(n) writes (measured by the E1 experiment).
+// The result is a new instrumented array; in is left untouched.
+func TreeSort(in *aram.Array[seq.Record]) *aram.Array[seq.Record] {
+	mem := in.Memory()
+	n := in.Len()
+	t := NewTree(mem, n)
+	for i := 0; i < n; i++ {
+		r := in.Get(i)
+		t.Insert(r.Key, r.Val)
+	}
+	out := aram.NewArray[seq.Record](mem, n)
+	i := 0
+	t.InOrder(func(key, val uint64) {
+		out.Set(i, seq.Record{Key: key, Val: val})
+		i++
+	})
+	return out
+}
+
+// Quicksort sorts arr in place with randomized-pivot quicksort, the
+// classical write-heavy baseline: expected O(n log n) reads AND writes.
+// The pivot PRNG is deterministic from seed for reproducibility.
+func Quicksort(arr *aram.Array[seq.Record], seed uint64) {
+	rng := xrand.New(seed)
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		for hi-lo > 12 {
+			p := partition(arr, lo, hi, rng)
+			// Recurse into the smaller side to bound stack depth.
+			if p-lo < hi-p-1 {
+				rec(lo, p-1)
+				lo = p + 1
+			} else {
+				rec(p+1, hi)
+				hi = p - 1
+			}
+		}
+		insertionRange(arr, lo, hi)
+	}
+	rec(0, arr.Len()-1)
+}
+
+// partition is Lomuto partition with a random pivot.
+func partition(arr *aram.Array[seq.Record], lo, hi int, rng *xrand.SplitMix64) int {
+	p := lo + rng.Intn(hi-lo+1)
+	arr.Swap(p, hi)
+	pivot := arr.Get(hi)
+	i := lo
+	for j := lo; j < hi; j++ {
+		if arr.Get(j).Key < pivot.Key {
+			if i != j {
+				arr.Swap(i, j)
+			}
+			i++
+		}
+	}
+	if i != hi {
+		arr.Swap(i, hi)
+	}
+	return i
+}
+
+// insertionRange sorts arr[lo..hi] inclusive by binary insertion: O(m log m)
+// reads and O(m²) writes on the range — used only for tiny tails.
+func insertionRange(arr *aram.Array[seq.Record], lo, hi int) {
+	for i := lo + 1; i <= hi; i++ {
+		v := arr.Get(i)
+		j := i - 1
+		for j >= lo {
+			u := arr.Get(j)
+			if u.Key <= v.Key {
+				break
+			}
+			arr.Set(j+1, u)
+			j--
+		}
+		if j+1 != i {
+			arr.Set(j+1, v)
+		}
+	}
+}
+
+// Mergesort sorts arr in place (via an auxiliary instrumented array) with
+// top-down mergesort: Θ(n log n) reads and Θ(n log n) writes.
+func Mergesort(arr *aram.Array[seq.Record]) {
+	n := arr.Len()
+	if n < 2 {
+		return
+	}
+	aux := aram.NewArray[seq.Record](arr.Memory(), n)
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if hi-lo < 1 {
+			return
+		}
+		mid := lo + (hi-lo)/2
+		rec(lo, mid)
+		rec(mid+1, hi)
+		// Merge arr[lo..mid] and arr[mid+1..hi] into aux, then copy back.
+		i, j, k := lo, mid+1, lo
+		for i <= mid && j <= hi {
+			a, b := arr.Get(i), arr.Get(j)
+			if a.Key <= b.Key {
+				aux.Set(k, a)
+				i++
+			} else {
+				aux.Set(k, b)
+				j++
+			}
+			k++
+		}
+		for i <= mid {
+			aux.Set(k, arr.Get(i))
+			i++
+			k++
+		}
+		for j <= hi {
+			aux.Set(k, arr.Get(j))
+			j++
+			k++
+		}
+		for k = lo; k <= hi; k++ {
+			arr.Set(k, aux.Get(k))
+		}
+	}
+	rec(0, n-1)
+}
+
+// Heapsort sorts arr in place with binary heapsort: Θ(n log n) reads and
+// Θ(n log n) writes.
+func Heapsort(arr *aram.Array[seq.Record]) {
+	n := arr.Len()
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(arr, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		arr.Swap(0, end)
+		siftDown(arr, 0, end)
+	}
+}
+
+func siftDown(arr *aram.Array[seq.Record], i, n int) {
+	v := arr.Get(i)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		cv := arr.Get(c)
+		if c+1 < n {
+			if rv := arr.Get(c + 1); rv.Key > cv.Key {
+				c++
+				cv = rv
+			}
+		}
+		if cv.Key <= v.Key {
+			break
+		}
+		arr.Set(i, cv)
+		i = c
+	}
+	arr.Set(i, v)
+}
+
+// SelectionSort sorts arr in place with Θ(n²) reads but only O(n) writes —
+// the trivially write-efficient (and read-hopeless) endpoint that motivates
+// wanting O(n log n) reads and O(n) writes simultaneously.
+func SelectionSort(arr *aram.Array[seq.Record]) {
+	n := arr.Len()
+	for i := 0; i < n-1; i++ {
+		minI := i
+		minV := arr.Get(i)
+		for j := i + 1; j < n; j++ {
+			if v := arr.Get(j); v.Key < minV.Key {
+				minI, minV = j, v
+			}
+		}
+		if minI != i {
+			arr.Swap(i, minI)
+		}
+	}
+}

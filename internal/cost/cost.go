@@ -1,0 +1,145 @@
+// Package cost provides the read/write accounting primitives shared by
+// every asymmetric memory-model simulator in this repository.
+//
+// All models in Blelloch et al., "Sorting with Asymmetric Read and Write
+// Costs" (SPAA 2015) share one idea: a read costs 1 and a write costs an
+// integer ω > 1. A Counter tallies reads and writes; Cost folds them into
+// the single ω-charged figure the paper's theorems bound.
+//
+// Two flavours are provided:
+//
+//   - Counter: a plain, single-goroutine counter for sequential simulators
+//     (RAM, AEM, ideal-cache). Zero value is ready to use.
+//   - AtomicCounter: a concurrency-safe counter for the scheduler
+//     simulators and goroutine-parallel examples.
+//
+// A Snapshot freezes a counter's state; Sub yields deltas so a phase of an
+// algorithm can be metered independently (the experiment harness relies on
+// this to report per-level and per-phase costs).
+package cost
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counter accumulates read and write operation counts. It is not safe for
+// concurrent use; see AtomicCounter for that.
+type Counter struct {
+	reads  uint64
+	writes uint64
+}
+
+// Read records n read operations.
+func (c *Counter) Read(n uint64) { c.reads += n }
+
+// Write records n write operations.
+func (c *Counter) Write(n uint64) { c.writes += n }
+
+// Reads returns the number of reads recorded so far.
+func (c *Counter) Reads() uint64 { return c.reads }
+
+// Writes returns the number of writes recorded so far.
+func (c *Counter) Writes() uint64 { return c.writes }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.reads, c.writes = 0, 0 }
+
+// Cost returns reads + omega*writes, the asymmetric cost of the operations
+// recorded so far.
+func (c *Counter) Cost(omega uint64) uint64 { return c.reads + omega*c.writes }
+
+// Snapshot captures the current state.
+func (c *Counter) Snapshot() Snapshot { return Snapshot{Reads: c.reads, Writes: c.writes} }
+
+// Add merges another counter's totals into c.
+func (c *Counter) Add(other Snapshot) {
+	c.reads += other.Reads
+	c.writes += other.Writes
+}
+
+// String renders the counter as "reads=R writes=W".
+func (c *Counter) String() string {
+	return fmt.Sprintf("reads=%d writes=%d", c.reads, c.writes)
+}
+
+// Snapshot is an immutable copy of a counter's totals. Snapshots subtract
+// and add so that phases of an algorithm can be costed independently.
+type Snapshot struct {
+	Reads  uint64
+	Writes uint64
+}
+
+// Sub returns the element-wise difference s - earlier. It panics if earlier
+// exceeds s in either component, which always indicates a bookkeeping bug
+// in the caller (snapshots taken out of order).
+func (s Snapshot) Sub(earlier Snapshot) Snapshot {
+	if earlier.Reads > s.Reads || earlier.Writes > s.Writes {
+		panic("cost: Snapshot.Sub with later snapshot as argument")
+	}
+	return Snapshot{Reads: s.Reads - earlier.Reads, Writes: s.Writes - earlier.Writes}
+}
+
+// Add returns the element-wise sum s + other.
+func (s Snapshot) Add(other Snapshot) Snapshot {
+	return Snapshot{Reads: s.Reads + other.Reads, Writes: s.Writes + other.Writes}
+}
+
+// Cost returns reads + omega*writes for the snapshot.
+func (s Snapshot) Cost(omega uint64) uint64 { return s.Reads + omega*s.Writes }
+
+// Ratio returns reads divided by writes, or +Inf-like max value when no
+// writes occurred. The paper's external-memory algorithms aim for a
+// read:write ratio of Θ(ω); the harness reports this figure per run.
+func (s Snapshot) Ratio() float64 {
+	if s.Writes == 0 {
+		if s.Reads == 0 {
+			return 0
+		}
+		return float64(s.Reads)
+	}
+	return float64(s.Reads) / float64(s.Writes)
+}
+
+// String renders the snapshot as "reads=R writes=W".
+func (s Snapshot) String() string {
+	return fmt.Sprintf("reads=%d writes=%d", s.Reads, s.Writes)
+}
+
+// AtomicCounter is a Counter safe for concurrent use. The scheduler
+// simulators and the goroutine-parallel example drivers share one across
+// workers.
+type AtomicCounter struct {
+	reads  atomic.Uint64
+	writes atomic.Uint64
+}
+
+// Read records n read operations.
+func (c *AtomicCounter) Read(n uint64) { c.reads.Add(n) }
+
+// Write records n write operations.
+func (c *AtomicCounter) Write(n uint64) { c.writes.Add(n) }
+
+// Reads returns the number of reads recorded so far.
+func (c *AtomicCounter) Reads() uint64 { return c.reads.Load() }
+
+// Writes returns the number of writes recorded so far.
+func (c *AtomicCounter) Writes() uint64 { return c.writes.Load() }
+
+// Reset zeroes the counter. Reset must not race with Read/Write calls.
+func (c *AtomicCounter) Reset() {
+	c.reads.Store(0)
+	c.writes.Store(0)
+}
+
+// Cost returns reads + omega*writes recorded so far.
+func (c *AtomicCounter) Cost(omega uint64) uint64 {
+	return c.reads.Load() + omega*c.writes.Load()
+}
+
+// Snapshot captures the current state. If Read/Write calls race with
+// Snapshot the result is some valid interleaving, which is all the
+// simulators need.
+func (c *AtomicCounter) Snapshot() Snapshot {
+	return Snapshot{Reads: c.reads.Load(), Writes: c.writes.Load()}
+}

@@ -1,0 +1,164 @@
+package cost
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Reads() != 0 || c.Writes() != 0 {
+		t.Fatalf("zero counter not zero: %v", c.String())
+	}
+	c.Read(3)
+	c.Write(2)
+	if got := c.Reads(); got != 3 {
+		t.Errorf("Reads = %d, want 3", got)
+	}
+	if got := c.Writes(); got != 2 {
+		t.Errorf("Writes = %d, want 2", got)
+	}
+	if got := c.Cost(10); got != 3+10*2 {
+		t.Errorf("Cost(10) = %d, want 23", got)
+	}
+	c.Reset()
+	if c.Reads() != 0 || c.Writes() != 0 {
+		t.Errorf("Reset did not zero: %v", c.String())
+	}
+}
+
+func TestCounterCostOmegaOne(t *testing.T) {
+	var c Counter
+	c.Read(7)
+	c.Write(5)
+	if got := c.Cost(1); got != 12 {
+		t.Errorf("Cost(1) = %d, want 12 (symmetric model)", got)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	var c Counter
+	c.Read(5)
+	c.Write(1)
+	before := c.Snapshot()
+	c.Read(10)
+	c.Write(4)
+	delta := c.Snapshot().Sub(before)
+	if delta.Reads != 10 || delta.Writes != 4 {
+		t.Errorf("delta = %+v, want reads=10 writes=4", delta)
+	}
+}
+
+func TestSnapshotSubPanicsOnInversion(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Sub with later snapshot did not panic")
+		}
+	}()
+	a := Snapshot{Reads: 1}
+	b := Snapshot{Reads: 2}
+	_ = a.Sub(b)
+}
+
+func TestSnapshotAdd(t *testing.T) {
+	a := Snapshot{Reads: 1, Writes: 2}
+	b := Snapshot{Reads: 10, Writes: 20}
+	sum := a.Add(b)
+	if sum.Reads != 11 || sum.Writes != 22 {
+		t.Errorf("Add = %+v", sum)
+	}
+}
+
+func TestCounterAddSnapshot(t *testing.T) {
+	var c Counter
+	c.Read(1)
+	c.Add(Snapshot{Reads: 4, Writes: 9})
+	if c.Reads() != 5 || c.Writes() != 9 {
+		t.Errorf("after Add: %v", c.String())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	cases := []struct {
+		s    Snapshot
+		want float64
+	}{
+		{Snapshot{Reads: 8, Writes: 2}, 4},
+		{Snapshot{Reads: 0, Writes: 0}, 0},
+		{Snapshot{Reads: 5, Writes: 0}, 5},
+	}
+	for _, tc := range cases {
+		if got := tc.s.Ratio(); got != tc.want {
+			t.Errorf("Ratio(%+v) = %v, want %v", tc.s, got, tc.want)
+		}
+	}
+}
+
+// Property: Cost is linear — Cost(ω) of a sum equals sum of Costs.
+func TestCostLinearity(t *testing.T) {
+	f := func(r1, w1, r2, w2 uint16, omegaSmall uint8) bool {
+		omega := uint64(omegaSmall%64) + 1
+		a := Snapshot{Reads: uint64(r1), Writes: uint64(w1)}
+		b := Snapshot{Reads: uint64(r2), Writes: uint64(w2)}
+		return a.Add(b).Cost(omega) == a.Cost(omega)+b.Cost(omega)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sub inverts Add.
+func TestSubInvertsAdd(t *testing.T) {
+	f := func(r1, w1, r2, w2 uint32) bool {
+		a := Snapshot{Reads: uint64(r1), Writes: uint64(w1)}
+		b := Snapshot{Reads: uint64(r2), Writes: uint64(w2)}
+		return a.Add(b).Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtomicCounterConcurrent(t *testing.T) {
+	var c AtomicCounter
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Read(1)
+				c.Write(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Reads(); got != workers*perWorker {
+		t.Errorf("Reads = %d, want %d", got, workers*perWorker)
+	}
+	if got := c.Writes(); got != 2*workers*perWorker {
+		t.Errorf("Writes = %d, want %d", got, 2*workers*perWorker)
+	}
+	if got := c.Cost(3); got != workers*perWorker+3*2*workers*perWorker {
+		t.Errorf("Cost(3) = %d", got)
+	}
+	c.Reset()
+	if s := c.Snapshot(); s.Reads != 0 || s.Writes != 0 {
+		t.Errorf("after Reset: %+v", s)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	var c Counter
+	c.Read(1)
+	c.Write(2)
+	if got, want := c.String(), "reads=1 writes=2"; got != want {
+		t.Errorf("Counter.String = %q, want %q", got, want)
+	}
+	if got, want := c.Snapshot().String(), "reads=1 writes=2"; got != want {
+		t.Errorf("Snapshot.String = %q, want %q", got, want)
+	}
+}

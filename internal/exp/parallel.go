@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"asymsort/internal/aem"
+	"asymsort/internal/core/aemsample"
+	"asymsort/internal/seq"
+)
+
+// E13Parallel validates the §4.2 private-cache extension: the parallel
+// sample sort achieves near-linear speedup in makespan (max per-processor
+// I/O cost) while total work stays flat.
+func E13Parallel(w io.Writer, cfg Config) {
+	section(w, cfg, "E13", "Private-cache parallel sample sort (§4.2 extension)",
+		"linear speedup with p = n/M processors (M/B ≥ log² n regime)")
+	n := 1 << 17
+	if cfg.Quick {
+		n = 1 << 15
+	}
+	const m, b, k = 128, 16, 4
+	const omega = 8
+	in := seq.Uniform(n, cfg.Seed)
+
+	tb := newTable("p", "makespan (R+ωW)", "speedup", "total work", "work vs p=1", "balance max/min")
+	var base uint64
+	var baseTotal uint64
+	ok := true
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		procs := make([]*aem.Machine, p)
+		for i := range procs {
+			procs[i] = aem.New(m, b, omega, 4)
+		}
+		f := procs[0].FileFrom(in)
+		res := aemsample.ParallelSort(procs, f, k, cfg.Seed+3)
+		if !seq.IsSorted(res.Out.Unwrap()) {
+			panic("E13: sort failed")
+		}
+		if p == 1 {
+			base = res.Makespan
+			baseTotal = res.Total.Cost(omega)
+		}
+		var minC, maxC uint64
+		for i, s := range res.PerProc {
+			c := s.Cost(omega)
+			if i == 0 || c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		speedup := float64(base) / float64(res.Makespan)
+		if p == 8 && speedup < 3 {
+			ok = false
+		}
+		tb.add(p, res.Makespan, fmt.Sprintf("%.2fx", speedup),
+			res.Total.Cost(omega),
+			fmt.Sprintf("%.2fx", float64(res.Total.Cost(omega))/float64(baseTotal)),
+			fmt.Sprintf("%.2f", float64(maxC)/float64(minC)))
+	}
+	tb.write(w, cfg)
+	fmt.Fprintf(w, "geometry: n=%d M=%d B=%d k=%d ω=%d\n", n, m, b, k, omega)
+	verdict(w, cfg, ok, "p=8 achieves ≥3x makespan speedup with flat total work")
+}

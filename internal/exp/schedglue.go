@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"asymsort/internal/co"
+	"asymsort/internal/core/cosort"
+	"asymsort/internal/icache"
+	"asymsort/internal/sched"
+	"asymsort/internal/seq"
+)
+
+// recordedSortTrace records a cosort run's fork-join trace and returns it
+// with the sequential cache cost Q1 (in ω-charged units).
+func recordedSortTrace(n int, omega uint64, capBlocks int, seed uint64) (*co.TraceNode, uint64) {
+	cache := icache.New(16, capBlocks, omega, icache.PolicyRWLRU)
+	c := co.NewCtx(cache)
+	root := c.Record()
+	in := seq.Uniform(n, seed)
+	arr := co.FromSlice(c, in)
+	out := cosort.Sort(c, arr, cosort.Options{Seed: seed})
+	if !seq.IsSorted(out.Unwrap()) {
+		panic("exp: recorded sort failed")
+	}
+	q1 := sched.SequentialReplay(root, capBlocks, omega, icache.PolicyRWLRU)
+	return root, q1.Cost(omega)
+}
+
+type wsResult struct {
+	qp     uint64
+	steals int
+}
+
+// schedWorkSteal runs the work-stealing simulation, returning the
+// aggregate ω-charged cost across the p private caches.
+func schedWorkSteal(root *co.TraceNode, p, capBlocks int, omega, seed uint64) wsResult {
+	res := sched.WorkSteal(root, p, capBlocks, omega, seed)
+	return wsResult{qp: res.Qp.Cost(omega), steals: res.Steals}
+}
+
+// schedPDF runs the PDF simulation on a shared cache of capBlocks blocks.
+func schedPDF(root *co.TraceNode, p, capBlocks int, omega uint64) uint64 {
+	return sched.PDF(root, p, capBlocks, omega).Cost(omega)
+}

@@ -1,0 +1,321 @@
+// Package icache implements the Asymmetric Ideal-Cache model of Section 2
+// of the paper: a fully associative cache of M/B blocks over a flat
+// address space, where loading a block costs 1 and evicting a dirty block
+// costs an additional ω.
+//
+// Three replacement policies are provided:
+//
+//   - RWLRU: the paper's read-write LRU — two equal pools of blocks, one
+//     for reads and one for writes; Lemma 2.1 proves it constant-factor
+//     competitive with the ideal (offline) policy.
+//   - LRU: classic single-pool LRU with dirty bits, the baseline the paper
+//     notes is no longer 2-competitive under asymmetric costs.
+//   - Belady (offline, via ReplayBelady): furthest-next-use eviction over a
+//     recorded trace. Any concrete policy upper-bounds the ideal cache, so
+//     Lemma 2.1's inequality QL ≤ (ML/(ML−MI))·QI + (1+ω)MI/B, which holds
+//     against the ideal QI, must also hold with Belady's cost in place of
+//     QI; the E8 experiment checks exactly that implied inequality.
+//
+// The simulator tracks block residency and dirtiness only; data values are
+// carried by the caller's Go arrays (see Arr), so the cache is a pure cost
+// model, which is all the paper's bounds speak about.
+package icache
+
+import (
+	"container/list"
+
+	"asymsort/internal/cost"
+)
+
+// Policy names accepted by New.
+const (
+	PolicyRWLRU = "rwlru"
+	PolicyLRU   = "lru"
+)
+
+// Sim is one simulated asymmetric cache in front of a flat address space.
+type Sim struct {
+	blockWords int // B: words per block
+	capBlocks  int // M/B: resident blocks (total across pools)
+	omega      uint64
+	ctr        cost.Counter
+
+	policy string
+	// Single-pool LRU state.
+	lru *pool
+	// RWLRU state: two pools of capBlocks/2 each.
+	readPool  *pool
+	writePool *pool
+
+	trace    []Access // recorded when Record is true
+	Record   bool
+	nextAddr int64
+}
+
+// Access is one word access in a recorded trace.
+type Access struct {
+	Block int64
+	Write bool
+}
+
+// New builds a cache simulator: blockWords = B (words per block),
+// capBlocks = M/B resident blocks, write cost omega, policy PolicyRWLRU or
+// PolicyLRU.
+func New(blockWords, capBlocks int, omega uint64, policy string) *Sim {
+	if blockWords < 1 || capBlocks < 2 {
+		panic("icache: need B >= 1 and at least 2 resident blocks")
+	}
+	if omega < 1 {
+		panic("icache: omega must be >= 1")
+	}
+	s := &Sim{blockWords: blockWords, capBlocks: capBlocks, omega: omega, policy: policy}
+	switch policy {
+	case PolicyLRU:
+		s.lru = newPool(capBlocks)
+	case PolicyRWLRU:
+		half := capBlocks / 2
+		if half < 1 {
+			half = 1
+		}
+		s.readPool = newPool(half)
+		s.writePool = newPool(half)
+	default:
+		panic("icache: unknown policy " + policy)
+	}
+	return s
+}
+
+// B returns the words-per-block parameter.
+func (s *Sim) B() int { return s.blockWords }
+
+// CapBlocks returns the number of resident blocks (M/B).
+func (s *Sim) CapBlocks() int { return s.capBlocks }
+
+// Omega returns the write-cost multiplier.
+func (s *Sim) Omega() uint64 { return s.omega }
+
+// Stats returns block loads (reads) and dirty write-backs (writes).
+func (s *Sim) Stats() cost.Snapshot { return s.ctr.Snapshot() }
+
+// Cost returns loads + ω·writebacks.
+func (s *Sim) Cost() uint64 { return s.ctr.Cost(s.omega) }
+
+// Trace returns the recorded accesses (when Record was set).
+func (s *Sim) Trace() []Access { return s.trace }
+
+// AllocWords reserves n words of block-aligned address space and returns
+// the base address. Reservation is free; costs accrue on access.
+func (s *Sim) AllocWords(n int) int64 {
+	base := s.nextAddr
+	blocks := (int64(n) + int64(s.blockWords) - 1) / int64(s.blockWords)
+	s.nextAddr += blocks * int64(s.blockWords)
+	return base
+}
+
+// Access touches one word.
+func (s *Sim) Access(addr int64, write bool) {
+	blk := addr / int64(s.blockWords)
+	if s.Record {
+		s.trace = append(s.trace, Access{Block: blk, Write: write})
+	}
+	switch s.policy {
+	case PolicyLRU:
+		s.accessLRU(blk, write)
+	case PolicyRWLRU:
+		s.accessRWLRU(blk, write)
+	}
+}
+
+func (s *Sim) accessLRU(blk int64, write bool) {
+	if e, ok := s.lru.touch(blk); ok {
+		if write {
+			e.dirty = true
+		}
+		return
+	}
+	s.ctr.Read(1) // the load
+	ev, had := s.lru.insert(blk, write)
+	if had && ev.dirty {
+		s.ctr.Write(1) // dirty write-back
+	}
+}
+
+func (s *Sim) accessRWLRU(blk int64, write bool) {
+	if write {
+		if e, ok := s.writePool.touch(blk); ok {
+			e.dirty = true
+			return
+		}
+		if _, ok := s.readPool.peek(blk); ok {
+			// Copy read pool → write pool: no memory traffic.
+		} else {
+			s.ctr.Read(1) // load into the write pool
+		}
+		ev, had := s.writePool.insert(blk, true)
+		if had && ev.dirty {
+			s.ctr.Write(1)
+		}
+		return
+	}
+	if _, ok := s.readPool.touch(blk); ok {
+		return
+	}
+	if _, ok := s.writePool.peek(blk); ok {
+		// Copy write pool → read pool: no memory traffic; the read-pool
+		// copy is clean (the write pool still owns the dirty state).
+	} else {
+		s.ctr.Read(1)
+	}
+	ev, had := s.readPool.insert(blk, false)
+	if had && ev.dirty {
+		// Read-pool entries are always clean; defensive only.
+		s.ctr.Write(1)
+	}
+}
+
+// Flush writes back every dirty resident block (end-of-run accounting so
+// total writes reflect all data written, as the EM model's totals do).
+func (s *Sim) Flush() {
+	flushPool := func(p *pool) {
+		if p == nil {
+			return
+		}
+		for e := p.order.Front(); e != nil; e = e.Next() {
+			ent := e.Value.(*entry)
+			if ent.dirty {
+				s.ctr.Write(1)
+				ent.dirty = false
+			}
+		}
+	}
+	flushPool(s.lru)
+	flushPool(s.readPool)
+	flushPool(s.writePool)
+}
+
+// entry is one resident block.
+type entry struct {
+	blk   int64
+	dirty bool
+}
+
+// pool is an LRU set of at most cap blocks.
+type pool struct {
+	capacity int
+	order    *list.List // front = MRU
+	index    map[int64]*list.Element
+}
+
+func newPool(capacity int) *pool {
+	return &pool{capacity: capacity, order: list.New(), index: make(map[int64]*list.Element)}
+}
+
+// touch returns the entry and moves it to MRU if resident.
+func (p *pool) touch(blk int64) (*entry, bool) {
+	if el, ok := p.index[blk]; ok {
+		p.order.MoveToFront(el)
+		return el.Value.(*entry), true
+	}
+	return nil, false
+}
+
+// peek returns the entry without recency update.
+func (p *pool) peek(blk int64) (*entry, bool) {
+	if el, ok := p.index[blk]; ok {
+		return el.Value.(*entry), true
+	}
+	return nil, false
+}
+
+// insert adds blk as MRU, evicting the LRU entry when full. Returns the
+// evicted entry if any.
+func (p *pool) insert(blk int64, dirty bool) (entry, bool) {
+	var evicted entry
+	had := false
+	if p.order.Len() >= p.capacity {
+		back := p.order.Back()
+		ev := back.Value.(*entry)
+		evicted = *ev
+		had = true
+		delete(p.index, ev.blk)
+		p.order.Remove(back)
+	}
+	el := p.order.PushFront(&entry{blk: blk, dirty: dirty})
+	p.index[blk] = el
+	return evicted, had
+}
+
+// Len returns the number of resident blocks in the pool.
+func (p *pool) Len() int { return p.order.Len() }
+
+// ResidentBlocks returns the total resident blocks across pools (for the
+// capacity invariant tests).
+func (s *Sim) ResidentBlocks() int {
+	switch s.policy {
+	case PolicyLRU:
+		return s.lru.Len()
+	default:
+		return s.readPool.Len() + s.writePool.Len()
+	}
+}
+
+// ReplayBelady replays a recorded trace under offline furthest-next-use
+// replacement with capBlocks resident blocks, returning its cost snapshot
+// (loads, dirty write-backs — including a final flush). This is the
+// reference cost for the Lemma 2.1 experiment.
+func ReplayBelady(trace []Access, capBlocks int) cost.Snapshot {
+	if capBlocks < 1 {
+		panic("icache: ReplayBelady needs capBlocks >= 1")
+	}
+	// next[i] = index of the next access to the same block after i.
+	const inf = int(^uint(0) >> 1)
+	next := make([]int, len(trace))
+	lastSeen := make(map[int64]int)
+	for i := len(trace) - 1; i >= 0; i-- {
+		if j, ok := lastSeen[trace[i].Block]; ok {
+			next[i] = j
+		} else {
+			next[i] = inf
+		}
+		lastSeen[trace[i].Block] = i
+	}
+	type resident struct {
+		dirty   bool
+		nextUse int
+	}
+	res := make(map[int64]*resident)
+	var ctr cost.Counter
+	for i, a := range trace {
+		if r, ok := res[a.Block]; ok {
+			r.nextUse = next[i]
+			if a.Write {
+				r.dirty = true
+			}
+			continue
+		}
+		ctr.Read(1)
+		if len(res) >= capBlocks {
+			// Evict the furthest-next-use block; among ties prefer clean
+			// (saves an ω write-back at equal miss cost).
+			var victim int64
+			best := -1
+			victimDirty := true
+			for blk, r := range res {
+				if r.nextUse > best || (r.nextUse == best && victimDirty && !r.dirty) {
+					victim, best, victimDirty = blk, r.nextUse, r.dirty
+				}
+			}
+			if victimDirty {
+				ctr.Write(1)
+			}
+			delete(res, victim)
+		}
+		res[a.Block] = &resident{dirty: a.Write, nextUse: next[i]}
+	}
+	for _, r := range res {
+		if r.dirty {
+			ctr.Write(1)
+		}
+	}
+	return ctr.Snapshot()
+}

@@ -1,0 +1,244 @@
+package icache
+
+import (
+	"testing"
+
+	"asymsort/internal/xrand"
+)
+
+func TestValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 4, 1, PolicyLRU) },
+		func() { New(4, 1, 1, PolicyLRU) },
+		func() { New(4, 4, 0, PolicyLRU) },
+		func() { New(4, 4, 1, "bogus") },
+		func() { ReplayBelady(nil, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLRUSequentialScan(t *testing.T) {
+	// Scanning n words with B=4 should cost exactly n/B loads, no writes.
+	s := New(4, 8, 5, PolicyLRU)
+	base := s.AllocWords(64)
+	for i := 0; i < 64; i++ {
+		s.Access(base+int64(i), false)
+	}
+	s.Flush()
+	st := s.Stats()
+	if st.Reads != 16 || st.Writes != 0 {
+		t.Errorf("scan stats = %+v, want reads=16 writes=0", st)
+	}
+}
+
+func TestLRUDirtyWriteback(t *testing.T) {
+	// Write one block, then scan far past capacity: the dirty block must
+	// be written back exactly once.
+	s := New(4, 4, 3, PolicyLRU)
+	a := s.AllocWords(4)
+	b := s.AllocWords(256)
+	s.Access(a, true)
+	for i := 0; i < 256; i++ {
+		s.Access(b+int64(i), false)
+	}
+	s.Flush()
+	st := s.Stats()
+	if st.Writes != 1 {
+		t.Errorf("writes = %d, want 1", st.Writes)
+	}
+	if st.Reads != 1+64 {
+		t.Errorf("reads = %d, want 65", st.Reads)
+	}
+}
+
+func TestHitIsFree(t *testing.T) {
+	for _, pol := range []string{PolicyLRU, PolicyRWLRU} {
+		s := New(8, 4, 2, pol)
+		a := s.AllocWords(8)
+		s.Access(a, false)
+		before := s.Stats()
+		for i := 0; i < 100; i++ {
+			s.Access(a+int64(i%8), false)
+		}
+		if d := s.Stats().Sub(before); d.Reads != 0 || d.Writes != 0 {
+			t.Errorf("%s: resident re-access charged %+v", pol, d)
+		}
+	}
+}
+
+func TestRWLRUPoolsDisjointCapacity(t *testing.T) {
+	s := New(1, 8, 4, PolicyRWLRU) // B=1: block per word; pools of 4
+	a := s.AllocWords(100)
+	r := xrand.New(1)
+	for i := 0; i < 2000; i++ {
+		s.Access(a+int64(r.Intn(100)), r.Bool())
+		if got := s.ResidentBlocks(); got > 8 {
+			t.Fatalf("resident %d exceeds capacity 8", got)
+		}
+	}
+}
+
+func TestRWLRUWriteThenReadNoExtraLoad(t *testing.T) {
+	s := New(4, 8, 4, PolicyRWLRU)
+	a := s.AllocWords(4)
+	s.Access(a, true) // miss: 1 read, block in write pool
+	before := s.Stats()
+	s.Access(a, false) // copy write→read pool: free
+	if d := s.Stats().Sub(before); d.Reads != 0 {
+		t.Errorf("read after write charged %+v", d)
+	}
+}
+
+func TestRWLRUReadThenWriteNoExtraLoad(t *testing.T) {
+	s := New(4, 8, 4, PolicyRWLRU)
+	a := s.AllocWords(4)
+	s.Access(a, false) // miss: 1 read
+	before := s.Stats()
+	s.Access(a, true) // copy read→write pool: free
+	if d := s.Stats().Sub(before); d.Reads != 0 {
+		t.Errorf("write after read charged %+v", d)
+	}
+	s.Flush()
+	if d := s.Stats().Sub(before); d.Writes != 1 {
+		t.Errorf("flush wrote %d, want 1 (the dirty block)", d.Writes)
+	}
+}
+
+func TestReadsDontEvictDirtyUnderRWLRU(t *testing.T) {
+	// The whole point of the split pools: a read-heavy scan must not force
+	// ω-cost write-backs of the write working set.
+	const b = 1
+	sRW := New(b, 8, 10, PolicyRWLRU)
+	sLRU := New(b, 8, 10, PolicyLRU)
+	for _, s := range []*Sim{sRW, sLRU} {
+		w := s.AllocWords(4)   // 4 dirty blocks, re-written periodically
+		rd := s.AllocWords(64) // large read-only region
+		for round := 0; round < 50; round++ {
+			for i := 0; i < 4; i++ {
+				s.Access(w+int64(i), true)
+			}
+			for i := 0; i < 64; i++ {
+				s.Access(rd+int64(i), false)
+			}
+		}
+		s.Flush()
+	}
+	rw, lru := sRW.Stats(), sLRU.Stats()
+	if rw.Writes >= lru.Writes {
+		t.Errorf("rwlru writes %d not below lru writes %d on read-heavy mix",
+			rw.Writes, lru.Writes)
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	s := New(2, 4, 2, PolicyLRU)
+	s.Record = true
+	a := s.AllocWords(4)
+	s.Access(a, false)
+	s.Access(a+1, true)
+	s.Access(a+2, false)
+	tr := s.Trace()
+	if len(tr) != 3 {
+		t.Fatalf("trace length %d", len(tr))
+	}
+	if tr[0].Block != tr[1].Block || tr[1].Block == tr[2].Block {
+		t.Errorf("trace blocks wrong: %+v", tr)
+	}
+	if !tr[1].Write || tr[0].Write {
+		t.Errorf("trace write flags wrong: %+v", tr)
+	}
+}
+
+func TestBeladyOptimalOnSmallTrace(t *testing.T) {
+	// Classic example: with capacity 2 and accesses A B C A B, Belady
+	// keeps A and B when C arrives is wrong — it evicts the
+	// furthest-used; here C is never reused so it evicts B or A... verify
+	// against hand-computed: A(miss) B(miss) C(miss, evict the one used
+	// furthest: B used at 4, A used at 3 → evict B) A(hit) B(miss).
+	trace := []Access{{0, false}, {1, false}, {2, false}, {0, false}, {1, false}}
+	st := ReplayBelady(trace, 2)
+	if st.Reads != 4 {
+		t.Errorf("Belady reads = %d, want 4", st.Reads)
+	}
+	if st.Writes != 0 {
+		t.Errorf("Belady writes = %d, want 0", st.Writes)
+	}
+}
+
+func TestBeladyNeverWorseThanLRUOnReads(t *testing.T) {
+	r := xrand.New(7)
+	var trace []Access
+	for i := 0; i < 5000; i++ {
+		trace = append(trace, Access{Block: int64(r.Intn(64)), Write: r.Float64() < 0.2})
+	}
+	belady := ReplayBelady(trace, 16)
+	lru := New(1, 16, 4, PolicyLRU)
+	for _, a := range trace {
+		lru.Access(a.Block, a.Write) // B=1: addr == block
+	}
+	lru.Flush()
+	if belady.Reads > lru.Stats().Reads {
+		t.Errorf("Belady reads %d exceed LRU reads %d", belady.Reads, lru.Stats().Reads)
+	}
+}
+
+// Lemma 2.1 (as implied with Belady standing in for the ideal cache):
+// QL ≤ ML/(ML−MI)·QBelady + (1+ω)·MI/B on every trace, with ML = 2MI.
+func TestLemma21Inequality(t *testing.T) {
+	const omega = 8
+	const mi = 16 // ideal cache blocks
+	const ml = 32 // rwlru pool size (each pool ML in the lemma's terms)
+	workloads := map[string]func() []Access{
+		"random": func() []Access {
+			r := xrand.New(3)
+			var tr []Access
+			for i := 0; i < 20000; i++ {
+				tr = append(tr, Access{Block: int64(r.Intn(256)), Write: r.Float64() < 0.3})
+			}
+			return tr
+		},
+		"scan": func() []Access {
+			var tr []Access
+			for round := 0; round < 10; round++ {
+				for b := 0; b < 512; b++ {
+					tr = append(tr, Access{Block: int64(b), Write: round%2 == 0})
+				}
+			}
+			return tr
+		},
+		"working-set-shift": func() []Access {
+			r := xrand.New(9)
+			var tr []Access
+			for phase := 0; phase < 8; phase++ {
+				base := int64(phase * 24)
+				for i := 0; i < 3000; i++ {
+					tr = append(tr, Access{Block: base + int64(r.Intn(32)), Write: r.Bool()})
+				}
+			}
+			return tr
+		},
+	}
+	for name, gen := range workloads {
+		trace := gen()
+		qi := ReplayBelady(trace, mi).Cost(omega)
+		// Replay under read-write LRU with pools of ML each.
+		s := New(1, 2*ml, omega, PolicyRWLRU)
+		for _, a := range trace {
+			s.Access(a.Block, a.Write)
+		}
+		s.Flush()
+		ql := s.Cost()
+		bound := uint64(float64(ml)/float64(ml-mi)*float64(qi)) + (1+omega)*mi
+		if ql > bound {
+			t.Errorf("%s: QL = %d exceeds Lemma 2.1 bound %d (QI = %d)", name, ql, bound, qi)
+		}
+	}
+}

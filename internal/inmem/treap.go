@@ -1,0 +1,209 @@
+// Package inmem provides in-primary-memory data structures for the
+// external-memory simulators. Operations on them are free in the AEM model
+// ("standard RAM instructions can be used within the primary memory"), so
+// nothing here charges a ledger — but the *space* they occupy must be
+// reserved in the machine's arena by their users.
+//
+// The central structure is a Treap: a randomized balanced BST supporting
+// the bounded priority queue Algorithm 2's merge needs — insert,
+// delete-min, delete-max, and max peek, all O(log n) expected — without
+// hashing (lazy-deletion heap pairs would need record-keyed maps, which
+// break on duplicate records).
+package inmem
+
+// Treap is a randomized balanced binary search tree over values of type V.
+// The zero value is not usable; call NewTreap.
+type Treap[V any] struct {
+	less  func(a, b V) bool
+	nodes []treapNode[V]
+	root  int32
+	free  int32 // head of the free list, -1 if none
+	size  int
+	rng   uint64
+}
+
+type treapNode[V any] struct {
+	val         V
+	prio        uint64
+	left, right int32
+}
+
+const treapNil = int32(-1)
+
+// NewTreap returns an empty treap ordered by less, which must be a strict
+// weak ordering. Equal values (neither less) are permitted and coexist.
+func NewTreap[V any](less func(a, b V) bool, capacityHint int) *Treap[V] {
+	return &Treap[V]{
+		less:  less,
+		nodes: make([]treapNode[V], 0, capacityHint),
+		root:  treapNil,
+		free:  treapNil,
+		rng:   0x243f6a8885a308d3, // fixed seed: deterministic simulations
+	}
+}
+
+// Len returns the number of values stored.
+func (t *Treap[V]) Len() int { return t.size }
+
+// nextPrio advances the internal splitmix64 stream.
+func (t *Treap[V]) nextPrio() uint64 {
+	t.rng += 0x9e3779b97f4a7c15
+	z := t.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// alloc takes a node from the free list or appends one.
+func (t *Treap[V]) alloc(v V) int32 {
+	if t.free != treapNil {
+		i := t.free
+		t.free = t.nodes[i].left
+		t.nodes[i] = treapNode[V]{val: v, prio: t.nextPrio(), left: treapNil, right: treapNil}
+		return i
+	}
+	t.nodes = append(t.nodes, treapNode[V]{val: v, prio: t.nextPrio(), left: treapNil, right: treapNil})
+	return int32(len(t.nodes) - 1)
+}
+
+// release returns node i to the free list.
+func (t *Treap[V]) release(i int32) {
+	var zero V
+	t.nodes[i] = treapNode[V]{val: zero, left: t.free, right: treapNil}
+	t.free = i
+}
+
+// Insert adds v to the treap.
+func (t *Treap[V]) Insert(v V) {
+	t.root = t.insert(t.root, t.alloc(v))
+	t.size++
+}
+
+func (t *Treap[V]) insert(root, n int32) int32 {
+	if root == treapNil {
+		return n
+	}
+	if t.less(t.nodes[n].val, t.nodes[root].val) {
+		t.nodes[root].left = t.insert(t.nodes[root].left, n)
+		if t.nodes[t.nodes[root].left].prio > t.nodes[root].prio {
+			root = t.rotateRight(root)
+		}
+	} else {
+		t.nodes[root].right = t.insert(t.nodes[root].right, n)
+		if t.nodes[t.nodes[root].right].prio > t.nodes[root].prio {
+			root = t.rotateLeft(root)
+		}
+	}
+	return root
+}
+
+func (t *Treap[V]) rotateRight(y int32) int32 {
+	x := t.nodes[y].left
+	t.nodes[y].left = t.nodes[x].right
+	t.nodes[x].right = y
+	return x
+}
+
+func (t *Treap[V]) rotateLeft(x int32) int32 {
+	y := t.nodes[x].right
+	t.nodes[x].right = t.nodes[y].left
+	t.nodes[y].left = x
+	return y
+}
+
+// Min returns the smallest value without removing it.
+func (t *Treap[V]) Min() (V, bool) {
+	var zero V
+	if t.root == treapNil {
+		return zero, false
+	}
+	i := t.root
+	for t.nodes[i].left != treapNil {
+		i = t.nodes[i].left
+	}
+	return t.nodes[i].val, true
+}
+
+// Max returns the largest value without removing it.
+func (t *Treap[V]) Max() (V, bool) {
+	var zero V
+	if t.root == treapNil {
+		return zero, false
+	}
+	i := t.root
+	for t.nodes[i].right != treapNil {
+		i = t.nodes[i].right
+	}
+	return t.nodes[i].val, true
+}
+
+// DeleteMin removes and returns the smallest value.
+func (t *Treap[V]) DeleteMin() (V, bool) {
+	var zero V
+	if t.root == treapNil {
+		return zero, false
+	}
+	var removed int32
+	t.root, removed = t.deleteMin(t.root)
+	v := t.nodes[removed].val
+	t.release(removed)
+	t.size--
+	return v, true
+}
+
+func (t *Treap[V]) deleteMin(root int32) (newRoot, removed int32) {
+	if t.nodes[root].left == treapNil {
+		return t.nodes[root].right, root
+	}
+	t.nodes[root].left, removed = t.deleteMin(t.nodes[root].left)
+	return root, removed
+}
+
+// DeleteMax removes and returns the largest value.
+func (t *Treap[V]) DeleteMax() (V, bool) {
+	var zero V
+	if t.root == treapNil {
+		return zero, false
+	}
+	var removed int32
+	t.root, removed = t.deleteMax(t.root)
+	v := t.nodes[removed].val
+	t.release(removed)
+	t.size--
+	return v, true
+}
+
+func (t *Treap[V]) deleteMax(root int32) (newRoot, removed int32) {
+	if t.nodes[root].right == treapNil {
+		return t.nodes[root].left, root
+	}
+	t.nodes[root].right, removed = t.deleteMax(t.nodes[root].right)
+	return root, removed
+}
+
+// Clear empties the treap, retaining capacity.
+func (t *Treap[V]) Clear() {
+	t.nodes = t.nodes[:0]
+	t.root = treapNil
+	t.free = treapNil
+	t.size = 0
+}
+
+// Ascend calls visit on every value in ascending order until visit
+// returns false.
+func (t *Treap[V]) Ascend(visit func(V) bool) {
+	t.ascend(t.root, visit)
+}
+
+func (t *Treap[V]) ascend(i int32, visit func(V) bool) bool {
+	if i == treapNil {
+		return true
+	}
+	if !t.ascend(t.nodes[i].left, visit) {
+		return false
+	}
+	if !visit(t.nodes[i].val) {
+		return false
+	}
+	return t.ascend(t.nodes[i].right, visit)
+}

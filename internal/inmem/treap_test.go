@@ -1,0 +1,152 @@
+package inmem
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"asymsort/internal/xrand"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestEmptyTreap(t *testing.T) {
+	tr := NewTreap(intLess, 4)
+	if tr.Len() != 0 {
+		t.Error("empty Len != 0")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Error("Min on empty returned ok")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Error("Max on empty returned ok")
+	}
+	if _, ok := tr.DeleteMin(); ok {
+		t.Error("DeleteMin on empty returned ok")
+	}
+	if _, ok := tr.DeleteMax(); ok {
+		t.Error("DeleteMax on empty returned ok")
+	}
+}
+
+func TestTreapOrdering(t *testing.T) {
+	tr := NewTreap(intLess, 8)
+	for _, v := range []int{5, 1, 9, 3, 7, 1, 9} {
+		tr.Insert(v)
+	}
+	if tr.Len() != 7 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if mn, _ := tr.Min(); mn != 1 {
+		t.Errorf("Min = %d", mn)
+	}
+	if mx, _ := tr.Max(); mx != 9 {
+		t.Errorf("Max = %d", mx)
+	}
+	var got []int
+	tr.Ascend(func(v int) bool { got = append(got, v); return true })
+	want := []int{1, 1, 3, 5, 7, 9, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Ascend = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ascend = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := NewTreap(intLess, 8)
+	for i := 0; i < 10; i++ {
+		tr.Insert(i)
+	}
+	var got []int
+	tr.Ascend(func(v int) bool {
+		got = append(got, v)
+		return len(got) < 3
+	})
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("early-stop Ascend = %v", got)
+	}
+}
+
+func TestClearReuse(t *testing.T) {
+	tr := NewTreap(intLess, 4)
+	for i := 0; i < 100; i++ {
+		tr.Insert(i)
+	}
+	tr.Clear()
+	if tr.Len() != 0 {
+		t.Fatal("Clear did not empty")
+	}
+	tr.Insert(42)
+	if mn, ok := tr.Min(); !ok || mn != 42 {
+		t.Error("treap unusable after Clear")
+	}
+}
+
+// Property: a random interleaving of Insert/DeleteMin/DeleteMax agrees
+// with a sorted-slice reference.
+func TestTreapMatchesReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		tr := NewTreap(intLess, 8)
+		var ref []int
+		for op := 0; op < 800; op++ {
+			switch {
+			case len(ref) == 0 || r.Float64() < 0.5:
+				v := r.Intn(100)
+				tr.Insert(v)
+				ref = append(ref, v)
+				sort.Ints(ref)
+			case r.Bool():
+				got, ok := tr.DeleteMin()
+				if !ok || got != ref[0] {
+					return false
+				}
+				ref = ref[1:]
+			default:
+				got, ok := tr.DeleteMax()
+				if !ok || got != ref[len(ref)-1] {
+					return false
+				}
+				ref = ref[:len(ref)-1]
+			}
+			if tr.Len() != len(ref) {
+				return false
+			}
+			if len(ref) > 0 {
+				if mn, _ := tr.Min(); mn != ref[0] {
+					return false
+				}
+				if mx, _ := tr.Max(); mx != ref[len(ref)-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Free-list reuse must not leak or corrupt: drain and refill repeatedly.
+func TestFreeListRecycling(t *testing.T) {
+	tr := NewTreap(intLess, 4)
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 50; i++ {
+			tr.Insert(i)
+		}
+		for i := 0; i < 50; i++ {
+			v, ok := tr.DeleteMin()
+			if !ok || v != i {
+				t.Fatalf("round %d: DeleteMin = (%d,%v), want %d", round, v, ok, i)
+			}
+		}
+	}
+	if cap(tr.nodes) > 128 {
+		t.Errorf("node pool grew to %d despite free list", cap(tr.nodes))
+	}
+}

@@ -1,0 +1,197 @@
+// Package integration cross-checks every sorting entry point in the
+// repository against every other on identical workloads: all ten
+// algorithms must produce the identical sorted sequence, and the
+// asymmetric-cost relationships the paper establishes between them must
+// hold on shared inputs.
+package integration
+
+import (
+	"testing"
+
+	"asymsort/internal/aem"
+	"asymsort/internal/aram"
+	"asymsort/internal/co"
+	"asymsort/internal/core/aemsample"
+	"asymsort/internal/core/aemsort"
+	"asymsort/internal/core/buffertree"
+	"asymsort/internal/core/cosort"
+	"asymsort/internal/core/pramsort"
+	"asymsort/internal/core/ramsort"
+	"asymsort/internal/icache"
+	"asymsort/internal/seq"
+	"asymsort/internal/wd"
+)
+
+// sorters enumerates every sorting entry point, each returning the sorted
+// records.
+var sorters = map[string]func(in []seq.Record) []seq.Record{
+	"ram/treesort": func(in []seq.Record) []seq.Record {
+		mem := aram.New(8)
+		return ramsort.TreeSort(aram.FromSlice(mem, in)).Unwrap()
+	},
+	"ram/quicksort": func(in []seq.Record) []seq.Record {
+		mem := aram.New(8)
+		arr := aram.FromSlice(mem, in)
+		ramsort.Quicksort(arr, 1)
+		return arr.Unwrap()
+	},
+	"ram/mergesort": func(in []seq.Record) []seq.Record {
+		mem := aram.New(8)
+		arr := aram.FromSlice(mem, in)
+		ramsort.Mergesort(arr)
+		return arr.Unwrap()
+	},
+	"ram/heapsort": func(in []seq.Record) []seq.Record {
+		mem := aram.New(8)
+		arr := aram.FromSlice(mem, in)
+		ramsort.Heapsort(arr)
+		return arr.Unwrap()
+	},
+	"pram/samplesort": func(in []seq.Record) []seq.Record {
+		c := wd.NewRoot(8)
+		arr := wd.NewArray[seq.Record](len(in))
+		copy(arr.Unwrap(), in)
+		return pramsort.Sort(c, arr, pramsort.Options{Seed: 1, DeepSplit: true}).Unwrap()
+	},
+	"aem/mergesort": func(in []seq.Record) []seq.Record {
+		ma := aem.New(64, 8, 8, 4)
+		return aemsort.MergeSort(ma, ma.FileFrom(in), 4).Unwrap()
+	},
+	"aem/samplesort": func(in []seq.Record) []seq.Record {
+		ma := aem.New(64, 8, 8, 4)
+		return aemsample.Sort(ma, ma.FileFrom(in), 4, 1).Unwrap()
+	},
+	"aem/heapsort": func(in []seq.Record) []seq.Record {
+		ma := aem.New(64, 8, 8, 64/(4*8)+8)
+		return buffertree.HeapSort(ma, ma.FileFrom(in), 2).Unwrap()
+	},
+	"aem/parallel": func(in []seq.Record) []seq.Record {
+		procs := make([]*aem.Machine, 4)
+		for i := range procs {
+			procs[i] = aem.New(64, 8, 8, 4)
+		}
+		f := procs[0].FileFrom(in)
+		return aemsample.ParallelSort(procs, f, 2, 1).Out.Unwrap()
+	},
+	"co/sort": func(in []seq.Record) []seq.Record {
+		cache := icache.New(16, 64, 8, icache.PolicyRWLRU)
+		c := co.NewCtx(cache)
+		return cosort.Sort(c, co.FromSlice(c, in), cosort.Options{Seed: 1}).Unwrap()
+	},
+}
+
+// TestAllSortersAgree: every algorithm yields the exact same sequence
+// (records are totally ordered by (key, payload), so the sorted order is
+// unique) on a matrix of workloads.
+func TestAllSortersAgree(t *testing.T) {
+	type workload struct {
+		recs       []seq.Record
+		uniqueKeys bool // exact record-sequence equality only holds here
+	}
+	workloads := map[string]workload{
+		"uniform-small": {seq.Uniform(500, 1), true},
+		"uniform-large": {seq.Uniform(20000, 2), true},
+		"sorted":        {seq.Sorted(5000), true},
+		"reversed":      {seq.Reversed(5000), true},
+		"fewdistinct":   {seq.FewDistinct(5000, 3, 3), false},
+		"zipf":          {seq.Zipf(5000, 64, 1.5, 4), false},
+		"empty":         {nil, true},
+		"singleton":     {seq.Uniform(1, 5), true},
+	}
+	for wName, wl := range workloads {
+		var refName string
+		var ref []seq.Record
+		for sName, sorter := range sorters {
+			got := sorter(wl.recs)
+			if !seq.IsSorted(got) {
+				t.Errorf("%s on %s: unsorted", sName, wName)
+				continue
+			}
+			if !seq.IsPermutation(got, wl.recs) {
+				t.Errorf("%s on %s: lost records", sName, wName)
+				continue
+			}
+			// Sorted permutations of one multiset always agree on keys;
+			// full records have a unique order only with unique keys
+			// (several algorithms order by key alone, so payload order
+			// among equal keys is theirs to choose).
+			if !wl.uniqueKeys {
+				continue
+			}
+			if ref == nil && got != nil {
+				refName, ref = sName, got
+				continue
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Errorf("%s and %s disagree on %s at %d: %+v vs %+v",
+						sName, refName, wName, i, got[i], ref[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestSectionFourSortsShareAsymptotics: on one workload and geometry, the
+// three §4 sorts' write counts agree within small constants — Theorems
+// 4.3, 4.5, and 4.10 promise the same W shape.
+func TestSectionFourSortsShareAsymptotics(t *testing.T) {
+	const n = 1 << 15
+	const m, b, k = 128, 16, 4
+	in := seq.Uniform(n, 9)
+	writes := map[string]uint64{}
+
+	ma := aem.New(m, b, 8, 4)
+	base := ma.Stats()
+	aemsort.MergeSort(ma, ma.FileFrom(in), k)
+	writes["merge"] = ma.Stats().Sub(base).Writes
+
+	ma = aem.New(m, b, 8, 4)
+	base = ma.Stats()
+	aemsample.Sort(ma, ma.FileFrom(in), k, 1)
+	writes["sample"] = ma.Stats().Sub(base).Writes
+
+	ma = aem.New(m, b, 8, m/(4*b)+8)
+	base = ma.Stats()
+	buffertree.HeapSort(ma, ma.FileFrom(in), k)
+	writes["heap"] = ma.Stats().Sub(base).Writes
+
+	for a, wa := range writes {
+		for bn, wb := range writes {
+			if float64(wa) > 8*float64(wb) {
+				t.Errorf("%s writes %d vs %s writes %d: beyond 8x", a, wa, bn, wb)
+			}
+		}
+	}
+}
+
+// TestOmegaMonotonicity: for the write-efficient sorts, total asymmetric
+// cost relative to baselines improves monotonically as ω grows — the
+// defining property of the whole line of work.
+func TestOmegaMonotonicity(t *testing.T) {
+	const n = 1 << 14
+	in := seq.Uniform(n, 11)
+	prevAdvantage := 0.0
+	for _, omega := range []uint64{1, 4, 16, 64} {
+		memT := aram.New(omega)
+		baseT := memT.Stats()
+		ramsort.TreeSort(aram.FromSlice(memT, in))
+		costT := memT.Stats().Sub(baseT).Cost(omega)
+
+		memM := aram.New(omega)
+		baseM := memM.Stats()
+		arr := aram.FromSlice(memM, in)
+		ramsort.Mergesort(arr)
+		costM := memM.Stats().Sub(baseM).Cost(omega)
+
+		advantage := float64(costM) / float64(costT)
+		if advantage < prevAdvantage {
+			t.Errorf("ω=%d: advantage %.2f fell below previous %.2f", omega, advantage, prevAdvantage)
+		}
+		prevAdvantage = advantage
+	}
+	if prevAdvantage < 2 {
+		t.Errorf("at ω=64 the tree sort's advantage is only %.2fx", prevAdvantage)
+	}
+}

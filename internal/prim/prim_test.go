@@ -1,0 +1,390 @@
+package prim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"asymsort/internal/seq"
+	"asymsort/internal/wd"
+	"asymsort/internal/xrand"
+)
+
+func mkArr(vals []uint64) *wd.Array[uint64] {
+	a := wd.NewArray[uint64](len(vals))
+	copy(a.Unwrap(), vals)
+	return a
+}
+
+func mkRecs(rs []seq.Record) *wd.Array[seq.Record] {
+	a := wd.NewArray[seq.Record](len(rs))
+	copy(a.Unwrap(), rs)
+	return a
+}
+
+func TestScanMatchesSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 100, 1000, 1 << 12} {
+		r := xrand.New(uint64(n) + 1)
+		vals := make([]uint64, n)
+		want := make([]uint64, n)
+		sum := uint64(0)
+		for i := range vals {
+			vals[i] = r.Uint64n(100)
+			want[i] = sum
+			sum += vals[i]
+		}
+		c := wd.NewRoot(4)
+		a := mkArr(vals)
+		total := Scan(c, a)
+		if total != sum {
+			t.Fatalf("n=%d: total = %d, want %d", n, total, sum)
+		}
+		for i, got := range a.Unwrap() {
+			if got != want[i] {
+				t.Fatalf("n=%d: scan[%d] = %d, want %d", n, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestScanProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		u := make([]uint64, len(vals))
+		want := uint64(0)
+		for i, v := range vals {
+			u[i] = uint64(v)
+			want += uint64(v)
+		}
+		c := wd.NewRoot(2)
+		a := mkArr(u)
+		return Scan(c, a) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanWorkLinearDepthLog(t *testing.T) {
+	measure := func(n int) (workPerElem, depthPerLog float64) {
+		c := wd.NewRoot(8)
+		a := wd.NewArray[uint64](n)
+		Scan(c, a)
+		w := c.Work()
+		return float64(w.Reads+w.Writes) / float64(n),
+			float64(c.Depth()) / (8 * math.Log2(float64(n)))
+	}
+	w1, d1 := measure(1 << 10)
+	w2, d2 := measure(1 << 16)
+	if w2 > w1*1.5 {
+		t.Errorf("scan work/elem grew %0.2f -> %0.2f; not linear", w1, w2)
+	}
+	if d2 > d1*2.5 {
+		t.Errorf("scan depth/(ω lg n) grew %0.2f -> %0.2f; not O(ω log n)", d1, d2)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		vals := make([]uint64, n)
+		want := uint64(0)
+		for i := range vals {
+			vals[i] = uint64(i * i)
+			want += vals[i]
+		}
+		c := wd.NewRoot(2)
+		if got := Reduce(c, mkArr(vals)); got != want {
+			t.Errorf("Reduce(n=%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPack(t *testing.T) {
+	in := seq.Uniform(1000, 3)
+	a := mkRecs(in)
+	c := wd.NewRoot(2)
+	out := Pack(c, a, func(c *wd.T, i int) bool { return a.Get(c, i).Key%2 == 0 })
+	var want []seq.Record
+	for _, r := range in {
+		if r.Key%2 == 0 {
+			want = append(want, r)
+		}
+	}
+	got := out.Unwrap()
+	if len(got) != len(want) {
+		t.Fatalf("Pack kept %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Pack[%d] = %+v, want %+v (order not preserved?)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPackEmptyAndAll(t *testing.T) {
+	in := seq.Uniform(64, 5)
+	a := mkRecs(in)
+	c := wd.NewRoot(1)
+	none := Pack(c, a, func(*wd.T, int) bool { return false })
+	if none.Len() != 0 {
+		t.Errorf("Pack(false) kept %d", none.Len())
+	}
+	all := Pack(c, a, func(*wd.T, int) bool { return true })
+	if !seq.IsPermutation(all.Unwrap(), in) {
+		t.Error("Pack(true) lost records")
+	}
+}
+
+func TestMergeMatchesSerial(t *testing.T) {
+	r := xrand.New(11)
+	for trial := 0; trial < 30; trial++ {
+		n, m := r.Intn(300), r.Intn(300)
+		a := seq.Uniform(n, r.Next())
+		b := seq.Uniform(m, r.Next())
+		sort.Slice(a, func(i, j int) bool { return a[i].Key < a[j].Key })
+		sort.Slice(b, func(i, j int) bool { return b[i].Key < b[j].Key })
+		c := wd.NewRoot(2)
+		out := Merge(c, mkRecs(a), mkRecs(b))
+		want := append(append([]seq.Record{}, a...), b...)
+		sort.Slice(want, func(i, j int) bool { return want[i].Key < want[j].Key })
+		got := out.Unwrap()
+		if !seq.IsSorted(got) || !seq.IsPermutation(got, want) {
+			t.Fatalf("trial %d (n=%d m=%d): bad merge", trial, n, m)
+		}
+	}
+}
+
+func TestMergeEdges(t *testing.T) {
+	c := wd.NewRoot(1)
+	empty := mkRecs(nil)
+	one := mkRecs([]seq.Record{{Key: 5}})
+	if out := Merge(c, empty, empty); out.Len() != 0 {
+		t.Error("merge of empties non-empty")
+	}
+	if out := Merge(c, one, empty); out.Len() != 1 || out.Unwrap()[0].Key != 5 {
+		t.Error("merge with one empty side wrong")
+	}
+	if out := Merge(c, empty, one); out.Len() != 1 || out.Unwrap()[0].Key != 5 {
+		t.Error("merge with other empty side wrong")
+	}
+}
+
+func TestMergeWithDuplicates(t *testing.T) {
+	a := []seq.Record{{Key: 1, Val: 0}, {Key: 3, Val: 1}, {Key: 3, Val: 2}, {Key: 5, Val: 3}}
+	b := []seq.Record{{Key: 3, Val: 4}, {Key: 3, Val: 5}, {Key: 4, Val: 6}}
+	c := wd.NewRoot(1)
+	out := Merge(c, mkRecs(a), mkRecs(b)).Unwrap()
+	if !seq.IsSorted(out) {
+		t.Fatalf("not sorted: %v", out)
+	}
+	want := append(append([]seq.Record{}, a...), b...)
+	if !seq.IsPermutation(out, want) {
+		t.Fatal("records lost on duplicate merge")
+	}
+}
+
+func TestMergeDepthLogarithmic(t *testing.T) {
+	depth := func(n int) float64 {
+		a := seq.Sorted(n)
+		b := seq.Sorted(n)
+		c := wd.NewRoot(4)
+		Merge(c, mkRecs(a), mkRecs(b))
+		return float64(c.Depth())
+	}
+	d1 := depth(1 << 10)
+	d2 := depth(1 << 16)
+	// Depth should grow like log n: ratio ≈ 16/10, certainly far below 64x.
+	if d2 > d1*4 {
+		t.Errorf("merge depth grew %0.0f -> %0.0f over 64x size; not O(ω log n)", d1, d2)
+	}
+}
+
+func TestMergeSortCorrect(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 15, 16, 17, 100, 5000} {
+		in := seq.Uniform(n, uint64(n)*7+1)
+		c := wd.NewRoot(3)
+		out := MergeSort(c, mkRecs(in)).Unwrap()
+		if !seq.IsSorted(out) || !seq.IsPermutation(out, in) {
+			t.Fatalf("n=%d: bad sort", n)
+		}
+	}
+}
+
+func TestMergeSortProperty(t *testing.T) {
+	f := func(seed uint64, szRaw uint16) bool {
+		n := int(szRaw % 3000)
+		in := seq.Uniform(n, seed)
+		c := wd.NewRoot(2)
+		out := MergeSort(c, mkRecs(in)).Unwrap()
+		return seq.IsSorted(out) && seq.IsPermutation(out, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeSortDepthLogSquared(t *testing.T) {
+	depth := func(n int) float64 {
+		in := seq.Uniform(n, 2)
+		c := wd.NewRoot(4)
+		MergeSort(c, mkRecs(in))
+		lg := math.Log2(float64(n))
+		return float64(c.Depth()) / (4 * lg * lg)
+	}
+	d1 := depth(1 << 10)
+	d2 := depth(1 << 15)
+	if d2 > d1*2 {
+		t.Errorf("mergesort depth/(ω lg² n) grew %0.2f -> %0.2f", d1, d2)
+	}
+}
+
+func TestOracleColeSort(t *testing.T) {
+	in := seq.Uniform(1000, 9)
+	c := wd.NewRoot(8)
+	out := OracleColeSort(c, mkRecs(in))
+	if !seq.IsSorted(out.Unwrap()) || !seq.IsPermutation(out.Unwrap(), in) {
+		t.Fatal("oracle sort incorrect")
+	}
+	w := c.Work()
+	n := 1000.0
+	lg := math.Ceil(math.Log2(n))
+	if w.Reads != uint64(n*lg) || w.Writes != uint64(n*lg) {
+		t.Errorf("oracle charges = %+v, want n⌈lg n⌉ = %v each", w, n*lg)
+	}
+	if c.Depth() != 8*uint64(lg) {
+		t.Errorf("oracle depth = %d, want ω⌈lg n⌉ = %d", c.Depth(), 8*uint64(lg))
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rows, cols := 5, 7
+	a := wd.NewArray[uint64](rows * cols)
+	for i := range a.Unwrap() {
+		a.Unwrap()[i] = uint64(i)
+	}
+	c := wd.NewRoot(2)
+	b := Transpose(c, a, rows, cols)
+	for r := 0; r < rows; r++ {
+		for col := 0; col < cols; col++ {
+			if got := b.Unwrap()[col*rows+r]; got != uint64(r*cols+col) {
+				t.Fatalf("T[%d][%d] = %d", col, r, got)
+			}
+		}
+	}
+	// Transposing twice is the identity.
+	c2 := wd.NewRoot(2)
+	back := Transpose(c2, b, cols, rows)
+	for i, v := range back.Unwrap() {
+		if v != uint64(i) {
+			t.Fatalf("double transpose[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestTransposeDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad dimensions did not panic")
+		}
+	}()
+	c := wd.NewRoot(1)
+	Transpose(c, wd.NewArray[uint64](10), 3, 4)
+}
+
+func TestCountingSortStable(t *testing.T) {
+	// Records with key = bucket, val = arrival order; stability means val
+	// increases within each bucket.
+	r := xrand.New(21)
+	const n = 2000
+	const buckets = 17
+	in := make([]seq.Record, n)
+	for i := range in {
+		in[i] = seq.Record{Key: r.Uint64n(buckets), Val: uint64(i)}
+	}
+	c := wd.NewRoot(2)
+	out, bounds := CountingSort(c, mkRecs(in), buckets, func(r seq.Record) int { return int(r.Key) })
+	got := out.Unwrap()
+	if !seq.IsPermutation(got, in) {
+		t.Fatal("counting sort lost records")
+	}
+	if len(bounds) != buckets+1 || bounds[0] != 0 || bounds[buckets] != n {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	for k := 0; k < buckets; k++ {
+		prev := uint64(0)
+		first := true
+		for i := bounds[k]; i < bounds[k+1]; i++ {
+			if got[i].Key != uint64(k) {
+				t.Fatalf("record %d in bucket %d has key %d", i, k, got[i].Key)
+			}
+			if !first && got[i].Val < prev {
+				t.Fatalf("stability violated in bucket %d", k)
+			}
+			prev, first = got[i].Val, false
+		}
+	}
+}
+
+func TestCountingSortSingleBucket(t *testing.T) {
+	in := seq.Uniform(100, 4)
+	c := wd.NewRoot(1)
+	out, bounds := CountingSort(c, mkRecs(in), 1, func(seq.Record) int { return 0 })
+	if !seq.IsPermutation(out.Unwrap(), in) {
+		t.Fatal("single-bucket counting sort lost records")
+	}
+	if bounds[0] != 0 || bounds[1] != 100 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// Stability over one bucket == identity.
+	for i, r := range out.Unwrap() {
+		if r != in[i] {
+			t.Fatal("single-bucket counting sort reordered input")
+		}
+	}
+}
+
+func TestCountingSortKeyOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range key did not panic")
+		}
+	}()
+	c := wd.NewRoot(1)
+	CountingSort(c, mkRecs(seq.Uniform(10, 1)), 2, func(r seq.Record) int { return 5 })
+}
+
+func TestSearchSplitters(t *testing.T) {
+	sp := mkArr([]uint64{10, 20, 30})
+	c := wd.NewRoot(1)
+	cases := []struct {
+		key  uint64
+		want int
+	}{
+		{5, 0}, {10, 1}, {15, 1}, {20, 2}, {25, 2}, {30, 3}, {35, 3},
+	}
+	for _, tc := range cases {
+		if got := SearchSplitters(c, sp, tc.key); got != tc.want {
+			t.Errorf("SearchSplitters(%d) = %d, want %d", tc.key, got, tc.want)
+		}
+	}
+	// Empty splitter set → always bucket 0.
+	if got := SearchSplitters(c, mkArr(nil), 99); got != 0 {
+		t.Errorf("empty splitters → %d, want 0", got)
+	}
+}
+
+func TestParallelWorkDepthAlgebra(t *testing.T) {
+	c := wd.NewRoot(10)
+	c.Parallel(
+		func(c *wd.T) { c.Read(100) },           // depth 100
+		func(c *wd.T) { c.Write(3) },            // depth 30
+		func(c *wd.T) { c.Read(5); c.Write(1) }, // depth 15
+	)
+	w := c.Work()
+	if w.Reads != 105 || w.Writes != 4 {
+		t.Errorf("work = %+v", w)
+	}
+	if c.Depth() != 100 {
+		t.Errorf("depth = %d, want max(100,30,15) = 100", c.Depth())
+	}
+}

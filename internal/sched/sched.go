@@ -1,0 +1,297 @@
+// Package sched implements the scheduler simulations behind the parallel
+// cache-complexity bounds the paper's Section 2 imports:
+//
+//   - Work stealing on p processors with PRIVATE caches:
+//     Qp ≤ Q1 + O(p·D·M/B) w.h.p. [Acar–Blelloch–Blumofe], because each of
+//     the O(pD) steals costs O(M/B) misses to warm the thief's cache —
+//     pessimistically 2M/B reads and writes each in the asymmetric
+//     setting, as the paper notes.
+//   - Parallel depth-first (PDF) on a SHARED cache of size M + pBD:
+//     Qp ≤ Q1 [Blelloch–Gibbons].
+//
+// The simulators replay a fork-join trace recorded by package co. Time
+// advances in ticks; on each tick every busy worker performs one memory
+// access and every idle worker attempts one steal (work stealing) or the
+// p earliest-priority ready strands advance one access each (PDF). This
+// captures the structure the bounds depend on — steal counts, cache
+// warm-up, and depth-first priority — without modelling instruction-level
+// timing the bounds do not reference.
+package sched
+
+import (
+	"container/heap"
+
+	"asymsort/internal/co"
+	"asymsort/internal/cost"
+	"asymsort/internal/icache"
+	"asymsort/internal/xrand"
+)
+
+// frame is a position within a strand: the node, the current segment, and
+// the offset within that segment's access run.
+type frame struct {
+	node   *co.TraceNode
+	seg    int
+	off    int
+	parent *join
+}
+
+// join tracks an outstanding fork: when pending reaches zero the
+// continuation frame resumes.
+type join struct {
+	pending int
+	cont    *frame
+}
+
+// SequentialReplay replays the trace in its natural sequential order on a
+// single cache of capBlocks blocks — this reproduces Q1 (tested against
+// the live run). Traces are recorded at block granularity, so the replay
+// sim uses one word per block.
+func SequentialReplay(root *co.TraceNode, capBlocks int, omega uint64, policy string) cost.Snapshot {
+	sim := icache.New(1, capBlocks, omega, policy)
+	var walk func(n *co.TraceNode)
+	walk = func(n *co.TraceNode) {
+		for _, s := range n.Segs {
+			if s.Acc != nil {
+				for _, a := range s.Acc {
+					sim.Access(a.Block, a.Write)
+				}
+				continue
+			}
+			for _, k := range s.Kids {
+				walk(k)
+			}
+		}
+	}
+	walk(root)
+	sim.Flush()
+	return sim.Stats()
+}
+
+// WorkStealResult reports a work-stealing simulation.
+type WorkStealResult struct {
+	Qp     cost.Snapshot // total misses/write-backs across all p caches
+	Steals int
+	Ticks  uint64
+}
+
+// WorkSteal simulates p workers with private caches of capBlocks blocks
+// each under randomized work stealing and returns the aggregate cache
+// cost and the steal count.
+func WorkSteal(root *co.TraceNode, p, capBlocks int, omega uint64, seed uint64) WorkStealResult {
+	if p < 1 {
+		panic("sched: p must be >= 1")
+	}
+	type worker struct {
+		sim   *icache.Sim
+		cur   *frame
+		deque []*frame // bottom = end; steals take from the front (top)
+	}
+	ws := make([]*worker, p)
+	for i := range ws {
+		ws[i] = &worker{sim: icache.New(1, capBlocks, omega, icache.PolicyRWLRU)}
+	}
+	rng := xrand.New(seed)
+	rootFrame := &frame{node: root}
+	ws[0].cur = rootFrame
+	outstanding := 1 // frames not yet completed (busy or queued)
+	steals := 0
+	ticks := uint64(0)
+
+	// advance runs one access (or one structural step) of w's current
+	// frame. Returns false if the worker has no work after the step.
+	var advance func(w *worker) bool
+	advance = func(w *worker) bool {
+		f := w.cur
+		for {
+			if f.seg >= len(f.node.Segs) {
+				// Strand complete: resume the join continuation if we are
+				// the last child, else go idle.
+				outstanding--
+				w.cur = nil
+				if f.parent != nil {
+					f.parent.pending--
+					if f.parent.pending == 0 {
+						w.cur = f.parent.cont
+						outstanding++
+						f = w.cur
+						continue
+					}
+				}
+				return false
+			}
+			s := &f.node.Segs[f.seg]
+			if s.Acc != nil {
+				if f.off < len(s.Acc) {
+					a := s.Acc[f.off]
+					w.sim.Access(a.Block, a.Write)
+					f.off++
+					return true
+				}
+				f.seg++
+				f.off = 0
+				continue
+			}
+			// Fork: continuation is this frame advanced past the fork.
+			j := &join{pending: len(s.Kids), cont: &frame{node: f.node, seg: f.seg + 1, parent: f.parent}}
+			if len(s.Kids) == 0 {
+				f.seg++
+				continue
+			}
+			// Push all but the first child (bottom of own deque), descend
+			// into the first (depth-first, Cilk-style).
+			for i := len(s.Kids) - 1; i >= 1; i-- {
+				w.deque = append(w.deque, &frame{node: s.Kids[i], parent: j})
+				outstanding++
+			}
+			w.cur = &frame{node: s.Kids[0], parent: j}
+			f = w.cur
+			// The continuation replaces this frame; account it as created
+			// when the join trips (outstanding already counts f — the
+			// child inherits that count; cont adds one at trip time).
+		}
+	}
+
+	for outstanding > 0 {
+		ticks++
+		progressed := false
+		for wi, w := range ws {
+			if w.cur == nil {
+				// Take from own deque first (bottom).
+				if len(w.deque) > 0 {
+					w.cur = w.deque[len(w.deque)-1]
+					w.deque = w.deque[:len(w.deque)-1]
+				} else {
+					// Steal from a random victim's top.
+					v := ws[rng.Intn(p)]
+					if v != ws[wi] && len(v.deque) > 0 {
+						w.cur = v.deque[0]
+						v.deque = v.deque[1:]
+						steals++
+					}
+				}
+			}
+			if w.cur != nil {
+				if advance(w) {
+					progressed = true
+				} else {
+					progressed = true // structural progress counts too
+				}
+			}
+		}
+		if !progressed && outstanding > 0 {
+			// All workers idle with work outstanding can only mean every
+			// remaining frame waits on a join held by queued children —
+			// impossible in a well-formed trace.
+			panic("sched: work-stealing deadlock")
+		}
+	}
+	var total cost.Snapshot
+	for _, w := range ws {
+		w.sim.Flush()
+		total = total.Add(w.sim.Stats())
+	}
+	return WorkStealResult{Qp: total, Steals: steals, Ticks: ticks}
+}
+
+// PDF simulates a parallel depth-first schedule on a SHARED cache with
+// capBlocks resident blocks (size it as M/B + p·D/B per the theorem):
+// each tick the p ready strands with the earliest sequential-order
+// priority advance one access each.
+func PDF(root *co.TraceNode, p, capBlocks int, omega uint64) cost.Snapshot {
+	if p < 1 {
+		panic("sched: p must be >= 1")
+	}
+	sim := icache.New(1, capBlocks, omega, icache.PolicyRWLRU)
+
+	// Priorities: DFS pre-order index per node.
+	prio := map[*co.TraceNode]int{}
+	next := 0
+	var number func(n *co.TraceNode)
+	number = func(n *co.TraceNode) {
+		prio[n] = next
+		next++
+		for _, s := range n.Segs {
+			for _, k := range s.Kids {
+				number(k)
+			}
+		}
+	}
+	number(root)
+
+	ready := &frameHeap{prio: prio}
+	heap.Push(ready, &frame{node: root})
+
+	// step advances f by one access, expanding structure greedily; it
+	// returns newly ready frames (fork children or a tripped join's
+	// continuation) and whether f stays ready.
+	step := func(f *frame) (spawned []*frame, alive bool) {
+		for {
+			if f.seg >= len(f.node.Segs) {
+				if f.parent != nil {
+					f.parent.pending--
+					if f.parent.pending == 0 {
+						spawned = append(spawned, f.parent.cont)
+					}
+				}
+				return spawned, false
+			}
+			s := &f.node.Segs[f.seg]
+			if s.Acc != nil {
+				if f.off < len(s.Acc) {
+					a := s.Acc[f.off]
+					sim.Access(a.Block, a.Write)
+					f.off++
+					return spawned, true
+				}
+				f.seg++
+				f.off = 0
+				continue
+			}
+			j := &join{pending: len(s.Kids), cont: &frame{node: f.node, seg: f.seg + 1, parent: f.parent}}
+			if len(s.Kids) == 0 {
+				f.seg++
+				continue
+			}
+			for _, k := range s.Kids {
+				spawned = append(spawned, &frame{node: k, parent: j})
+			}
+			return spawned, false
+		}
+	}
+
+	batch := make([]*frame, 0, p)
+	for ready.Len() > 0 {
+		batch = batch[:0]
+		for len(batch) < p && ready.Len() > 0 {
+			batch = append(batch, heap.Pop(ready).(*frame))
+		}
+		for _, f := range batch {
+			sp, alive := step(f)
+			if alive {
+				heap.Push(ready, f)
+			}
+			for _, s := range sp {
+				heap.Push(ready, s)
+			}
+		}
+	}
+	sim.Flush()
+	return sim.Stats()
+}
+
+// frameHeap is a min-heap of frames by node priority.
+type frameHeap struct {
+	fs   []*frame
+	prio map[*co.TraceNode]int
+}
+
+func (h *frameHeap) Len() int           { return len(h.fs) }
+func (h *frameHeap) Less(i, j int) bool { return h.prio[h.fs[i].node] < h.prio[h.fs[j].node] }
+func (h *frameHeap) Swap(i, j int)      { h.fs[i], h.fs[j] = h.fs[j], h.fs[i] }
+func (h *frameHeap) Push(x interface{}) { h.fs = append(h.fs, x.(*frame)) }
+func (h *frameHeap) Pop() interface{} {
+	last := h.fs[len(h.fs)-1]
+	h.fs = h.fs[:len(h.fs)-1]
+	return last
+}

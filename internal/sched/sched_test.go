@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"testing"
+
+	"asymsort/internal/co"
+	"asymsort/internal/core/cosort"
+	"asymsort/internal/icache"
+	"asymsort/internal/seq"
+)
+
+// recordSort records the fork-join trace of a cosort run and returns it
+// with the live run's cache stats (Q1).
+func recordSort(n int, omega uint64, capBlocks int) (*co.TraceNode, uint64, uint64) {
+	cache := icache.New(16, capBlocks, omega, icache.PolicyRWLRU)
+	c := co.NewCtx(cache)
+	root := c.Record()
+	in := seq.Uniform(n, 13)
+	arr := co.FromSlice(c, in)
+	out := cosort.Sort(c, arr, cosort.Options{Seed: 5})
+	if !seq.IsSorted(out.Unwrap()) {
+		panic("sched test: sort failed")
+	}
+	cache.Flush()
+	s := cache.Stats()
+	return root, s.Reads, s.Writes
+}
+
+func TestSequentialReplayMatchesLiveRun(t *testing.T) {
+	const capBlocks = 64
+	root, liveReads, liveWrites := recordSort(4096, 4, capBlocks)
+	rep := SequentialReplay(root, capBlocks, 4, icache.PolicyRWLRU)
+	if rep.Reads != liveReads || rep.Writes != liveWrites {
+		t.Errorf("replay (%d,%d) != live (%d,%d)",
+			rep.Reads, rep.Writes, liveReads, liveWrites)
+	}
+}
+
+func TestTraceAccounting(t *testing.T) {
+	root, _, _ := recordSort(1024, 2, 64)
+	total := root.CountAccesses()
+	depth := root.CriticalPath()
+	if total <= 0 || depth <= 0 {
+		t.Fatalf("degenerate trace: total=%d depth=%d", total, depth)
+	}
+	if depth > total {
+		t.Errorf("critical path %d exceeds total accesses %d", depth, total)
+	}
+	if depth == total {
+		t.Errorf("critical path equals total accesses: no recorded parallelism")
+	}
+}
+
+// Work stealing with one processor and no steals must equal Q1.
+func TestWorkStealP1EqualsQ1(t *testing.T) {
+	const capBlocks = 64
+	root, _, _ := recordSort(2048, 4, capBlocks)
+	q1 := SequentialReplay(root, capBlocks, 4, icache.PolicyRWLRU)
+	res := WorkSteal(root, 1, capBlocks, 4, 1)
+	if res.Steals != 0 {
+		t.Errorf("p=1 performed %d steals", res.Steals)
+	}
+	if res.Qp != q1 {
+		t.Errorf("p=1 Qp %+v != Q1 %+v", res.Qp, q1)
+	}
+}
+
+// The private-cache bound: Qp ≤ Q1 + c·steals·M/B across p.
+func TestWorkStealBound(t *testing.T) {
+	const capBlocks = 64
+	root, _, _ := recordSort(4096, 4, capBlocks)
+	q1 := SequentialReplay(root, capBlocks, 4, icache.PolicyRWLRU)
+	q1Cost := q1.Cost(4)
+	for _, p := range []int{2, 4, 8} {
+		res := WorkSteal(root, p, capBlocks, 4, uint64(p))
+		qp := res.Qp.Cost(4)
+		// Each steal warms at most the whole cache: ≤ (1+ω)·M/B cost.
+		bound := q1Cost + uint64(res.Steals)*uint64(capBlocks)*(1+4)
+		if qp > bound {
+			t.Errorf("p=%d: Qp=%d exceeds Q1 + steals·(1+ω)M/B = %d (steals=%d)",
+				p, qp, bound, res.Steals)
+		}
+		if res.Steals == 0 && p > 1 {
+			t.Errorf("p=%d: no steals on a parallel trace", p)
+		}
+	}
+}
+
+// More processors must reduce makespan (ticks): the simulation actually
+// parallelizes.
+func TestWorkStealSpeedup(t *testing.T) {
+	const capBlocks = 64
+	root, _, _ := recordSort(4096, 4, capBlocks)
+	t1 := WorkSteal(root, 1, capBlocks, 4, 1).Ticks
+	t8 := WorkSteal(root, 8, capBlocks, 4, 8).Ticks
+	if t8*2 >= t1 {
+		t.Errorf("8 processors gave ticks %d vs %d at p=1: < 2x speedup", t8, t1)
+	}
+}
+
+// The PDF bound: with a shared cache of M/B + p·D/B blocks, Qp ≤ Q1.
+func TestPDFBound(t *testing.T) {
+	const capBlocks = 64
+	root, _, _ := recordSort(2048, 4, capBlocks)
+	q1 := SequentialReplay(root, capBlocks, 4, icache.PolicyRWLRU)
+	depth := root.CriticalPath()
+	for _, p := range []int{2, 4} {
+		enlarged := capBlocks + p*depth/1 // traces are block-granular: B=1
+		qp := PDF(root, p, enlarged, 4)
+		if qp.Cost(4) > q1.Cost(4) {
+			t.Errorf("p=%d: PDF Qp=%d exceeds Q1=%d", p, qp.Cost(4), q1.Cost(4))
+		}
+	}
+}
+
+// PDF with p=1 and the base cache equals Q1 exactly.
+func TestPDFP1EqualsQ1(t *testing.T) {
+	const capBlocks = 64
+	root, _, _ := recordSort(2048, 4, capBlocks)
+	q1 := SequentialReplay(root, capBlocks, 4, icache.PolicyRWLRU)
+	qp := PDF(root, 1, capBlocks, 4)
+	if qp != q1 {
+		t.Errorf("PDF p=1 %+v != Q1 %+v", qp, q1)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	root := &co.TraceNode{}
+	for _, f := range []func(){
+		func() { WorkSteal(root, 0, 4, 1, 1) },
+		func() { PDF(root, 0, 4, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

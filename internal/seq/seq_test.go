@@ -1,0 +1,194 @@
+package seq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformUniqueKeys(t *testing.T) {
+	rs := Uniform(10000, 1)
+	seen := make(map[uint64]bool, len(rs))
+	for _, r := range rs {
+		if seen[r.Key] {
+			t.Fatalf("duplicate key %d", r.Key)
+		}
+		seen[r.Key] = true
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform(100, 42)
+	b := Uniform(100, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+}
+
+func TestUniformPayloadIsIndex(t *testing.T) {
+	rs := Uniform(50, 3)
+	for i, r := range rs {
+		if r.Val != uint64(i) {
+			t.Fatalf("payload[%d] = %d", i, r.Val)
+		}
+	}
+}
+
+func TestUniformNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uniform(-1) did not panic")
+		}
+	}()
+	Uniform(-1, 0)
+}
+
+func TestSortedAndReversed(t *testing.T) {
+	if !IsSorted(Sorted(100)) {
+		t.Error("Sorted not sorted")
+	}
+	rev := Reversed(100)
+	if IsSorted(rev) {
+		t.Error("Reversed reported sorted")
+	}
+	for i := 1; i < len(rev); i++ {
+		if rev[i].Key >= rev[i-1].Key {
+			t.Fatalf("Reversed not strictly decreasing at %d", i)
+		}
+	}
+}
+
+func TestAlmostSortedIsPermutation(t *testing.T) {
+	rs := AlmostSorted(1000, 20, 9)
+	if !IsPermutation(rs, Sorted(1000)) {
+		t.Error("AlmostSorted is not a permutation of Sorted")
+	}
+}
+
+func TestFewDistinct(t *testing.T) {
+	rs := FewDistinct(1000, 5, 2)
+	distinct := map[uint64]bool{}
+	for _, r := range rs {
+		distinct[r.Key] = true
+		if r.Key >= 5 {
+			t.Fatalf("key %d out of range", r.Key)
+		}
+	}
+	if len(distinct) > 5 {
+		t.Errorf("%d distinct keys, want <= 5", len(distinct))
+	}
+}
+
+func TestFewDistinctPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FewDistinct d=0 did not panic")
+		}
+	}()
+	FewDistinct(10, 0, 1)
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	rs := Zipf(20000, 100, 1.2, 7)
+	counts := make([]int, 100)
+	for _, r := range rs {
+		if r.Key >= 100 {
+			t.Fatalf("Zipf key %d out of range", r.Key)
+		}
+		counts[r.Key]++
+	}
+	// Skew: rank-0 must be clearly more frequent than rank-50.
+	if counts[0] <= counts[50] {
+		t.Errorf("no skew: count[0]=%d count[50]=%d", counts[0], counts[50])
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Zipf universe=0 did not panic")
+		}
+	}()
+	Zipf(10, 0, 1.0, 1)
+}
+
+func TestIsSortedEdgeCases(t *testing.T) {
+	if !IsSorted(nil) {
+		t.Error("nil not sorted")
+	}
+	if !IsSorted([]Record{{Key: 5}}) {
+		t.Error("singleton not sorted")
+	}
+	if !IsSorted([]Record{{Key: 2}, {Key: 2}}) {
+		t.Error("equal keys should count as sorted (non-decreasing)")
+	}
+	if IsSorted([]Record{{Key: 2}, {Key: 1}}) {
+		t.Error("descending pair reported sorted")
+	}
+}
+
+func TestIsPermutationDetectsDiffs(t *testing.T) {
+	a := []Record{{1, 0}, {2, 1}}
+	b := []Record{{2, 1}, {1, 0}}
+	if !IsPermutation(a, b) {
+		t.Error("reordering not recognized as permutation")
+	}
+	c := []Record{{1, 0}, {1, 0}}
+	if IsPermutation(a, c) {
+		t.Error("multiset mismatch not detected")
+	}
+	if IsPermutation(a, a[:1]) {
+		t.Error("length mismatch not detected")
+	}
+	// Same keys, different payloads must NOT be a permutation.
+	d := []Record{{1, 9}, {2, 1}}
+	if IsPermutation(a, d) {
+		t.Error("payload change not detected")
+	}
+}
+
+func TestByKey(t *testing.T) {
+	if ByKey(Record{Key: 1}, Record{Key: 2}) != -1 {
+		t.Error("want -1")
+	}
+	if ByKey(Record{Key: 2}, Record{Key: 1}) != 1 {
+		t.Error("want 1")
+	}
+	if ByKey(Record{Key: 2}, Record{Key: 2}) != 0 {
+		t.Error("want 0")
+	}
+}
+
+func TestLess(t *testing.T) {
+	if !(Record{Key: 1}).Less(Record{Key: 2}) {
+		t.Error("1 < 2 failed")
+	}
+	if (Record{Key: 2}).Less(Record{Key: 2}) {
+		t.Error("2 < 2 should be false")
+	}
+}
+
+func TestKeys(t *testing.T) {
+	ks := Keys([]Record{{5, 0}, {3, 1}})
+	if len(ks) != 2 || ks[0] != 5 || ks[1] != 3 {
+		t.Errorf("Keys = %v", ks)
+	}
+}
+
+// Property: sorting a Uniform workload with the stdlib yields a sorted
+// permutation — sanity for the checkers themselves.
+func TestCheckersAgainstStdlibSort(t *testing.T) {
+	f := func(seed uint64, szRaw uint16) bool {
+		n := int(szRaw % 512)
+		in := Uniform(n, seed)
+		out := make([]Record, n)
+		copy(out, in)
+		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+		return IsSorted(out) && IsPermutation(out, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

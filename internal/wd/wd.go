@@ -1,0 +1,169 @@
+// Package wd implements the nested-parallel work-depth cost model used by
+// the paper for its PRAM (Section 3) and low-depth cache-oblivious
+// (Section 5) algorithms.
+//
+// Computations are nested fork-join: sequential composition adds depth,
+// parallel composition takes the maximum depth of its branches, and work
+// (reads and writes, counted separately) always sums. A write contributes
+// ω to depth and a read contributes 1, exactly as the Asymmetric PRAM of
+// Section 2 prescribes ("a parallel algorithm that requires O(D) depth in
+// the PRAM model requires O(ωD) depth in the asymmetric PRAM").
+//
+// The simulator executes algorithms sequentially while accounting their
+// parallel cost algebraically: a T is one strand's ledger; Parallel and
+// ParFor run child strands and fold their costs with (sum work, max depth).
+// Brent's-theorem running times T(n,p) = O((ω·w + r)/p + d) are then
+// derived from the three measured quantities.
+package wd
+
+import "asymsort/internal/cost"
+
+// T is the cost ledger of one sequential strand of a nested-parallel
+// computation. Create the root with NewRoot; child strands are created by
+// Parallel and ParFor. T is not safe for concurrent use — the simulator is
+// sequential by design (see the package comment).
+type T struct {
+	omega  uint64
+	reads  uint64
+	writes uint64
+	depth  uint64
+}
+
+// NewRoot returns the root strand of a computation with write cost omega.
+func NewRoot(omega uint64) *T {
+	if omega < 1 {
+		panic("wd: omega must be >= 1")
+	}
+	return &T{omega: omega}
+}
+
+// Omega returns the write-cost multiplier.
+func (c *T) Omega() uint64 { return c.omega }
+
+// Read charges n sequential reads: n work-reads and n depth.
+func (c *T) Read(n uint64) {
+	c.reads += n
+	c.depth += n
+}
+
+// Write charges n sequential writes: n work-writes and n·ω depth.
+func (c *T) Write(n uint64) {
+	c.writes += n
+	c.depth += n * c.omega
+}
+
+// ChargeSeq charges a sequential block of r reads and w writes performed by
+// some sub-computation: depth grows by r + ω·w. Used to fold in leaf-level
+// sequential algorithms (e.g. the RAM sort run on each bucket).
+func (c *T) ChargeSeq(r, w uint64) {
+	c.reads += r
+	c.writes += w
+	c.depth += r + c.omega*w
+}
+
+// ChargeSpan charges a parallel sub-computation summarized by its work
+// (r reads, w writes) and its depth d. Used for cost-oracle subroutines
+// whose published bounds we charge without executing their parallel
+// structure (see prim.OracleSort).
+func (c *T) ChargeSpan(r, w, d uint64) {
+	c.reads += r
+	c.writes += w
+	c.depth += d
+}
+
+// Work returns the read and write work accumulated so far.
+func (c *T) Work() cost.Snapshot {
+	return cost.Snapshot{Reads: c.reads, Writes: c.writes}
+}
+
+// Depth returns the depth accumulated so far.
+func (c *T) Depth() uint64 { return c.depth }
+
+// BrentTime returns the Brent's-theorem running-time bound
+// (ω·writes + reads)/p + depth for p processors.
+func (c *T) BrentTime(p uint64) uint64 {
+	if p == 0 {
+		panic("wd: BrentTime with p == 0")
+	}
+	return (c.omega*c.writes+c.reads)/p + c.depth
+}
+
+// Parallel runs the branches as parallel siblings: their work sums into c
+// and the maximum of their depths is added to c's depth.
+func (c *T) Parallel(branches ...func(*T)) {
+	var maxD uint64
+	child := T{omega: c.omega}
+	for _, f := range branches {
+		child.reads, child.writes, child.depth = 0, 0, 0
+		f(&child)
+		c.reads += child.reads
+		c.writes += child.writes
+		if child.depth > maxD {
+			maxD = child.depth
+		}
+	}
+	c.depth += maxD
+}
+
+// ParFor runs body(i) for i in [0, n) as n parallel strands: work sums,
+// depth grows by the maximum strand depth. The child ledger is reused
+// across iterations so a ParFor performs no per-iteration allocation.
+func (c *T) ParFor(n int, body func(c *T, i int)) {
+	var maxD uint64
+	child := T{omega: c.omega}
+	for i := 0; i < n; i++ {
+		child.reads, child.writes, child.depth = 0, 0, 0
+		body(&child, i)
+		c.reads += child.reads
+		c.writes += child.writes
+		if child.depth > maxD {
+			maxD = child.depth
+		}
+	}
+	c.depth += maxD
+}
+
+// Array is an instrumented shared-memory array for wd computations. Every
+// access charges the strand passed in, so costs attribute to the right
+// branch of the fork-join tree.
+type Array[V any] struct {
+	data []V
+}
+
+// NewArray allocates a shared array of length n. Allocation is free, as in
+// aram (values are charged when written).
+func NewArray[V any](n int) *Array[V] {
+	return &Array[V]{data: make([]V, n)}
+}
+
+// FromSlice wraps a copy of vals, charging one write per element to c.
+func FromSlice[V any](c *T, vals []V) *Array[V] {
+	a := NewArray[V](len(vals))
+	copy(a.data, vals)
+	c.Write(uint64(len(vals)))
+	return a
+}
+
+// Len returns the array length (free).
+func (a *Array[V]) Len() int { return len(a.data) }
+
+// Get loads element i, charging one read to strand c.
+func (a *Array[V]) Get(c *T, i int) V {
+	c.Read(1)
+	return a.data[i]
+}
+
+// Set stores element i, charging one write to strand c.
+func (a *Array[V]) Set(c *T, i int, v V) {
+	c.Write(1)
+	a.data[i] = v
+}
+
+// Slice returns a view of a[lo:hi] sharing the same storage; accesses
+// through the view charge like accesses through a.
+func (a *Array[V]) Slice(lo, hi int) *Array[V] {
+	return &Array[V]{data: a.data[lo:hi]}
+}
+
+// Unwrap returns the backing slice without charging — verification only.
+func (a *Array[V]) Unwrap() []V { return a.data }

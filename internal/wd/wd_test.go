@@ -1,0 +1,168 @@
+package wd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRootValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("omega=0 did not panic")
+		}
+	}()
+	NewRoot(0)
+}
+
+func TestReadWriteDepth(t *testing.T) {
+	c := NewRoot(5)
+	c.Read(3)
+	c.Write(2)
+	w := c.Work()
+	if w.Reads != 3 || w.Writes != 2 {
+		t.Errorf("work = %+v", w)
+	}
+	if c.Depth() != 3+5*2 {
+		t.Errorf("depth = %d, want 13", c.Depth())
+	}
+}
+
+func TestChargeSeqAndSpan(t *testing.T) {
+	c := NewRoot(4)
+	c.ChargeSeq(10, 3) // depth 10 + 12
+	if c.Depth() != 22 {
+		t.Errorf("ChargeSeq depth = %d", c.Depth())
+	}
+	c.ChargeSpan(5, 5, 7) // depth +7 regardless of work
+	if c.Depth() != 29 {
+		t.Errorf("ChargeSpan depth = %d", c.Depth())
+	}
+	w := c.Work()
+	if w.Reads != 15 || w.Writes != 8 {
+		t.Errorf("work = %+v", w)
+	}
+}
+
+func TestParallelMaxDepth(t *testing.T) {
+	c := NewRoot(2)
+	c.Parallel(
+		func(c *T) { c.Read(100) },
+		func(c *T) { c.Write(10) }, // depth 20
+		func(c *T) {},
+	)
+	if c.Depth() != 100 {
+		t.Errorf("depth = %d, want 100", c.Depth())
+	}
+}
+
+func TestNestedParallel(t *testing.T) {
+	c := NewRoot(1)
+	c.Parallel(func(c *T) {
+		c.Read(5)
+		c.Parallel(
+			func(c *T) { c.Read(10) },
+			func(c *T) { c.Read(20) },
+		)
+		c.Read(5)
+	})
+	// 5 + max(10,20) + 5 = 30.
+	if c.Depth() != 30 {
+		t.Errorf("nested depth = %d, want 30", c.Depth())
+	}
+	if c.Work().Reads != 40 {
+		t.Errorf("work reads = %d, want 40", c.Work().Reads)
+	}
+}
+
+func TestParForAlgebra(t *testing.T) {
+	c := NewRoot(3)
+	c.ParFor(10, func(c *T, i int) {
+		c.Read(uint64(i + 1)) // depth of strand i = i+1
+	})
+	if c.Depth() != 10 {
+		t.Errorf("ParFor depth = %d, want max = 10", c.Depth())
+	}
+	if c.Work().Reads != 55 {
+		t.Errorf("ParFor reads = %d, want 55", c.Work().Reads)
+	}
+}
+
+func TestBrentTime(t *testing.T) {
+	c := NewRoot(4)
+	c.ParFor(100, func(c *T, i int) {
+		c.Read(10)
+		c.Write(1)
+	})
+	// work = 1000 reads + 100 writes; depth = 14.
+	want := (4*100+1000)/10 + 14
+	if got := c.BrentTime(10); got != uint64(want) {
+		t.Errorf("BrentTime(10) = %d, want %d", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BrentTime(0) did not panic")
+		}
+	}()
+	c.BrentTime(0)
+}
+
+func TestArrayChargesStrand(t *testing.T) {
+	c := NewRoot(2)
+	a := NewArray[int](4)
+	a.Set(c, 0, 7)
+	if a.Get(c, 0) != 7 {
+		t.Error("round trip failed")
+	}
+	w := c.Work()
+	if w.Reads != 1 || w.Writes != 1 {
+		t.Errorf("work = %+v", w)
+	}
+}
+
+func TestFromSliceCharges(t *testing.T) {
+	c := NewRoot(2)
+	a := FromSlice(c, []int{1, 2, 3})
+	if c.Work().Writes != 3 {
+		t.Errorf("FromSlice writes = %d", c.Work().Writes)
+	}
+	if a.Len() != 3 || a.Unwrap()[2] != 3 {
+		t.Error("FromSlice contents wrong")
+	}
+}
+
+func TestSliceView(t *testing.T) {
+	c := NewRoot(1)
+	a := NewArray[int](10)
+	v := a.Slice(2, 5)
+	v.Set(c, 0, 42)
+	if a.Unwrap()[2] != 42 {
+		t.Error("slice not aliased")
+	}
+	if v.Len() != 3 {
+		t.Errorf("view len = %d", v.Len())
+	}
+}
+
+// Property: work is additive across any Parallel split, depth is the max.
+func TestParallelAlgebraProperty(t *testing.T) {
+	f := func(reads []uint8, omegaRaw uint8) bool {
+		omega := uint64(omegaRaw%16) + 1
+		c := NewRoot(omega)
+		branches := make([]func(*T), len(reads))
+		var sum uint64
+		var maxD uint64
+		for i, r := range reads {
+			r := uint64(r)
+			sum += r
+			if r > maxD {
+				maxD = r
+			}
+			branches[i] = func(c *T) { c.Read(r) }
+		}
+		c.Parallel(branches...)
+		return c.Work().Reads == sum && c.Depth() == maxD
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators used throughout the experiment harness.
+//
+// Every experiment in this repository must be reproducible from a seed, and
+// the hot loops of the simulators must not allocate or take locks (the
+// repro notes for this paper call out GC noise in write-cost benchmarks).
+// math/rand's global source takes a lock and math/rand/v2 seeds are awkward
+// to thread through value types, so we carry our own splitmix64 — the
+// standard 64-bit mixer from Steele, Lea & Flood, also used to seed
+// xoshiro — which is a pure value type with no hidden state.
+package xrand
+
+import "math/bits"
+
+// SplitMix64 is a 64-bit PRNG with 2^64 period. The zero value is a valid
+// generator (seeded with 0); use New to seed explicitly.
+type SplitMix64 struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit value in the sequence.
+func (r *SplitMix64) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// Uses Lemire's multiply-shift rejection method.
+func (r *SplitMix64) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Next() & (n - 1)
+	}
+	// Multiply-high with rejection to remove modulo bias (Lemire 2019).
+	thresh := -n % n
+	for {
+		hi, lo := bits.Mul64(r.Next(), n)
+		if lo >= thresh {
+			return hi
+		}
+	}
+}
+
+// Intn returns a uniform value in [0, n) as an int. It panics if n <= 0.
+func (r *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *SplitMix64) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Bool returns a uniform boolean.
+func (r *SplitMix64) Bool() bool { return r.Next()&1 == 1 }
+
+// Perm fills out with a uniform random permutation of [0, len(out)).
+func (r *SplitMix64) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// Shuffle permutes s uniformly at random using swap for element exchange.
+func Shuffle(r *SplitMix64, n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
