@@ -7,7 +7,9 @@ package asymsort
 // checkable (hot paths allocate only at phase boundaries).
 
 import (
+	"fmt"
 	"io"
+	"slices"
 	"testing"
 
 	"asymsort/internal/aem"
@@ -21,6 +23,7 @@ import (
 	"asymsort/internal/core/ramsort"
 	"asymsort/internal/exp"
 	"asymsort/internal/icache"
+	"asymsort/internal/rt"
 	"asymsort/internal/seq"
 	"asymsort/internal/wd"
 )
@@ -138,5 +141,62 @@ func BenchmarkCOSortClassic(b *testing.B) {
 		cache := icache.New(16, 64, 8, icache.PolicyRWLRU)
 		c := co.NewCtx(cache)
 		cosort.Sort(c, co.FromSlice(c, in), cosort.Options{Seed: 1, Classic: true})
+	}
+}
+
+// --- native backend: hardware wall-clock vs the stdlib ------------------
+
+// nativeSizes are shared by the native and stdlib benchmarks so their
+// ns/op columns compare directly.
+var nativeSizes = []int{1 << 16, 1 << 20}
+
+// benchNative times one native sort at each size, all workers.
+func benchNative(b *testing.B, run func(p *rt.Pool, in []seq.Record) []seq.Record) {
+	for _, n := range nativeSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			in := seq.Uniform(n, 1)
+			pool := rt.NewPool(0)
+			b.ReportAllocs()
+			b.SetBytes(int64(n) * 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(pool, in)
+			}
+		})
+	}
+}
+
+func BenchmarkNativeMergeSort(b *testing.B) {
+	benchNative(b, func(p *rt.Pool, in []seq.Record) []seq.Record {
+		out := append([]seq.Record(nil), in...)
+		rt.SortRecords(p, out)
+		return out
+	})
+}
+
+func BenchmarkNativeCOSort(b *testing.B) {
+	benchNative(b, func(p *rt.Pool, in []seq.Record) []seq.Record {
+		return cosort.SortNative(p, in, 8, cosort.Options{Seed: 1})
+	})
+}
+
+func BenchmarkNativePRAMSort(b *testing.B) {
+	benchNative(b, func(p *rt.Pool, in []seq.Record) []seq.Record {
+		return pramsort.SortNative(p, in, pramsort.Options{Seed: 1, DeepSplit: true})
+	})
+}
+
+func BenchmarkSlicesSort(b *testing.B) {
+	for _, n := range nativeSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			in := seq.Uniform(n, 1)
+			b.ReportAllocs()
+			b.SetBytes(int64(n) * 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := append([]seq.Record(nil), in...)
+				slices.SortFunc(out, seq.ByKey)
+			}
+		})
 	}
 }

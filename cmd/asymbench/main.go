@@ -8,6 +8,7 @@
 //	asymbench -exp all            # run every experiment (full sizes)
 //	asymbench -exp E4 -quick      # one experiment at test sizes
 //	asymbench -exp E3 -format csv # machine-readable output
+//	asymbench -exp native         # wall-clock table of the rt native backend
 //	asymbench -list               # enumerate experiments
 package main
 
@@ -22,10 +23,11 @@ import (
 
 func main() {
 	var (
-		expID  = flag.String("exp", "all", "experiment ID (E1..E12) or 'all'")
+		expID  = flag.String("exp", "all", "experiment ID (E1..E14), 'native', or 'all'")
 		quick  = flag.Bool("quick", false, "use reduced problem sizes")
 		format = flag.String("format", "text", "output format: text or csv")
 		seed   = flag.Uint64("seed", 1, "base random seed")
+		procs  = flag.Int("procs", 0, "native benchmark workers (0 = GOMAXPROCS)")
 		list   = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -34,12 +36,17 @@ func main() {
 		for _, e := range exp.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
+		fmt.Printf("%-4s %s\n", "native", "Hardware backend wall-clock (rt native, not golden-stable)")
 		return
 	}
 	cfg := exp.Config{Quick: *quick, Seed: *seed, CSV: *format == "csv"}
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "asymbench: unknown format %q\n", *format)
 		os.Exit(2)
+	}
+	if strings.EqualFold(*expID, "native") {
+		exp.NativeBench(os.Stdout, cfg, *procs)
+		return
 	}
 	if strings.EqualFold(*expID, "all") {
 		for _, e := range exp.All() {

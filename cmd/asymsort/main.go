@@ -1,6 +1,11 @@
-// Command asymsort sorts a generated workload under a chosen asymmetric
-// memory model and prints the resulting cost ledger — a hands-on view of
-// the paper's trade-offs.
+// Command asymsort sorts records under a chosen execution backend.
+//
+// The simulation models (ram, pram, aem, co) sort a generated workload
+// and print the resulting cost ledger — a hands-on view of the paper's
+// trade-offs. The native model runs the same algorithms on the rt
+// runtime's hardware backend: real slices, a goroutine fork-join pool,
+// and wall-clock instead of simulated cost, sorting either a generated
+// workload or real data from a file or stdin.
 //
 // Usage:
 //
@@ -8,12 +13,23 @@
 //	asymsort -model aem  -n 200000 -omega 16 -k 8 -algo merge
 //	asymsort -model co   -n  65536 -omega 8
 //	asymsort -model pram -n  65536 -omega 8
+//
+//	asymsort -model native -n 1000000 -algo co -compare
+//	asymsort -model native -in keys.txt -out sorted.txt
+//	generate-keys | asymsort -model native -in -
+//
+// Native input is one unsigned 64-bit key per line (payload = line
+// number); -out writes the sorted keys one per line.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"time"
 
 	"asymsort/internal/aem"
 	"asymsort/internal/aram"
@@ -25,23 +41,34 @@ import (
 	"asymsort/internal/core/pramsort"
 	"asymsort/internal/core/ramsort"
 	"asymsort/internal/cost"
+	"asymsort/internal/exp"
 	"asymsort/internal/icache"
+	"asymsort/internal/rt"
 	"asymsort/internal/seq"
 	"asymsort/internal/wd"
 )
 
 func main() {
 	var (
-		model = flag.String("model", "ram", "memory model: ram | pram | aem | co")
-		algo  = flag.String("algo", "", "aem algorithm: merge | sample | heap (default merge)")
-		n     = flag.Int("n", 100000, "number of records")
-		omega = flag.Uint64("omega", 8, "write cost ω")
-		k     = flag.Int("k", 4, "read-multiplier k (AEM models)")
-		m     = flag.Int("m", 4096, "primary memory M in records (AEM) / words (co)")
-		b     = flag.Int("b", 64, "block size B in records/words")
-		seed  = flag.Uint64("seed", 1, "workload seed")
+		model   = flag.String("model", "ram", "backend: ram | pram | aem | co (simulated) | native")
+		algo    = flag.String("algo", "", "aem: merge | sample | heap; native: merge | co | pram (default merge)")
+		n       = flag.Int("n", 100000, "number of generated records (ignored with -in)")
+		omega   = flag.Uint64("omega", 8, "write cost ω (structural only under -model native)")
+		k       = flag.Int("k", 4, "read-multiplier k (AEM models)")
+		m       = flag.Int("m", 4096, "primary memory M in records (AEM) / words (co)")
+		b       = flag.Int("b", 64, "block size B in records/words")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		procs   = flag.Int("procs", 0, "native workers (0 = GOMAXPROCS)")
+		inPath  = flag.String("in", "", "native input file of keys, one per line ('-' = stdin)")
+		outPath = flag.String("out", "", "native output file for sorted keys ('-' = stdout)")
+		compare = flag.Bool("compare", false, "native: also time the single-worker run and slices-based sort")
 	)
 	flag.Parse()
+
+	if *model == "native" {
+		runNative(*algo, *n, *omega, *seed, *procs, *inPath, *outPath, *compare)
+		return
+	}
 
 	in := seq.Uniform(*n, *seed)
 	fmt.Printf("sorting n=%d uniform records, ω=%d, model=%s\n", *n, *omega, *model)
@@ -104,6 +131,121 @@ func main() {
 	fmt.Printf("  cost   = reads + ω·writes = %d\n", stats.Cost(*omega))
 	fmt.Printf("  R/W    = %s\n", ratio(stats))
 	fmt.Printf("  note   : %s\n", extra)
+}
+
+// runNative sorts on the hardware backend and reports wall-clock.
+func runNative(algo string, n int, omega, seed uint64, procs int, inPath, outPath string, compare bool) {
+	if algo == "" {
+		algo = "merge"
+	}
+	alg, ok := exp.LookupNativeAlgo(algo)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "asymsort: unknown native -algo %q (merge | co | pram)\n", algo)
+		os.Exit(2)
+	}
+	var in []seq.Record
+	var src string
+	if inPath != "" {
+		var err error
+		in, err = readKeys(inPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asymsort: %v\n", err)
+			os.Exit(1)
+		}
+		src = inPath
+		if src == "-" {
+			src = "stdin"
+		}
+	} else {
+		in = seq.Uniform(n, seed)
+		src = "generated uniform workload"
+	}
+	pool := rt.NewPool(procs)
+	sortWith := func(p *rt.Pool) []seq.Record {
+		return alg.Run(p, in, seed, omega)
+	}
+
+	fmt.Printf("sorting n=%d records from %s, model=native, algo=%s, procs=%d\n",
+		len(in), src, algo, pool.Procs())
+	start := time.Now()
+	out := sortWith(pool)
+	elapsed := time.Since(start)
+	check(out, in)
+	rate := float64(len(in)) / elapsed.Seconds() / 1e6
+	fmt.Printf("  elapsed    = %v (%.2f Mrec/s)\n", elapsed, rate)
+
+	if compare {
+		start = time.Now()
+		sortWith(rt.NewPool(1))
+		serial := time.Since(start)
+		fmt.Printf("  1 worker   = %v (speedup %.2fx on %d workers)\n",
+			serial, serial.Seconds()/elapsed.Seconds(), pool.Procs())
+		ref := append([]seq.Record(nil), in...)
+		start = time.Now()
+		rt.SortRecords(rt.NewPool(1), ref)
+		fmt.Printf("  slices ref = %v (sequential slices-based sort)\n", time.Since(start))
+	}
+	if outPath != "" {
+		if err := writeKeys(outPath, out); err != nil {
+			fmt.Fprintf(os.Stderr, "asymsort: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %d sorted keys to %s\n", len(out), outPath)
+	}
+}
+
+// readKeys parses one unsigned 64-bit key per line; the payload is the
+// line index, preserving the repository-wide unique (key, payload) pairs.
+func readKeys(path string) ([]seq.Record, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var recs []seq.Record
+	line := 0
+	for sc.Scan() {
+		txt := sc.Text()
+		line++
+		if txt == "" {
+			continue
+		}
+		key, err := strconv.ParseUint(txt, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		recs = append(recs, seq.Record{Key: key, Val: uint64(len(recs))})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// writeKeys writes sorted keys one per line.
+func writeKeys(path string, recs []seq.Record) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for _, r := range recs {
+		if _, err := fmt.Fprintln(bw, r.Key); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 func ratio(s cost.Snapshot) string {

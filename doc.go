@@ -1,9 +1,23 @@
 // Package asymsort is a reproduction of Blelloch, Fineman, Gibbons, Gu,
 // and Shun, "Sorting with Asymmetric Read and Write Costs" (SPAA 2015;
-// arXiv:1603.03505): write-efficient sorting algorithms and the
-// asymmetric memory-model simulators they are analyzed on.
+// arXiv:1603.03505): write-efficient sorting algorithms, the asymmetric
+// memory-model simulators they are analyzed on, and a native execution
+// backend that runs the same algorithms at hardware speed.
 //
-// The library lives under internal/ (see README.md for the map):
+// The library lives under internal/ (see README.md for the full map).
+// Execution is layered on the dual-backend runtime of internal/rt: the
+// paper's parallel algorithms are written once against rt's fork-join
+// surface (Parallel, ParFor, instrumented arrays) and run on either
+//
+//   - a metered simulator backend — the Asymmetric Ideal-Cache +
+//     work-depth substrate (internal/co, internal/icache, internal/wd)
+//     or the PRAM work-depth ledger (internal/wd, internal/prim) — which
+//     produces every Q₁/work/depth number the experiment tables report, or
+//   - the native backend — real Go slices on a goroutine fork-join pool —
+//     which sorts real data with real parallel speedup (cmd/asymsort
+//     -model native).
+//
+// The remaining layers:
 //
 //   - internal/aram, internal/wd — Asymmetric RAM and PRAM (work-depth)
 //   - internal/aem — Asymmetric External Memory (block transfers, strict M)
@@ -11,11 +25,13 @@
 //     low-depth cache-oblivious execution substrate
 //   - internal/core/... — the paper's algorithms: §3 RAM/PRAM sorts,
 //     §4 AEM mergesort/sample sort/buffer-tree heapsort, §5 cache-oblivious
-//     sort, FFT, and matrix multiplication
+//     sort, FFT, and matrix multiplication (§3's pramsort and §5.1's
+//     cosort are rt-ported and run on both backends)
 //   - internal/exp — the experiment harness regenerating every theorem's
 //     table (run via cmd/asymbench or the benchmarks in bench_test.go)
 //
 // The benchmarks in this directory (bench_test.go) regenerate each
-// experiment under `go test -bench`; cmd/asymbench runs them at full size
-// with formatted output.
+// experiment under `go test -bench` and time the native backend against
+// the stdlib sort; cmd/asymbench runs the tables at full size with
+// formatted output (`-exp native` for the hardware wall-clock table).
 package asymsort

@@ -1,0 +1,3 @@
+module asymsort
+
+go 1.24

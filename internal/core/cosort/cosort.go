@@ -18,6 +18,13 @@
 // baseline. Theorem 5.1's bounds: O((ωn/B)·log_{ωM}(ωn)) reads,
 // O((n/B)·log_{ωM}(ωn)) writes.
 //
+// The algorithm is written against the dual-backend runtime of package
+// rt: Sort runs it on the metered cache-oblivious substrate (identical
+// charges to the pre-rt implementation), SortOn runs it on any backend,
+// and SortNative runs it at hardware speed on real slices with parallel
+// goroutine execution (leaf sorts and sample sorts take slice-level fast
+// paths there; the fork-join structure is shared).
+//
 // One deviation, recorded in DESIGN.md §7: the ω partition rounds of step
 // (d) are implemented as count/scan/scatter passes whose depth is
 // O(ω log n) each, so a level's measured depth carries an O(ω² log n)
@@ -27,7 +34,10 @@
 package cosort
 
 import (
+	"slices"
+
 	"asymsort/internal/co"
+	"asymsort/internal/rt"
 	"asymsort/internal/seq"
 )
 
@@ -43,16 +53,30 @@ type Options struct {
 // O(n²) reads, O(n) writes) finishes the job.
 const smallCutoff = 32
 
-// Sort sorts in into a fresh array, charging cache misses and work/depth
-// to c.
+// Sort sorts in into a fresh array on the metered cache-oblivious
+// substrate, charging cache misses and work/depth to c.
 func Sort(c *co.Ctx, in *co.Arr[seq.Record], opt Options) *co.Arr[seq.Record] {
-	out := co.NewArr[seq.Record](c, in.Len())
+	return rt.UnwrapCO(SortOn(rt.NewSimCO(c), rt.WrapCO(in), opt))
+}
+
+// SortNative sorts recs into a fresh slice at hardware speed on pool.
+// omega is the structural write-cost parameter (it shapes the recursion
+// exactly as on the metered backends; 1 gives the classic structure).
+// recs is read but not modified.
+func SortNative(pool *rt.Pool, recs []seq.Record, omega uint64, opt Options) []seq.Record {
+	c := rt.NewNative(pool, omega)
+	return SortOn(c, rt.WrapSlice(c, recs), opt).Unwrap()
+}
+
+// SortOn sorts in into a fresh array on any rt backend.
+func SortOn(c rt.Ctx, in rt.Arr[seq.Record], opt Options) rt.Arr[seq.Record] {
+	out := rt.NewArr[seq.Record](c, in.Len())
 	sortInto(c, in, out, opt)
 	return out
 }
 
 // sortInto sorts in into out (equal lengths).
-func sortInto(c *co.Ctx, in, out *co.Arr[seq.Record], opt Options) {
+func sortInto(c rt.Ctx, in, out rt.Arr[seq.Record], opt Options) {
 	n := in.Len()
 	if n != out.Len() {
 		panic("cosort: length mismatch")
@@ -74,9 +98,9 @@ func sortInto(c *co.Ctx, in, out *co.Arr[seq.Record], opt Options) {
 	if numSub < 2 {
 		numSub = 2
 	}
-	work := co.NewArr[seq.Record](c, n)
+	work := rt.NewArr[seq.Record](c, n)
 	bounds := evenBounds(n, numSub)
-	c.ParFor(numSub, func(c *co.Ctx, s int) {
+	c.ParFor(numSub, func(c rt.Ctx, s int) {
 		lo, hi := bounds[s], bounds[s+1]
 		sortInto(c, in.Slice(lo, hi), work.Slice(lo, hi), opt)
 	})
@@ -87,8 +111,8 @@ func sortInto(c *co.Ctx, in, out *co.Arr[seq.Record], opt Options) {
 	if numBuckets == 1 {
 		// Degenerate sample (tiny n): the rows are sorted; finish with a
 		// mergesort of the whole workspace.
-		ms := co.MergeSort(c, work)
-		c.ParFor(n, func(c *co.Ctx, i int) { out.Set(c, i, ms.Get(c, i)) })
+		ms := rt.MergeSort(c, work)
+		c.ParFor(n, func(c rt.Ctx, i int) { out.Set(c, i, ms.Get(c, i)) })
 		return
 	}
 
@@ -96,7 +120,7 @@ func sortInto(c *co.Ctx, in, out *co.Arr[seq.Record], opt Options) {
 	// then the bucket-major count matrix CT[b·numSub + s] and its scan.
 	pos := splitterPositions(c, work, bounds, splitters, numSub)
 	ct := countsFromPositions(c, pos, bounds, numSub, numBuckets)
-	co.Scan(c, ct)
+	rt.Scan(c, ct)
 
 	// (c) scatter row segments into buckets of out.
 	scatterSegments(c, work, out, bounds, pos, ct, numSub, numBuckets)
@@ -107,18 +131,24 @@ func sortInto(c *co.Ctx, in, out *co.Arr[seq.Record], opt Options) {
 		bStart[b] = int(ct.Get(c, b*numSub))
 	}
 	bStart[numBuckets] = n
-	c.WD.Write(uint64(numBuckets) + 1)
+	c.Write(uint64(numBuckets) + 1)
 
 	// (d) refine and recurse per bucket (in place within out's segments).
-	c.ParFor(numBuckets, func(c *co.Ctx, b int) {
+	c.ParFor(numBuckets, func(c rt.Ctx, b int) {
 		seg := out.Slice(bStart[b], bStart[b+1])
 		refineBucket(c, seg, omega, opt)
 	})
 }
 
 // selectionSortInto copies in to out and selection-sorts it there:
-// O(n²) reads, O(n) writes — the write-efficient leaf.
-func selectionSortInto(c *co.Ctx, in, out *co.Arr[seq.Record]) {
+// O(n²) reads, O(n) writes — the write-efficient leaf. Natively a leaf
+// has no write cost to economize, so it sorts the raw slice directly.
+func selectionSortInto(c rt.Ctx, in, out rt.Arr[seq.Record]) {
+	if rawOut := rt.Raw(out); rawOut != nil {
+		copy(rawOut, rt.Raw(in))
+		slices.SortFunc(rawOut, seq.TotalCompare)
+		return
+	}
 	n := in.Len()
 	for i := 0; i < n; i++ {
 		out.Set(c, i, in.Get(c, i))
@@ -150,8 +180,8 @@ func evenBounds(n, parts int) []int {
 
 // sampleSplitters gathers every (log n)-th element of each sorted row,
 // mergesorts the sample, and picks √(n/ω)−1 evenly spaced splitters.
-func sampleSplitters(c *co.Ctx, work *co.Arr[seq.Record], bounds []int, n, omega int) *co.Arr[seq.Record] {
-	logn := co.CeilLog2(n)
+func sampleSplitters(c rt.Ctx, work rt.Arr[seq.Record], bounds []int, n, omega int) rt.Arr[seq.Record] {
+	logn := rt.CeilLog2(n)
 	if logn < 1 {
 		logn = 1
 	}
@@ -161,17 +191,17 @@ func sampleSplitters(c *co.Ctx, work *co.Arr[seq.Record], bounds []int, n, omega
 	for s := 0; s < numSub; s++ {
 		total += (bounds[s+1] - bounds[s] + logn - 1) / logn
 	}
-	sample := co.NewArr[seq.Record](c, total)
+	sample := rt.NewArr[seq.Record](c, total)
 	srcPos := make([]int, 0, total)
 	for s := 0; s < numSub; s++ {
 		for p := bounds[s]; p < bounds[s+1]; p += logn {
 			srcPos = append(srcPos, p)
 		}
 	}
-	c.ParFor(total, func(c *co.Ctx, w int) {
+	c.ParFor(total, func(c rt.Ctx, w int) {
 		sample.Set(c, w, work.Get(c, srcPos[w]))
 	})
-	sorted := co.MergeSort(c, sample)
+	sorted := rt.MergeSort(c, sample)
 
 	want := isqrtCeil(n / maxInt(1, omega))
 	numSplitters := want - 1
@@ -181,8 +211,8 @@ func sampleSplitters(c *co.Ctx, work *co.Arr[seq.Record], bounds []int, n, omega
 	if numSplitters < 0 {
 		numSplitters = 0
 	}
-	splitters := co.NewArr[seq.Record](c, numSplitters)
-	c.ParFor(numSplitters, func(c *co.Ctx, j int) {
+	splitters := rt.NewArr[seq.Record](c, numSplitters)
+	c.ParFor(numSplitters, func(c rt.Ctx, j int) {
 		pos := (j + 1) * sorted.Len() / (numSplitters + 1)
 		if pos >= sorted.Len() {
 			pos = sorted.Len() - 1
@@ -197,10 +227,10 @@ func sampleSplitters(c *co.Ctx, work *co.Arr[seq.Record], bounds []int, n, omega
 // pos[j·numSub + s] = number of records of row s strictly below splitter
 // j. Work O(n), depth O(ω log n); in sequential order consecutive chunks
 // revisit just-walked blocks, so cache misses stay O(n/B).
-func splitterPositions(c *co.Ctx, work *co.Arr[seq.Record], bounds []int, splitters *co.Arr[seq.Record], numSub int) *co.Arr[uint64] {
+func splitterPositions(c rt.Ctx, work rt.Arr[seq.Record], bounds []int, splitters rt.Arr[seq.Record], numSub int) rt.Arr[uint64] {
 	nSpl := splitters.Len()
-	pos := co.NewArr[uint64](c, maxInt(1, nSpl*numSub))
-	L := maxInt(16, co.CeilLog2(bounds[len(bounds)-1]+1))
+	pos := rt.NewArr[uint64](c, maxInt(1, nSpl*numSub))
+	L := maxInt(16, rt.CeilLog2(bounds[len(bounds)-1]+1))
 	// Flatten (row, chunk) pairs for one ParFor.
 	type rc struct{ s, k0, k1 int }
 	var tasks []rc
@@ -215,7 +245,7 @@ func splitterPositions(c *co.Ctx, work *co.Arr[seq.Record], bounds []int, splitt
 			tasks = append(tasks, rc{s, k0, k1})
 		}
 	}
-	c.ParFor(len(tasks), func(c *co.Ctx, t int) {
+	c.ParFor(len(tasks), func(c rt.Ctx, t int) {
 		task := tasks[t]
 		s := task.s
 		row := work.Slice(bounds[s], bounds[s+1])
@@ -240,7 +270,7 @@ func splitterPositions(c *co.Ctx, work *co.Arr[seq.Record], bounds []int, splitt
 
 // diagSplitters returns the number of splitters among the first k merged
 // elements of (splitters, row) with splitter priority on ties.
-func diagSplitters(c *co.Ctx, splitters, row *co.Arr[seq.Record], k int) int {
+func diagSplitters(c rt.Ctx, splitters, row rt.Arr[seq.Record], k int) int {
 	n, m := splitters.Len(), row.Len()
 	lo := 0
 	if k > m {
@@ -265,10 +295,10 @@ func diagSplitters(c *co.Ctx, splitters, row *co.Arr[seq.Record], k int) int {
 
 // countsFromPositions converts the position matrix into bucket-major
 // counts CT[b·numSub + s].
-func countsFromPositions(c *co.Ctx, pos *co.Arr[uint64], bounds []int, numSub, numBuckets int) *co.Arr[uint64] {
-	ct := co.NewArr[uint64](c, numBuckets*numSub)
+func countsFromPositions(c rt.Ctx, pos rt.Arr[uint64], bounds []int, numSub, numBuckets int) rt.Arr[uint64] {
+	ct := rt.NewArr[uint64](c, numBuckets*numSub)
 	nSpl := numBuckets - 1
-	c.ParFor(numBuckets*numSub, func(c *co.Ctx, idx int) {
+	c.ParFor(numBuckets*numSub, func(c rt.Ctx, idx int) {
 		b := idx / numSub
 		s := idx % numSub
 		rowLen := uint64(bounds[s+1] - bounds[s])
@@ -289,9 +319,9 @@ func countsFromPositions(c *co.Ctx, pos *co.Arr[uint64], bounds []int, numSub, n
 // scatterSegments copies each (row, bucket) segment to its scanned offset
 // in out: every record read and written exactly once; depth bounded by
 // the largest single segment (O(polylog) w.h.p. for random inputs).
-func scatterSegments(c *co.Ctx, work, out *co.Arr[seq.Record], bounds []int, pos, offsets *co.Arr[uint64], numSub, numBuckets int) {
+func scatterSegments(c rt.Ctx, work, out rt.Arr[seq.Record], bounds []int, pos, offsets rt.Arr[uint64], numSub, numBuckets int) {
 	nSpl := numBuckets - 1
-	c.ParFor(numBuckets*numSub, func(c *co.Ctx, idx int) {
+	c.ParFor(numBuckets*numSub, func(c rt.Ctx, idx int) {
 		b := idx / numSub
 		s := idx % numSub
 		rowLo := bounds[s]
@@ -315,40 +345,40 @@ func scatterSegments(c *co.Ctx, work, out *co.Arr[seq.Record], bounds []int, pos
 
 // refineBucket is step (d): choose ω−1 pivots and partition the bucket
 // into ω sub-buckets with ω scan rounds, then sort each recursively.
-func refineBucket(c *co.Ctx, seg *co.Arr[seq.Record], omega int, opt Options) {
+func refineBucket(c rt.Ctx, seg rt.Arr[seq.Record], omega int, opt Options) {
 	m := seg.Len()
 	if m <= smallCutoff {
-		tmp := co.NewArr[seq.Record](c, m)
-		c.ParFor(m, func(c *co.Ctx, i int) { tmp.Set(c, i, seg.Get(c, i)) })
+		tmp := rt.NewArr[seq.Record](c, m)
+		c.ParFor(m, func(c rt.Ctx, i int) { tmp.Set(c, i, seg.Get(c, i)) })
 		selectionSortInto(c, tmp, seg)
 		return
 	}
 	if omega <= 1 {
 		// Classic variant: recurse directly on the bucket.
-		tmp := co.NewArr[seq.Record](c, m)
+		tmp := rt.NewArr[seq.Record](c, m)
 		sortInto(c, seg, tmp, opt)
-		c.ParFor(m, func(c *co.Ctx, i int) { seg.Set(c, i, tmp.Get(c, i)) })
+		c.ParFor(m, func(c rt.Ctx, i int) { seg.Set(c, i, tmp.Get(c, i)) })
 		return
 	}
 	pivots := choosePivots(c, seg, omega, opt)
 	nPiv := pivots.Len()
 	if nPiv == 0 {
-		tmp := co.NewArr[seq.Record](c, m)
+		tmp := rt.NewArr[seq.Record](c, m)
 		sortInto(c, seg, tmp, opt)
-		c.ParFor(m, func(c *co.Ctx, i int) { seg.Set(c, i, tmp.Get(c, i)) })
+		c.ParFor(m, func(c rt.Ctx, i int) { seg.Set(c, i, tmp.Get(c, i)) })
 		return
 	}
 	// ω rounds: round r packs the records of pivot-range r contiguously
 	// into tmp. Each round is a chunked count/scan/scatter: elements are
 	// written once overall; reads are ω passes.
-	tmp := co.NewArr[seq.Record](c, m)
+	tmp := rt.NewArr[seq.Record](c, m)
 	rounds := nPiv + 1
 	subStart := make([]int, rounds+1)
 	off := 0
 	chunk := maxInt(64, omega)
 	numChunks := (m + chunk - 1) / chunk
-	counts := co.NewArr[uint64](c, numChunks)
-	inRange := func(c *co.Ctx, r seq.Record, round int) bool {
+	counts := rt.NewArr[uint64](c, numChunks)
+	inRange := func(c rt.Ctx, r seq.Record, round int) bool {
 		if round > 0 && seq.TotalLess(r, pivots.Get(c, round-1)) {
 			return false
 		}
@@ -359,7 +389,7 @@ func refineBucket(c *co.Ctx, seg *co.Arr[seq.Record], omega int, opt Options) {
 	}
 	for round := 0; round < rounds; round++ {
 		subStart[round] = off
-		c.ParFor(numChunks, func(c *co.Ctx, t int) {
+		c.ParFor(numChunks, func(c rt.Ctx, t int) {
 			lo, hi := t*chunk, (t+1)*chunk
 			if hi > m {
 				hi = m
@@ -372,8 +402,8 @@ func refineBucket(c *co.Ctx, seg *co.Arr[seq.Record], omega int, opt Options) {
 			}
 			counts.Set(c, t, cnt)
 		})
-		roundTotal := co.Scan(c, counts)
-		c.ParFor(numChunks, func(c *co.Ctx, t int) {
+		roundTotal := rt.Scan(c, counts)
+		c.ParFor(numChunks, func(c rt.Ctx, t int) {
 			lo, hi := t*chunk, (t+1)*chunk
 			if hi > m {
 				hi = m
@@ -392,9 +422,9 @@ func refineBucket(c *co.Ctx, seg *co.Arr[seq.Record], omega int, opt Options) {
 	if off != m {
 		panic("cosort: partition rounds lost records")
 	}
-	c.WD.Write(uint64(rounds) + 1)
+	c.Write(uint64(rounds) + 1)
 	// Recurse on sub-buckets, writing back into the segment.
-	c.ParFor(rounds, func(c *co.Ctx, r int) {
+	c.ParFor(rounds, func(c rt.Ctx, r int) {
 		lo, hi := subStart[r], subStart[r+1]
 		if lo < hi {
 			sortInto(c, tmp.Slice(lo, hi), seg.Slice(lo, hi), opt)
@@ -404,27 +434,27 @@ func refineBucket(c *co.Ctx, seg *co.Arr[seq.Record], omega int, opt Options) {
 
 // choosePivots samples max(ω, √(ωn)/log n) records of the bucket
 // deterministically-pseudo-randomly, sorts them, and picks ω−1 evenly.
-func choosePivots(c *co.Ctx, seg *co.Arr[seq.Record], omega int, opt Options) *co.Arr[seq.Record] {
+func choosePivots(c rt.Ctx, seg rt.Arr[seq.Record], omega int, opt Options) rt.Arr[seq.Record] {
 	m := seg.Len()
 	sCount := omega
-	if v := isqrtCeil(omega*m) / maxInt(1, co.CeilLog2(m)); v > sCount {
+	if v := isqrtCeil(omega*m) / maxInt(1, rt.CeilLog2(m)); v > sCount {
 		sCount = v
 	}
 	if sCount > m {
 		sCount = m
 	}
-	sample := co.NewArr[seq.Record](c, sCount)
-	c.ParFor(sCount, func(c *co.Ctx, i int) {
+	sample := rt.NewArr[seq.Record](c, sCount)
+	c.ParFor(sCount, func(c rt.Ctx, i int) {
 		pos := int(hash2(opt.Seed, uint64(i)) % uint64(m))
 		sample.Set(c, i, seg.Get(c, pos))
 	})
-	sorted := co.MergeSort(c, sample)
+	sorted := rt.MergeSort(c, sample)
 	nPiv := omega - 1
 	if nPiv > sorted.Len() {
 		nPiv = sorted.Len()
 	}
-	pivots := co.NewArr[seq.Record](c, nPiv)
-	c.ParFor(nPiv, func(c *co.Ctx, j int) {
+	pivots := rt.NewArr[seq.Record](c, nPiv)
+	c.ParFor(nPiv, func(c rt.Ctx, j int) {
 		pos := (j + 1) * sorted.Len() / (nPiv + 1)
 		if pos >= sorted.Len() {
 			pos = sorted.Len() - 1

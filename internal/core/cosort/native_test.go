@@ -1,0 +1,124 @@
+package cosort
+
+// Native-backend tests: the §5.1 sort running on real slices and
+// goroutines must agree with the stdlib sort on every input family and
+// with its own metered execution, and must handle 1M records. Run under
+// -race in CI, these double as the data-race proof for the parallel
+// fork-join structure.
+
+import (
+	"runtime"
+	"slices"
+	"testing"
+	"time"
+
+	"asymsort/internal/co"
+	"asymsort/internal/icache"
+	"asymsort/internal/rt"
+	"asymsort/internal/seq"
+)
+
+func families(n int, seed uint64) map[string][]seq.Record {
+	return map[string][]seq.Record{
+		"random":    seq.Uniform(n, seed),
+		"sorted":    seq.Sorted(n),
+		"reversed":  seq.Reversed(n),
+		"all-equal": seq.FewDistinct(n, 1, seed),
+	}
+}
+
+func totalSorted(in []seq.Record) []seq.Record {
+	out := slices.Clone(in)
+	slices.SortFunc(out, seq.TotalCompare)
+	return out
+}
+
+// TestSortNativeMatchesSlicesSort checks the ported algorithm on the
+// native backend against the stdlib across input families, sizes around
+// the leaf cutoff, worker counts, and structural ω values.
+func TestSortNativeMatchesSlicesSort(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		pool := rt.NewPool(procs)
+		for _, omega := range []uint64{1, 8} {
+			for _, n := range []int{0, 1, 2, smallCutoff - 1, smallCutoff + 1, 1000, 1 << 14} {
+				for name, in := range families(n, uint64(n)*3+1) {
+					inCopy := slices.Clone(in)
+					got := SortNative(pool, in, omega, Options{Seed: 9})
+					if want := totalSorted(in); !slices.Equal(got, want) {
+						t.Fatalf("procs=%d ω=%d n=%d %s: native sort diverges from slices.Sort",
+							procs, omega, n, name)
+					}
+					if !slices.Equal(in, inCopy) {
+						t.Fatalf("procs=%d ω=%d n=%d %s: SortNative mutated its input",
+							procs, omega, n, name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSortNativeMatchesSimulated checks backend equivalence: the same
+// algorithm with the same options must produce the same output array on
+// the metered substrate and on hardware.
+func TestSortNativeMatchesSimulated(t *testing.T) {
+	in := seq.Uniform(5000, 21)
+	c := co.NewCtx(icache.New(16, 64, 8, icache.PolicyRWLRU))
+	sim := Sort(c, co.FromSlice(c, in), Options{Seed: 5}).Unwrap()
+	nat := SortNative(rt.NewPool(4), in, 8, Options{Seed: 5})
+	if !slices.Equal(sim, nat) {
+		t.Fatal("simulated and native runs disagree")
+	}
+}
+
+// TestSortNativeMillion sorts 1M records on the native backend — the
+// production-scale check (reduced under -short).
+func TestSortNativeMillion(t *testing.T) {
+	n := 1 << 20
+	if testing.Short() {
+		n = 1 << 18
+	}
+	in := seq.Uniform(n, 8)
+	out := SortNative(rt.NewPool(0), in, 8, Options{Seed: 2})
+	if !seq.IsSorted(out) || !seq.IsPermutation(out, in) {
+		t.Fatalf("native sort of %d records is not a sorted permutation", n)
+	}
+}
+
+// TestSortNativeSpeedup measures multi-core speedup over the backend's
+// own single-worker run. It skips on machines without real parallelism
+// and only asserts a floor when at least four cores are available; the
+// measured ratio is always logged.
+func TestSortNativeSpeedup(t *testing.T) {
+	cores := runtime.GOMAXPROCS(0)
+	if cores < 2 {
+		t.Skipf("need ≥2 cores for a speedup measurement, have %d", cores)
+	}
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in short mode")
+	}
+	n := 1 << 20
+	in := seq.Uniform(n, 4)
+	best := func(pool *rt.Pool) time.Duration {
+		bestD := time.Duration(1<<62 - 1)
+		for trial := 0; trial < 3; trial++ {
+			start := time.Now()
+			out := SortNative(pool, in, 8, Options{Seed: 6})
+			d := time.Since(start)
+			if !seq.IsSorted(out) {
+				t.Fatal("speedup run produced unsorted output")
+			}
+			if d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	serial := best(rt.NewPool(1))
+	parallel := best(rt.NewPool(0))
+	speedup := serial.Seconds() / parallel.Seconds()
+	t.Logf("n=%d: 1 worker %v, %d workers %v, speedup %.2fx", n, serial, cores, parallel, speedup)
+	if cores >= 4 && speedup < 1.2 {
+		t.Errorf("speedup %.2fx on %d cores: expected ≥1.2x", speedup, cores)
+	}
+}

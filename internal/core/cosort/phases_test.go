@@ -11,6 +11,7 @@ import (
 
 	"asymsort/internal/co"
 	"asymsort/internal/icache"
+	"asymsort/internal/rt"
 	"asymsort/internal/seq"
 	"asymsort/internal/xrand"
 )
@@ -49,7 +50,8 @@ func TestSplitterPositionsBruteForce(t *testing.T) {
 		sort.Slice(spl, func(i, j int) bool { return seq.TotalLess(spl[i], spl[j]) })
 		splitters := co.FromSlice(c, spl)
 
-		pos := splitterPositions(c, work, bounds, splitters, numSub)
+		rc := rt.NewSimCO(c)
+		pos := splitterPositions(rc, rt.WrapCO(work), bounds, rt.WrapCO(splitters), numSub)
 		for j := 0; j < nSpl; j++ {
 			for s := 0; s < numSub; s++ {
 				want := 0
@@ -81,8 +83,9 @@ func TestCountsAndScatter(t *testing.T) {
 	splitters := co.FromSlice(c, spl)
 	numBuckets := len(spl) + 1
 
-	pos := splitterPositions(c, work, bounds, splitters, numSub)
-	ct := countsFromPositions(c, pos, bounds, numSub, numBuckets)
+	rc := rt.NewSimCO(c)
+	pos := splitterPositions(rc, rt.WrapCO(work), bounds, rt.WrapCO(splitters), numSub)
+	ct := countsFromPositions(rc, pos, bounds, numSub, numBuckets)
 	total := uint64(0)
 	for _, v := range ct.Unwrap() {
 		total += v
@@ -91,9 +94,9 @@ func TestCountsAndScatter(t *testing.T) {
 		t.Fatalf("counts sum to %d, want %d", total, n)
 	}
 
-	co.Scan(c, ct)
-	out := co.NewArr[seq.Record](c, n)
-	scatterSegments(c, work, out, bounds, pos, ct, numSub, numBuckets)
+	rt.Scan(rc, ct)
+	out := rt.NewArr[seq.Record](rc, n)
+	scatterSegments(rc, rt.WrapCO(work), out, bounds, pos, ct, numSub, numBuckets)
 
 	// Every record lands in its bucket's contiguous range, ranges in
 	// splitter order.
@@ -126,7 +129,7 @@ func TestRefineBucketSorts(t *testing.T) {
 		c := co.NewCtx(cache)
 		in := seq.Uniform(900, uint64(omega)*13)
 		seg := co.FromSlice(c, in)
-		refineBucket(c, seg, omega, Options{Seed: 3})
+		refineBucket(rt.NewSimCO(c), rt.WrapCO(seg), omega, Options{Seed: 3})
 		if !seq.IsSorted(seg.Unwrap()) {
 			t.Errorf("ω=%d: refineBucket left segment unsorted", omega)
 		}
@@ -159,7 +162,7 @@ func TestChoosePivots(t *testing.T) {
 	c := phaseCtx()
 	in := seq.Uniform(500, 21)
 	seg := co.FromSlice(c, in)
-	pivots := choosePivots(c, seg, 8, Options{Seed: 4})
+	pivots := choosePivots(rt.NewSimCO(c), rt.WrapCO(seg), 8, Options{Seed: 4})
 	if pivots.Len() != 7 {
 		t.Fatalf("got %d pivots, want ω-1 = 7", pivots.Len())
 	}

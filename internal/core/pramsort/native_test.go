@@ -1,0 +1,88 @@
+package pramsort
+
+// Native-backend tests for Algorithm 1: the CAS-based placement, the
+// real (non-oracle) sample sorts, and the slice leaf sorts must together
+// still produce exactly the stdlib's sorted order on every input family.
+// Run under -race in CI these exercise the genuinely concurrent CRCW
+// placement step.
+
+import (
+	"slices"
+	"testing"
+
+	"asymsort/internal/rt"
+	"asymsort/internal/seq"
+	"asymsort/internal/wd"
+)
+
+func families(n int, seed uint64) map[string][]seq.Record {
+	return map[string][]seq.Record{
+		"random":    seq.Uniform(n, seed),
+		"sorted":    seq.Sorted(n),
+		"reversed":  seq.Reversed(n),
+		"all-equal": seq.FewDistinct(n, 1, seed),
+	}
+}
+
+func totalSorted(in []seq.Record) []seq.Record {
+	out := slices.Clone(in)
+	slices.SortFunc(out, seq.TotalCompare)
+	return out
+}
+
+// TestSortNativeMatchesSlicesSort sweeps input families, sizes around
+// the small-sort cutoff, option combinations, and worker counts.
+func TestSortNativeMatchesSlicesSort(t *testing.T) {
+	opts := []Options{
+		{Seed: 3},
+		{Seed: 3, DeepSplit: true},
+		{Seed: 3, DeepSplit: true, RealSampleSort: true},
+	}
+	for _, procs := range []int{1, 4} {
+		pool := rt.NewPool(procs)
+		for _, opt := range opts {
+			for _, n := range []int{0, 1, smallCutoff, smallCutoff + 1, 5000, 1 << 15} {
+				for name, in := range families(n, uint64(n)+13) {
+					inCopy := slices.Clone(in)
+					got := SortNative(pool, in, opt)
+					if want := totalSorted(in); !slices.Equal(got, want) {
+						t.Fatalf("procs=%d n=%d %s opts=%+v: native sort diverges from slices.Sort",
+							procs, n, name, opt)
+					}
+					if !slices.Equal(in, inCopy) {
+						t.Fatalf("procs=%d n=%d %s: SortNative mutated its input", procs, n, name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSortNativeMatchesSimulated checks backend equivalence of the final
+// output (the placement interleaving differs, but the sorted result may
+// not).
+func TestSortNativeMatchesSimulated(t *testing.T) {
+	in := seq.Uniform(5000, 33)
+	c := wd.NewRoot(8)
+	arr := wd.NewArray[seq.Record](len(in))
+	copy(arr.Unwrap(), in)
+	sim := Sort(c, arr, Options{Seed: 5, DeepSplit: true}).Unwrap()
+	nat := SortNative(rt.NewPool(4), in, Options{Seed: 5, DeepSplit: true})
+	if !slices.Equal(sim, nat) {
+		t.Fatal("simulated and native runs disagree")
+	}
+}
+
+// TestSortNativeMillion sorts 1M records natively (reduced under
+// -short).
+func TestSortNativeMillion(t *testing.T) {
+	n := 1 << 20
+	if testing.Short() {
+		n = 1 << 18
+	}
+	in := seq.Uniform(n, 8)
+	out := SortNative(rt.NewPool(0), in, Options{Seed: 2, DeepSplit: true})
+	if !seq.IsSorted(out) || !seq.IsPermutation(out, in) {
+		t.Fatalf("native sort of %d records is not a sorted permutation", n)
+	}
+}

@@ -19,18 +19,26 @@
 //  7. Sort each remaining bucket with the sequential asymmetric RAM sort
 //     of Section 3 (red-black tree insertion).
 //
-// Concurrent CRCW writes of step 4 are emulated by the sequential
-// simulator: a write to an empty slot always succeeds and the per-record
-// verification read the real algorithm needs is charged, so the read/write
-// counts match the CRCW execution.
+// The algorithm is written against the dual-backend runtime of package
+// rt. Sort runs it on the metered work-depth substrate, where the
+// concurrent CRCW writes of step 4 are emulated by the sequential
+// simulator (a write to an empty slot always succeeds and the per-record
+// verification read the real algorithm needs is charged, so the
+// read/write counts match the CRCW execution), and the Cole cost oracle
+// charges published bounds. SortOn runs on any backend; SortNative runs
+// at hardware speed, where step 4's slot claims become real compare-and-
+// swap operations, the cost oracle becomes an actual sort, and the leaf
+// tree sort becomes a slice sort.
 package pramsort
 
 import (
 	"math/bits"
+	"slices"
+	"sync/atomic"
 
 	"asymsort/internal/aram"
 	"asymsort/internal/core/ramsort"
-	"asymsort/internal/prim"
+	"asymsort/internal/rt"
 	"asymsort/internal/seq"
 	"asymsort/internal/wd"
 )
@@ -47,6 +55,7 @@ type Options struct {
 	// (O(ω log² s) depth) instead of the Cole cost oracle (O(ω log s)
 	// depth, charged per its published bounds). The oracle is the default
 	// so the end-to-end depth matches Theorem 3.2; see DESIGN.md §2.
+	// The native backend sorts samples for real either way.
 	RealSampleSort bool
 	// SlotFactor is c in the per-bucket array size c·log² n. Zero means
 	// the default of 4 (≥2x expected occupancy w.h.p.). If a placement
@@ -85,11 +94,23 @@ type slot struct {
 	used bool
 }
 
-// Sort sorts in into a fresh array per Algorithm 1, charging all work and
-// depth to c.
+// Sort sorts in into a fresh array per Algorithm 1 on the metered PRAM
+// substrate, charging all work and depth to c.
 func Sort(c *wd.T, in *wd.Array[seq.Record], opt Options) *wd.Array[seq.Record] {
+	return rt.UnwrapWD(SortOn(rt.NewSimWD(c), rt.WrapWD(in), opt))
+}
+
+// SortNative sorts recs into a fresh slice at hardware speed on pool.
+// recs is read but not modified.
+func SortNative(pool *rt.Pool, recs []seq.Record, opt Options) []seq.Record {
+	c := rt.NewNative(pool, 1)
+	return SortOn(c, rt.WrapSlice(c, recs), opt).Unwrap()
+}
+
+// SortOn sorts in into a fresh array per Algorithm 1 on any rt backend.
+func SortOn(c rt.Ctx, in rt.Arr[seq.Record], opt Options) rt.Arr[seq.Record] {
 	n := in.Len()
-	out := wd.NewArray[seq.Record](n)
+	out := rt.NewArr[seq.Record](c, n)
 	if n == 0 {
 		return out
 	}
@@ -107,30 +128,30 @@ func Sort(c *wd.T, in *wd.Array[seq.Record], opt Options) *wd.Array[seq.Record] 
 	logn := ceilLog2(n)
 
 	// Step 1: sample with probability 1/log n, then sort the sample.
-	sample := prim.Pack(c, in, func(c *wd.T, i int) bool {
+	sample := rt.Pack(c, in, func(c rt.Ctx, i int) bool {
 		return hashAt(opt.Seed, uint64(i), 0)%uint64(logn) == 0
 	})
 	sortedSample := sortSample(c, sample, opt)
 
 	// Step 2: every (log n)-th sample element becomes a splitter.
 	numSplitters := sortedSample.Len() / logn
-	splitters := wd.NewArray[uint64](numSplitters)
-	c.ParFor(numSplitters, func(c *wd.T, j int) {
+	splitters := rt.NewArr[uint64](c, numSplitters)
+	c.ParFor(numSplitters, func(c rt.Ctx, j int) {
 		splitters.Set(c, j, sortedSample.Get(c, (j+1)*logn-1).Key)
 	})
 	buckets := numSplitters + 1
 
 	// Step 3: locate each record's bucket by binary search.
-	bucketID := wd.NewArray[uint64](n)
-	c.ParFor(n, func(c *wd.T, i int) {
+	bucketID := rt.NewArr[uint64](c, n)
+	c.ParFor(n, func(c rt.Ctx, i int) {
 		r := in.Get(c, i)
-		bucketID.Set(c, i, uint64(prim.SearchSplitters(c, splitters, r.Key)))
+		bucketID.Set(c, i, uint64(rt.SearchSplitters(c, splitters, r.Key)))
 	})
 
 	// Step 4: randomized placement into per-bucket slot arrays. On the
 	// (w.h.p.-excluded) event that a record exhausts its tries, the whole
 	// placement restarts with twice the slots, and is charged again.
-	var slots *wd.Array[slot]
+	var slots rt.Arr[slot]
 	var slotsPerBucket int
 	for attempt := 0; ; attempt++ {
 		expected := (n + buckets - 1) / buckets
@@ -139,7 +160,7 @@ func Sort(c *wd.T, in *wd.Array[seq.Record], opt Options) *wd.Array[seq.Record] 
 			minSlots = slotFactor * expected
 		}
 		slotsPerBucket = minSlots
-		slots = wd.NewArray[slot](buckets * slotsPerBucket)
+		slots = rt.NewArr[slot](c, buckets*slotsPerBucket)
 		if place(c, in, bucketID, slots, slotsPerBucket, opt.Seed+uint64(attempt)*1e9, logn) {
 			break
 		}
@@ -148,16 +169,16 @@ func Sort(c *wd.T, in *wd.Array[seq.Record], opt Options) *wd.Array[seq.Record] 
 
 	// Step 5: pack out empty cells. The slot arrays are concatenated in
 	// bucket order, so the packed result is grouped by bucket.
-	flags := wd.NewArray[uint64](slots.Len())
-	c.ParFor(slots.Len(), func(c *wd.T, i int) {
+	flags := rt.NewArr[uint64](c, slots.Len())
+	c.ParFor(slots.Len(), func(c rt.Ctx, i int) {
 		v := uint64(0)
 		if slots.Get(c, i).used {
 			v = 1
 		}
 		flags.Set(c, i, v)
 	})
-	prim.Scan(c, flags)
-	c.ParFor(slots.Len(), func(c *wd.T, i int) {
+	rt.Scan(c, flags)
+	c.ParFor(slots.Len(), func(c rt.Ctx, i int) {
 		s := slots.Get(c, i)
 		if s.used {
 			out.Set(c, int(flags.Get(c, i)), s.rec)
@@ -172,7 +193,7 @@ func Sort(c *wd.T, in *wd.Array[seq.Record], opt Options) *wd.Array[seq.Record] 
 	c.Write(uint64(buckets) + 1)
 
 	// Steps 6+7: refine each bucket (optionally) and sort it.
-	c.ParFor(buckets, func(c *wd.T, b int) {
+	c.ParFor(buckets, func(c rt.Ctx, b int) {
 		seg := out.Slice(bounds[b], bounds[b+1])
 		if !opt.DeepSplit {
 			leafSort(c, seg)
@@ -182,11 +203,11 @@ func Sort(c *wd.T, in *wd.Array[seq.Record], opt Options) *wd.Array[seq.Record] 
 		// are sorted in parallel (sequentializing them would put the sum,
 		// not the max, of the leaf depths on the critical path).
 		round1 := lemma31Split(c, seg, opt)
-		c.ParFor(len(round1), func(c *wd.T, i int) {
+		c.ParFor(len(round1), func(c rt.Ctx, i int) {
 			s1 := round1[i]
 			sub := seg.Slice(s1.lo, s1.hi)
 			round2 := lemma31Split(c, sub, opt)
-			c.ParFor(len(round2), func(c *wd.T, j int) {
+			c.ParFor(len(round2), func(c rt.Ctx, j int) {
 				s2 := round2[j]
 				leafSort(c, sub.Slice(s2.lo, s2.hi))
 			})
@@ -196,24 +217,32 @@ func Sort(c *wd.T, in *wd.Array[seq.Record], opt Options) *wd.Array[seq.Record] 
 }
 
 // sortSample dispatches between the Cole oracle and the real mergesort.
-func sortSample(c *wd.T, s *wd.Array[seq.Record], opt Options) *wd.Array[seq.Record] {
+// (Natively rt.OracleSort is an actual sort, so both paths execute.)
+func sortSample(c rt.Ctx, s rt.Arr[seq.Record], opt Options) rt.Arr[seq.Record] {
 	if opt.RealSampleSort {
-		return prim.MergeSort(c, s)
+		return rt.MergeSort(c, s)
 	}
-	return prim.OracleColeSort(c, s)
+	return rt.OracleSort(c, s)
 }
 
 // place scatters every record into a random empty slot of its bucket's
 // array: groups of log n records run sequentially inside, in parallel
 // across groups (the paper's grouping that bounds the tries per group by
 // O(log n) w.h.p.). Returns false if any record exceeded its try budget.
-func place(c *wd.T, in *wd.Array[seq.Record], bucketID *wd.Array[uint64],
-	slots *wd.Array[slot], slotsPerBucket int, seed uint64, logn int) bool {
+//
+// On the metered backends the sequential simulator emulates the CRCW
+// semantics (see the package comment); on the native backend the claims
+// race for real, so placeNative runs them as compare-and-swap operations.
+func place(c rt.Ctx, in rt.Arr[seq.Record], bucketID rt.Arr[uint64],
+	slots rt.Arr[slot], slotsPerBucket int, seed uint64, logn int) bool {
+	if !c.Metered() {
+		return placeNative(c, in, bucketID, slots, slotsPerBucket, seed, logn)
+	}
 	n := in.Len()
 	groups := (n + logn - 1) / logn
 	ok := true
 	maxTries := 32 * logn
-	c.ParFor(groups, func(c *wd.T, g int) {
+	c.ParFor(groups, func(c rt.Ctx, g int) {
 		lo, hi := g*logn, (g+1)*logn
 		if hi > n {
 			hi = n
@@ -246,6 +275,46 @@ func place(c *wd.T, in *wd.Array[seq.Record], bucketID *wd.Array[uint64],
 	return ok
 }
 
+// placeNative is the hardware execution of step 4: slot claims are
+// compare-and-swap operations on a claim vector, so concurrent groups
+// contend exactly as the CRCW algorithm prescribes; the slot record is
+// then written by its unique claimant and read only after the ParFor
+// join.
+func placeNative(c rt.Ctx, in rt.Arr[seq.Record], bucketID rt.Arr[uint64],
+	slots rt.Arr[slot], slotsPerBucket int, seed uint64, logn int) bool {
+	rawIn := in.Unwrap()
+	rawBucket := bucketID.Unwrap()
+	rawSlots := slots.Unwrap()
+	claim := make([]uint32, len(rawSlots))
+	var failed atomic.Bool
+	n := len(rawIn)
+	groups := (n + logn - 1) / logn
+	maxTries := 32 * logn
+	c.ParFor(groups, func(_ rt.Ctx, g int) {
+		lo, hi := g*logn, (g+1)*logn
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			base := int(rawBucket[i]) * slotsPerBucket
+			placed := false
+			for try := 0; try < maxTries; try++ {
+				pos := base + int(hashAt(seed, uint64(i), uint64(try+1))%uint64(slotsPerBucket))
+				if atomic.CompareAndSwapUint32(&claim[pos], 0, 1) {
+					rawSlots[pos] = slot{rec: rawIn[i], used: true}
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				failed.Store(true)
+				return
+			}
+		}
+	})
+	return !failed.Load()
+}
+
 // segBound is a half-open range within a parent segment.
 type segBound struct{ lo, hi int }
 
@@ -255,7 +324,7 @@ type segBound struct{ lo, hi int }
 // and integer-sort records by bucket number. The segment is overwritten
 // with the bucket-grouped order and the bucket ranges are returned.
 // Cost: O(m log m) reads, O(m) writes, O(ω·m^{1/3} log m) depth.
-func lemma31Split(c *wd.T, seg *wd.Array[seq.Record], opt Options) []segBound {
+func lemma31Split(c rt.Ctx, seg rt.Arr[seq.Record], opt Options) []segBound {
 	m := seg.Len()
 	if m <= 64 {
 		return []segBound{{0, m}}
@@ -265,7 +334,7 @@ func lemma31Split(c *wd.T, seg *wd.Array[seq.Record], opt Options) []segBound {
 	numGroups := (m + groupLen - 1) / groupLen
 
 	// Sort each group sequentially (tree sort: O(g log g) reads, O(g) writes).
-	c.ParFor(numGroups, func(c *wd.T, g int) {
+	c.ParFor(numGroups, func(c rt.Ctx, g int) {
 		lo, hi := g*groupLen, (g+1)*groupLen
 		if hi > m {
 			hi = m
@@ -282,7 +351,7 @@ func lemma31Split(c *wd.T, seg *wd.Array[seq.Record], opt Options) []segBound {
 	if stride > groupLen {
 		stride = groupLen
 	}
-	sample := prim.Pack(c, seg, func(c *wd.T, i int) bool {
+	sample := rt.Pack(c, seg, func(c rt.Ctx, i int) bool {
 		return (i%groupLen)%stride == stride-1
 	})
 	if sample.Len() == 0 {
@@ -295,8 +364,8 @@ func lemma31Split(c *wd.T, seg *wd.Array[seq.Record], opt Options) []segBound {
 	if numSplitters > sortedSample.Len() {
 		numSplitters = sortedSample.Len()
 	}
-	splitters := wd.NewArray[uint64](numSplitters)
-	c.ParFor(numSplitters, func(c *wd.T, j int) {
+	splitters := rt.NewArr[uint64](c, numSplitters)
+	c.ParFor(numSplitters, func(c rt.Ctx, j int) {
 		pos := (j + 1) * sortedSample.Len() / (numSplitters + 1)
 		if pos >= sortedSample.Len() {
 			pos = sortedSample.Len() - 1
@@ -306,7 +375,7 @@ func lemma31Split(c *wd.T, seg *wd.Array[seq.Record], opt Options) []segBound {
 	buckets := numSplitters + 1
 
 	// Integer sort by bucket number (stable counting sort).
-	sorted, bounds := prim.CountingSort(c, seg, buckets, func(r seq.Record) int {
+	sorted, bounds := rt.CountingSort(c, seg, buckets, func(r seq.Record) int {
 		return searchKeys(splitters.Unwrap(), r.Key)
 	})
 	// The key function above reads splitters without charging; charge the
@@ -315,7 +384,7 @@ func lemma31Split(c *wd.T, seg *wd.Array[seq.Record], opt Options) []segBound {
 	c.ChargeSpan(2*uint64(m)*uint64(ceilLog2(buckets)+1), 0, uint64(ceilLog2(buckets)+1))
 
 	// Copy the bucket-grouped order back into the segment.
-	c.ParFor(m, func(c *wd.T, i int) {
+	c.ParFor(m, func(c rt.Ctx, i int) {
 		seg.Set(c, i, sorted.Get(c, i))
 	})
 	res := make([]segBound, 0, buckets)
@@ -358,12 +427,17 @@ func icbrt(m int) int {
 	return lo
 }
 
-// leafSort sorts a segment in place with the sequential RAM sort of
-// Section 3 (red-black tree insertion): O(m log m) reads, O(m) writes,
-// depth = its sequential cost.
-func leafSort(c *wd.T, seg *wd.Array[seq.Record]) {
+// leafSort sorts a segment in place. On the metered backends it runs the
+// sequential RAM sort of Section 3 (red-black tree insertion) and folds
+// in its ledger: O(m log m) reads, O(m) writes, depth = its sequential
+// cost. Natively the same leaf is a plain in-place slice sort.
+func leafSort(c rt.Ctx, seg rt.Arr[seq.Record]) {
 	m := seg.Len()
 	if m <= 1 {
+		return
+	}
+	if !c.Metered() {
+		slices.SortFunc(seg.Unwrap(), seq.TotalCompare)
 		return
 	}
 	recs := make([]seq.Record, m)

@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"asymsort/internal/core/cosort"
+	"asymsort/internal/core/pramsort"
+	"asymsort/internal/rt"
+	"asymsort/internal/seq"
+)
+
+// NativeAlgo names one sorting algorithm runnable on the rt native
+// backend. The registry is shared by the cmd/asymsort native model and
+// the NativeBench table so the two cannot drift apart.
+type NativeAlgo struct {
+	Name  string // flag value: merge | co | pram
+	Title string // display name
+	// Run sorts in into a fresh slice; omega is the structural
+	// write-cost parameter (ignored by algorithms without ω-dependent
+	// structure).
+	Run func(p *rt.Pool, in []seq.Record, seed, omega uint64) []seq.Record
+}
+
+// NativeAlgos returns the native algorithms in display order.
+func NativeAlgos() []NativeAlgo {
+	return []NativeAlgo{
+		{"merge", "merge (rt.SortRecords)", func(p *rt.Pool, in []seq.Record, _, _ uint64) []seq.Record {
+			out := append([]seq.Record(nil), in...)
+			rt.SortRecords(p, out)
+			return out
+		}},
+		{"co", "cosort §5.1", func(p *rt.Pool, in []seq.Record, seed, omega uint64) []seq.Record {
+			return cosort.SortNative(p, in, omega, cosort.Options{Seed: seed})
+		}},
+		{"pram", "pramsort Alg.1", func(p *rt.Pool, in []seq.Record, seed, _ uint64) []seq.Record {
+			return pramsort.SortNative(p, in, pramsort.Options{Seed: seed, DeepSplit: true})
+		}},
+	}
+}
+
+// LookupNativeAlgo resolves a native algorithm by flag name.
+func LookupNativeAlgo(name string) (NativeAlgo, bool) {
+	for _, a := range NativeAlgos() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return NativeAlgo{}, false
+}
+
+// NativeBench measures the rt native backend at hardware speed: for each
+// size it times every registered algorithm on one worker and on all
+// workers. Unlike E1–E14 this table reports wall-clock, so it is
+// deliberately not part of the registry the deterministic golden outputs
+// come from; run it with `asymbench -exp native`.
+func NativeBench(w io.Writer, cfg Config, procs int) {
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	const omega = 8
+	section(w, cfg, "native", "Hardware backend wall-clock",
+		fmt.Sprintf("rt native backend, %d workers vs 1 (GOMAXPROCS=%d, ω=%d)",
+			procs, runtime.GOMAXPROCS(0), omega))
+	ns := sizes(cfg, []int{1 << 16}, []int{1 << 18, 1 << 20, 1 << 22})
+
+	tb := newTable("algorithm", "n", "1 worker", fmt.Sprintf("%d workers", procs), "speedup", "Mrec/s")
+	poolN := rt.NewPool(procs)
+	pool1 := rt.NewPool(1)
+	for _, n := range ns {
+		in := seq.Uniform(n, cfg.Seed)
+		for _, a := range NativeAlgos() {
+			serial := timeSort(a, pool1, in, cfg.Seed, omega)
+			par := timeSort(a, poolN, in, cfg.Seed, omega)
+			tb.add(a.Title, n,
+				fmt.Sprintf("%.1fms", serial.Seconds()*1e3),
+				fmt.Sprintf("%.1fms", par.Seconds()*1e3),
+				fmt.Sprintf("%.2fx", serial.Seconds()/par.Seconds()),
+				fmt.Sprintf("%.2f", float64(n)/par.Seconds()/1e6))
+		}
+	}
+	tb.write(w, cfg)
+	verdict(w, cfg, true, "all outputs verified as sorted permutations")
+}
+
+// timeSort runs one sort, panicking if the output is wrong — a benchmark
+// that sorts incorrectly must not report a time.
+func timeSort(a NativeAlgo, p *rt.Pool, in []seq.Record, seed, omega uint64) time.Duration {
+	start := time.Now()
+	out := a.Run(p, in, seed, omega)
+	d := time.Since(start)
+	if !seq.IsSorted(out) || !seq.IsPermutation(out, in) {
+		panic("exp: native sort produced a wrong answer")
+	}
+	return d
+}

@@ -1,0 +1,75 @@
+package rt
+
+// Native is the hardware-speed backend: arrays are plain Go slices,
+// fork-join structure executes on a Pool of goroutines, and all cost
+// accounting is a no-op. A Native value is immutable and shared by every
+// strand of a computation, so it is safe to use from the concurrent
+// branches it spawns.
+type Native struct {
+	pool  *Pool
+	omega uint64
+}
+
+// NewNative returns a native context over pool. omega is the structural
+// write-cost parameter: it no longer prices anything, but ω-aware
+// algorithms still use it to shape their recursion (e.g. √(nω) subarrays
+// and ω-way bucket refinement in the §5.1 sort). omega < 1 is treated
+// as 1.
+func NewNative(pool *Pool, omega uint64) *Native {
+	if omega < 1 {
+		omega = 1
+	}
+	return &Native{pool: pool, omega: omega}
+}
+
+// Omega returns the structural write-cost parameter.
+func (x *Native) Omega() uint64 { return x.omega }
+
+// Metered reports false: nothing is charged, code runs at full speed.
+func (x *Native) Metered() bool { return false }
+
+// Pool returns the scheduler driving this context.
+func (x *Native) Pool() *Pool { return x.pool }
+
+// Parallel runs the branches on the pool.
+func (x *Native) Parallel(branches ...func(Ctx)) {
+	switch len(branches) {
+	case 0:
+		return
+	case 1:
+		branches[0](x)
+		return
+	}
+	fs := make([]func(), len(branches))
+	for i, f := range branches {
+		f := f
+		fs[i] = func() { f(x) }
+	}
+	x.pool.Run(fs...)
+}
+
+// ParFor runs body over [0, n) with the pool's automatic grain.
+func (x *Native) ParFor(n int, body func(Ctx, int)) {
+	x.pool.For(n, func(i int) { body(x, i) })
+}
+
+// Write is a no-op natively.
+func (x *Native) Write(uint64) {}
+
+// ChargeSeq is a no-op natively.
+func (x *Native) ChargeSeq(uint64, uint64) {}
+
+// ChargeSpan is a no-op natively.
+func (x *Native) ChargeSpan(uint64, uint64, uint64) {}
+
+// natArr is a plain-slice array. Get/Set ignore the strand entirely:
+// with no meters to charge they compile down to slice indexing.
+type natArr[T any] struct {
+	data []T
+}
+
+func (x *natArr[T]) Len() int                { return len(x.data) }
+func (x *natArr[T]) Get(_ Ctx, i int) T      { return x.data[i] }
+func (x *natArr[T]) Set(_ Ctx, i int, v T)   { x.data[i] = v }
+func (x *natArr[T]) Slice(lo, hi int) Arr[T] { return &natArr[T]{data: x.data[lo:hi]} }
+func (x *natArr[T]) Unwrap() []T             { return x.data }

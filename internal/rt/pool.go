@@ -1,0 +1,123 @@
+package rt
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fork-join scheduler over goroutines. It bounds the number of
+// concurrently live spawned goroutines to the processor count with a
+// token bucket: a fork spawns a goroutine when a token is free and runs
+// inline otherwise, so deeply nested parallelism degrades gracefully to
+// sequential execution once all processors are busy. Balancing spawned
+// goroutines across OS threads is left to the Go runtime's work-stealing
+// scheduler, which is exactly the job it exists for.
+//
+// A Pool with one processor never spawns: every operation runs inline on
+// the calling goroutine, which is the baseline the native backend's
+// speedup is measured against.
+type Pool struct {
+	procs  int
+	tokens chan struct{} // nil when procs == 1
+}
+
+// NewPool returns a pool of procs workers; procs <= 0 means GOMAXPROCS.
+func NewPool(procs int) *Pool {
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{procs: procs}
+	if procs > 1 {
+		p.tokens = make(chan struct{}, procs-1)
+	}
+	return p
+}
+
+// Procs returns the worker count.
+func (p *Pool) Procs() int { return p.procs }
+
+// Run invokes every function, in parallel when workers are free. It
+// returns when all have completed.
+func (p *Pool) Run(fs ...func()) {
+	switch len(fs) {
+	case 0:
+		return
+	case 1:
+		fs[0]()
+		return
+	}
+	if p.tokens == nil {
+		for _, f := range fs {
+			f()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, f := range fs[1:] {
+		select {
+		case p.tokens <- struct{}{}:
+			wg.Add(1)
+			go func(f func()) {
+				defer wg.Done()
+				defer func() { <-p.tokens }()
+				f()
+			}(f)
+		default:
+			f()
+		}
+	}
+	fs[0]()
+	wg.Wait()
+}
+
+// For runs body(i) for i in [0, n) with an automatic grain: iterations
+// are chunked so roughly 16 chunks per worker exist, balancing spawn
+// overhead against load balance for uneven bodies.
+func (p *Pool) For(n int, body func(int)) {
+	grain := n / (16 * p.procs)
+	if grain < 1 {
+		grain = 1
+	}
+	p.ForGrain(n, grain, body)
+}
+
+// ForGrain runs body(i) for i in [0, n), executing runs of up to grain
+// consecutive iterations sequentially within one strand.
+func (p *Pool) ForGrain(n, grain int, body func(int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	p.forRange(0, n, grain, body)
+}
+
+// forRange recursively halves [lo, hi), spawning the right half when a
+// token is free. When no worker is free the left half runs inline and
+// the loop re-tests the (shrinking) right half, so strands adapt to
+// workers freeing up mid-range.
+func (p *Pool) forRange(lo, hi, grain int, body func(int)) {
+	for hi-lo > grain && p.tokens != nil {
+		mid := lo + (hi-lo)/2
+		select {
+		case p.tokens <- struct{}{}:
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				defer func() { <-p.tokens }()
+				p.forRange(mid, hi, grain, body)
+			}()
+			p.forRange(lo, mid, grain, body)
+			<-done
+			return
+		default:
+			p.forRange(lo, mid, grain, body)
+			lo = mid
+		}
+	}
+	p.seqRange(lo, hi, body)
+}
+
+func (p *Pool) seqRange(lo, hi int, body func(int)) {
+	for i := lo; i < hi; i++ {
+		body(i)
+	}
+}

@@ -1,0 +1,96 @@
+package rt
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolForCoversEveryIndex checks that every index is visited exactly
+// once, for sizes around grain boundaries and several worker counts.
+func TestPoolForCoversEveryIndex(t *testing.T) {
+	for _, procs := range []int{1, 2, 8} {
+		p := NewPool(procs)
+		for _, n := range []int{0, 1, 2, 17, 1000, 1 << 15} {
+			marks := make([]int32, n)
+			p.For(n, func(i int) { atomic.AddInt32(&marks[i], 1) })
+			for i, m := range marks {
+				if m != 1 {
+					t.Fatalf("procs=%d n=%d: index %d visited %d times", procs, n, i, m)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolForGrainCoversEveryIndex exercises explicit grains, including
+// grains larger than the range.
+func TestPoolForGrainCoversEveryIndex(t *testing.T) {
+	p := NewPool(4)
+	for _, grain := range []int{0, 1, 7, 1000, 1 << 20} {
+		const n = 5000
+		marks := make([]int32, n)
+		p.ForGrain(n, grain, func(i int) { atomic.AddInt32(&marks[i], 1) })
+		for i, m := range marks {
+			if m != 1 {
+				t.Fatalf("grain=%d: index %d visited %d times", grain, i, m)
+			}
+		}
+	}
+}
+
+// TestPoolRunRunsAll checks Run executes every branch exactly once,
+// including with more branches than workers.
+func TestPoolRunRunsAll(t *testing.T) {
+	p := NewPool(2)
+	var count int32
+	fs := make([]func(), 37)
+	for i := range fs {
+		fs[i] = func() { atomic.AddInt32(&count, 1) }
+	}
+	p.Run(fs...)
+	if count != 37 {
+		t.Fatalf("Run executed %d of 37 branches", count)
+	}
+	p.Run() // zero branches must not hang
+}
+
+// TestPoolNestedParallelism drives nested For/Run beyond the token
+// budget: inner forks must degrade to inline execution, not deadlock.
+func TestPoolNestedParallelism(t *testing.T) {
+	p := NewPool(4)
+	var count int32
+	p.For(64, func(i int) {
+		p.For(64, func(j int) {
+			p.Run(
+				func() { atomic.AddInt32(&count, 1) },
+				func() { atomic.AddInt32(&count, 1) },
+			)
+		})
+	})
+	if count != 64*64*2 {
+		t.Fatalf("nested count = %d, want %d", count, 64*64*2)
+	}
+}
+
+// TestNativeCtxParFor drives the rt surface end to end on the native
+// backend, nested.
+func TestNativeCtxParFor(t *testing.T) {
+	c := NewNative(NewPool(4), 8)
+	if c.Metered() {
+		t.Fatal("native backend claims to be metered")
+	}
+	if c.Omega() != 8 {
+		t.Fatalf("omega = %d, want 8", c.Omega())
+	}
+	a := NewArr[uint64](c, 1000)
+	c.ParFor(10, func(c Ctx, i int) {
+		c.ParFor(100, func(c Ctx, j int) {
+			a.Set(c, i*100+j, uint64(i*100+j))
+		})
+	})
+	for i, v := range a.Unwrap() {
+		if v != uint64(i) {
+			t.Fatalf("a[%d] = %d", i, v)
+		}
+	}
+}

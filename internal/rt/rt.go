@@ -1,0 +1,134 @@
+// Package rt is the dual-backend execution runtime: the fork-join
+// surface the paper's parallel algorithms are written against, decoupled
+// from what executes it. An algorithm coded against a Ctx and Arr values
+// runs unchanged on any backend:
+//
+//   - SimCO — the metered Section 5 substrate: delegates every fork,
+//     join, and array access to package co, so the Asymmetric Ideal-Cache
+//     simulator (Q₁) and the work-depth tracker charge exactly what they
+//     charged when algorithms called co directly. Used by the E9–E12
+//     experiment tables and the scheduler trace recorder.
+//   - SimWD — the metered Section 3 substrate: delegates to the
+//     work-depth ledger of package wd and the PRAM building blocks of
+//     package prim. Used by the E2/E13/E14 tables.
+//   - Native — real Go slices driven by a fork-join Pool of goroutines
+//     balanced by the Go runtime's work-stealing scheduler. No meters,
+//     no simulated address space: array accesses compile to slice
+//     indexing and the algorithms run at hardware speed with real
+//     parallel speedup.
+//
+// The sim backends exist so that every theorem-validating number the
+// repository reports keeps coming from the instrumented models; the
+// native backend exists so the same algorithm code can sort real data
+// fast. Cost-accounting hooks (Write, ChargeSeq, ChargeSpan) are no-ops
+// natively, and Metered reports which world the code is running in so
+// model-only constructs (cost oracles, CRCW emulation) can swap in their
+// executable counterparts.
+package rt
+
+import (
+	"math/bits"
+
+	"asymsort/internal/co"
+	"asymsort/internal/wd"
+)
+
+// Ctx is one strand of a nested fork-join computation. Implementations
+// are SimCO, SimWD, and Native; algorithms must treat the value as
+// opaque and create all arrays through NewArr/FromSlice so storage lands
+// in the right world.
+type Ctx interface {
+	// Omega returns the write-cost parameter ω. Native backends report
+	// the structural ω they were configured with (it still shapes
+	// ω-dependent algorithm structure, e.g. bucket refinement fan-out).
+	Omega() uint64
+	// Metered reports whether accesses are being charged to a cost
+	// model. Native backends return false; algorithms use this to
+	// replace cost oracles and CRCW emulation with real executables.
+	Metered() bool
+	// Parallel runs the branches as parallel siblings.
+	Parallel(branches ...func(Ctx))
+	// ParFor runs body(i) for i in [0, n) as parallel strands.
+	ParFor(n int, body func(Ctx, int))
+	// Write charges n sequential writes (no-op natively).
+	Write(n uint64)
+	// ChargeSeq charges a sequential block of r reads and w writes
+	// (no-op natively).
+	ChargeSeq(r, w uint64)
+	// ChargeSpan charges a parallel sub-computation summarized by work
+	// (r reads, w writes) and depth d (no-op natively).
+	ChargeSpan(r, w, d uint64)
+}
+
+// Arr is an array in the backend's world: simulated address space under
+// the sim backends, a plain Go slice natively. Get/Set take the current
+// strand so accesses charge the right ledger.
+type Arr[T any] interface {
+	Len() int
+	Get(c Ctx, i int) T
+	Set(c Ctx, i int, v T)
+	// Slice returns a view of [lo, hi) sharing storage and, under the
+	// sim backends, simulated addresses.
+	Slice(lo, hi int) Arr[T]
+	// Unwrap exposes the backing slice without charging — verification
+	// and native fast paths only.
+	Unwrap() []T
+}
+
+// NewArr allocates an array of n elements in c's world.
+func NewArr[T any](c Ctx, n int) Arr[T] {
+	switch cc := c.(type) {
+	case *SimCO:
+		return coArr[T]{co.NewArr[T](cc.c, n)}
+	case *SimWD:
+		return wdArr[T]{wd.NewArray[T](n)}
+	case *Native:
+		return &natArr[T]{data: make([]T, n)}
+	}
+	panic("rt: unknown backend")
+}
+
+// FromSlice allocates an array holding a copy of vals, charging the
+// materializing writes on metered backends exactly as the underlying
+// substrate does (a parallel pass under SimCO, a bulk write under
+// SimWD).
+func FromSlice[T any](c Ctx, vals []T) Arr[T] {
+	switch cc := c.(type) {
+	case *SimCO:
+		return coArr[T]{co.FromSlice(cc.c, vals)}
+	case *SimWD:
+		return wdArr[T]{wd.FromSlice(cc.t, vals)}
+	case *Native:
+		data := make([]T, len(vals))
+		copy(data, vals)
+		return &natArr[T]{data: data}
+	}
+	panic("rt: unknown backend")
+}
+
+// WrapSlice adopts vals as an array. Natively this is zero-copy: the
+// array aliases vals. On metered backends it behaves like FromSlice.
+func WrapSlice[T any](c Ctx, vals []T) Arr[T] {
+	if _, ok := c.(*Native); ok {
+		return &natArr[T]{data: vals}
+	}
+	return FromSlice(c, vals)
+}
+
+// Raw returns the backing slice when a lives in the native world, nil
+// otherwise. Algorithms use it to gate slice-level fast paths that
+// would bypass the meters.
+func Raw[T any](a Arr[T]) []T {
+	if na, ok := a.(*natArr[T]); ok {
+		return na.data
+	}
+	return nil
+}
+
+// CeilLog2 returns ⌈log₂ n⌉ (0 for n ≤ 1).
+func CeilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

@@ -1,0 +1,102 @@
+package rt
+
+import (
+	"testing"
+
+	"asymsort/internal/co"
+	"asymsort/internal/icache"
+	"asymsort/internal/prim"
+	"asymsort/internal/seq"
+	"asymsort/internal/wd"
+)
+
+// The sim backends promise charge-for-charge delegation: a program
+// running through the rt surface must cost exactly what the same
+// program costs written directly against co or wd. These tests run one
+// fork-join program both ways and compare the meters.
+
+// program is a small but representative fork-join computation: a
+// parallel fill, nested Parallel branches, a scan, a mergesort, and a
+// bulk-write charge.
+func runOnRT(c Ctx, in []seq.Record) {
+	a := FromSlice(c, in)
+	b := NewArr[uint64](c, a.Len())
+	c.ParFor(a.Len(), func(c Ctx, i int) {
+		b.Set(c, i, a.Get(c, i).Key%64)
+	})
+	c.Parallel(
+		func(c Ctx) { Scan(c, b) },
+		func(c Ctx) { MergeSort(c, a) },
+	)
+	c.Write(7)
+	c.ChargeSeq(11, 3)
+	c.ChargeSpan(5, 2, 9)
+}
+
+func TestSimCOChargesMatchDirect(t *testing.T) {
+	in := seq.Uniform(2000, 4)
+
+	mkCache := func() *icache.Sim { return icache.New(16, 64, 8, icache.PolicyRWLRU) }
+
+	// Direct co version of runOnRT.
+	cache1 := mkCache()
+	c1 := co.NewCtx(cache1)
+	a1 := co.FromSlice(c1, in)
+	b1 := co.NewArr[uint64](c1, a1.Len())
+	c1.ParFor(a1.Len(), func(c *co.Ctx, i int) {
+		b1.Set(c, i, a1.Get(c, i).Key%64)
+	})
+	c1.Parallel(
+		func(c *co.Ctx) { co.Scan(c, b1) },
+		func(c *co.Ctx) { co.MergeSort(c, a1) },
+	)
+	c1.WD.Write(7)
+	c1.WD.ChargeSeq(11, 3)
+	c1.WD.ChargeSpan(5, 2, 9)
+	cache1.Flush()
+
+	cache2 := mkCache()
+	c2 := co.NewCtx(cache2)
+	runOnRT(NewSimCO(c2), in)
+	cache2.Flush()
+
+	if cache1.Stats() != cache2.Stats() {
+		t.Errorf("cache stats diverge: direct %+v, rt %+v", cache1.Stats(), cache2.Stats())
+	}
+	if c1.WD.Work() != c2.WD.Work() || c1.WD.Depth() != c2.WD.Depth() {
+		t.Errorf("work-depth diverges: direct %+v/%d, rt %+v/%d",
+			c1.WD.Work(), c1.WD.Depth(), c2.WD.Work(), c2.WD.Depth())
+	}
+}
+
+func TestSimWDChargesMatchDirect(t *testing.T) {
+	in := seq.Uniform(2000, 4)
+
+	// Direct wd version of runOnRT (prims come from package prim via the
+	// rt dispatchers, so only the direct side differs).
+	t1 := wd.NewRoot(8)
+	directWD(t1, in)
+
+	t2 := wd.NewRoot(8)
+	runOnRT(NewSimWD(t2), in)
+
+	if t1.Work() != t2.Work() || t1.Depth() != t2.Depth() {
+		t.Errorf("work-depth diverges: direct %+v/%d, rt %+v/%d",
+			t1.Work(), t1.Depth(), t2.Work(), t2.Depth())
+	}
+}
+
+func directWD(c *wd.T, in []seq.Record) {
+	a := wd.FromSlice(c, in)
+	b := wd.NewArray[uint64](a.Len())
+	c.ParFor(a.Len(), func(c *wd.T, i int) {
+		b.Set(c, i, a.Get(c, i).Key%64)
+	})
+	c.Parallel(
+		func(c *wd.T) { prim.Scan(c, b) },
+		func(c *wd.T) { prim.MergeSort(c, a) },
+	)
+	c.Write(7)
+	c.ChargeSeq(11, 3)
+	c.ChargeSpan(5, 2, 9)
+}

@@ -1,0 +1,69 @@
+package rt
+
+import "asymsort/internal/co"
+
+// SimCO is the metered cache-oblivious backend: every operation
+// delegates 1:1 to a co.Ctx, so the ideal-cache simulator and the
+// work-depth tracker observe exactly the access sequence they observed
+// when algorithms were written directly against package co. Trace
+// recording (co.Record) flows through unchanged.
+type SimCO struct {
+	c *co.Ctx
+}
+
+// NewSimCO wraps a co context as an rt backend.
+func NewSimCO(c *co.Ctx) *SimCO { return &SimCO{c: c} }
+
+// Omega returns the substrate's write-cost parameter.
+func (s *SimCO) Omega() uint64 { return s.c.Omega() }
+
+// Metered reports true: accesses charge the cache and depth meters.
+func (s *SimCO) Metered() bool { return true }
+
+// Parallel forwards to co.Ctx.Parallel, wrapping each child strand.
+func (s *SimCO) Parallel(branches ...func(Ctx)) {
+	fs := make([]func(*co.Ctx), len(branches))
+	for i, f := range branches {
+		f := f
+		fs[i] = func(cc *co.Ctx) { f(&SimCO{c: cc}) }
+	}
+	s.c.Parallel(fs...)
+}
+
+// ParFor forwards to co.Ctx.ParFor. The simulation is sequential, so a
+// single wrapper is reused across iterations (matching co's own
+// child-ledger reuse).
+func (s *SimCO) ParFor(n int, body func(Ctx, int)) {
+	var child SimCO
+	s.c.ParFor(n, func(cc *co.Ctx, i int) {
+		child.c = cc
+		body(&child, i)
+	})
+}
+
+// Write charges n sequential writes to the strand's depth ledger.
+func (s *SimCO) Write(n uint64) { s.c.WD.Write(n) }
+
+// ChargeSeq charges a sequential block of r reads and w writes.
+func (s *SimCO) ChargeSeq(r, w uint64) { s.c.WD.ChargeSeq(r, w) }
+
+// ChargeSpan charges a parallel sub-computation's published bounds.
+func (s *SimCO) ChargeSpan(r, w, d uint64) { s.c.WD.ChargeSpan(r, w, d) }
+
+// coArr adapts co.Arr to the rt array surface.
+type coArr[T any] struct {
+	a *co.Arr[T]
+}
+
+// WrapCO adapts an existing co array (no copy, no charge).
+func WrapCO[T any](a *co.Arr[T]) Arr[T] { return coArr[T]{a} }
+
+// UnwrapCO recovers the co array behind an Arr created on a SimCO
+// backend; it panics on other backends.
+func UnwrapCO[T any](a Arr[T]) *co.Arr[T] { return a.(coArr[T]).a }
+
+func (x coArr[T]) Len() int                { return x.a.Len() }
+func (x coArr[T]) Get(c Ctx, i int) T      { return x.a.Get(c.(*SimCO).c, i) }
+func (x coArr[T]) Set(c Ctx, i int, v T)   { x.a.Set(c.(*SimCO).c, i, v) }
+func (x coArr[T]) Slice(lo, hi int) Arr[T] { return coArr[T]{x.a.Slice(lo, hi)} }
+func (x coArr[T]) Unwrap() []T             { return x.a.Unwrap() }

@@ -1,0 +1,66 @@
+package rt
+
+import "asymsort/internal/wd"
+
+// SimWD is the metered PRAM backend: operations delegate 1:1 to a
+// work-depth ledger (package wd), so the Section 3 algorithms charge
+// exactly what they charged when written directly against wd.
+type SimWD struct {
+	t *wd.T
+}
+
+// NewSimWD wraps a work-depth strand as an rt backend.
+func NewSimWD(t *wd.T) *SimWD { return &SimWD{t: t} }
+
+// Omega returns the write-cost parameter.
+func (s *SimWD) Omega() uint64 { return s.t.Omega() }
+
+// Metered reports true: accesses charge the work-depth ledger.
+func (s *SimWD) Metered() bool { return true }
+
+// Parallel forwards to wd.T.Parallel, wrapping each child strand.
+func (s *SimWD) Parallel(branches ...func(Ctx)) {
+	fs := make([]func(*wd.T), len(branches))
+	for i, f := range branches {
+		f := f
+		fs[i] = func(t *wd.T) { f(&SimWD{t: t}) }
+	}
+	s.t.Parallel(fs...)
+}
+
+// ParFor forwards to wd.T.ParFor, reusing one wrapper across the
+// sequentially simulated iterations.
+func (s *SimWD) ParFor(n int, body func(Ctx, int)) {
+	var child SimWD
+	s.t.ParFor(n, func(t *wd.T, i int) {
+		child.t = t
+		body(&child, i)
+	})
+}
+
+// Write charges n sequential writes.
+func (s *SimWD) Write(n uint64) { s.t.Write(n) }
+
+// ChargeSeq charges a sequential block of r reads and w writes.
+func (s *SimWD) ChargeSeq(r, w uint64) { s.t.ChargeSeq(r, w) }
+
+// ChargeSpan charges a parallel sub-computation's published bounds.
+func (s *SimWD) ChargeSpan(r, w, d uint64) { s.t.ChargeSpan(r, w, d) }
+
+// wdArr adapts wd.Array to the rt array surface.
+type wdArr[T any] struct {
+	a *wd.Array[T]
+}
+
+// WrapWD adapts an existing wd array (no copy, no charge).
+func WrapWD[T any](a *wd.Array[T]) Arr[T] { return wdArr[T]{a} }
+
+// UnwrapWD recovers the wd array behind an Arr created on a SimWD
+// backend; it panics on other backends.
+func UnwrapWD[T any](a Arr[T]) *wd.Array[T] { return a.(wdArr[T]).a }
+
+func (x wdArr[T]) Len() int                { return x.a.Len() }
+func (x wdArr[T]) Get(c Ctx, i int) T      { return x.a.Get(c.(*SimWD).t, i) }
+func (x wdArr[T]) Set(c Ctx, i int, v T)   { x.a.Set(c.(*SimWD).t, i, v) }
+func (x wdArr[T]) Slice(lo, hi int) Arr[T] { return wdArr[T]{x.a.Slice(lo, hi)} }
+func (x wdArr[T]) Unwrap() []T             { return x.a.Unwrap() }

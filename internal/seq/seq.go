@@ -34,6 +34,21 @@ func TotalLess(a, b Record) bool {
 	return a.Key < b.Key || (a.Key == b.Key && a.Val < b.Val)
 }
 
+// TotalCompare is the cmp-style form of TotalLess, for
+// slices.SortFunc-style callers. Every sort in the repository —
+// simulated or native — orders records by exactly this comparison, so
+// outputs are comparable across backends.
+func TotalCompare(a, b Record) int {
+	switch {
+	case TotalLess(a, b):
+		return -1
+	case TotalLess(b, a):
+		return 1
+	default:
+		return 0
+	}
+}
+
 // ByKey is a convenience comparison for sort.Slice-style callers.
 func ByKey(a, b Record) int {
 	switch {
