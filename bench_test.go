@@ -186,6 +186,38 @@ func BenchmarkNativePRAMSort(b *testing.B) {
 	})
 }
 
+// --- span operations: bulk kernels vs per-element interface calls -------
+
+// BenchmarkSpanCopy and BenchmarkPerElementCopy measure the same copy on
+// the native backend through rt.CopySpan (bulk sub-slice kernels) and
+// through the per-element Get/Set loop the span ops replaced — the
+// interface-dispatch overhead the tentpole removes, in isolation.
+func BenchmarkSpanCopy(b *testing.B) {
+	const n = 1 << 20
+	c := rt.NewNative(rt.NewPool(0), 8)
+	src := rt.FromSlice(c, seq.Uniform(n, 1))
+	dst := rt.NewArr[seq.Record](c, n)
+	b.ReportAllocs()
+	b.SetBytes(n * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.CopySpan(c, dst, src)
+	}
+}
+
+func BenchmarkPerElementCopy(b *testing.B) {
+	const n = 1 << 20
+	c := rt.NewNative(rt.NewPool(0), 8)
+	src := rt.FromSlice(c, seq.Uniform(n, 1))
+	dst := rt.NewArr[seq.Record](c, n)
+	b.ReportAllocs()
+	b.SetBytes(n * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ParFor(n, func(c rt.Ctx, j int) { dst.Set(c, j, src.Get(c, j)) })
+	}
+}
+
 func BenchmarkSlicesSort(b *testing.B) {
 	for _, n := range nativeSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {

@@ -113,9 +113,10 @@ func (a *Arr[T]) Set(c *Ctx, i int, v T) {
 	a.data[i] = v
 }
 
-// Slice returns a view sharing storage and addresses.
+// Slice returns a view sharing storage and addresses. The full slice
+// expression clips the view's capacity so Unwrap cannot reach past hi.
 func (a *Arr[T]) Slice(lo, hi int) *Arr[T] {
-	return &Arr[T]{cache: a.cache, base: a.base + int64(lo), data: a.data[lo:hi]}
+	return &Arr[T]{cache: a.cache, base: a.base + int64(lo), data: a.data[lo:hi:hi]}
 }
 
 // Unwrap exposes the backing slice for verification only.

@@ -25,6 +25,8 @@
 package aemsample
 
 import (
+	"sort"
+
 	"asymsort/internal/aem"
 	"asymsort/internal/core/aemsort"
 	"asymsort/internal/seq"
@@ -110,12 +112,21 @@ func chooseSplitters(ma *aem.Machine, in *aem.File, l, n0, k int, rng *xrand.Spl
 	for len(seen) < sampleSize {
 		seen[rng.Intn(n)] = struct{}{}
 	}
+	// Visit the sampled positions in sorted order: map iteration order
+	// would make the staging I/O sequence — and with it the measured E5
+	// and E13 cost tables — nondeterministic run-to-run. Sorted order
+	// also matches the block-sequential access the analysis assumes.
+	idxs := make([]int, 0, len(seen))
+	for idx := range seen {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
 	// Stage sampled records through a one-block buffer into a sample file.
 	sampleFile := ma.NewFile(0)
 	buf := ma.Alloc(b)
 	blockBuf := ma.Alloc(b)
 	fill := 0
-	for idx := range seen {
+	for _, idx := range idxs {
 		blk := idx / b
 		in.ReadBlock(blk, blockBuf, 0)
 		buf.Set(fill, blockBuf.Get(idx%b))

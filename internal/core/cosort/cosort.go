@@ -22,8 +22,14 @@
 // rt: Sort runs it on the metered cache-oblivious substrate (identical
 // charges to the pre-rt implementation), SortOn runs it on any backend,
 // and SortNative runs it at hardware speed on real slices with parallel
-// goroutine execution (leaf sorts and sample sorts take slice-level fast
-// paths there; the fork-join structure is shared).
+// goroutine execution. The hot inner loops — copy-in/copy-out, the
+// sample gather, splitter merge-path scans, the bucket transpose
+// scatter, and step (d)'s partition passes — go through the rt span
+// operations (rt.CopySpan, rt.ForSpan, …) and raw-slice kernels: the
+// metered backends charge exactly the per-element loops they replace,
+// while the native backend runs them with zero interface dispatch
+// (leaf sorts and sample sorts additionally take slice-level fast
+// paths; the fork-join structure is shared).
 //
 // One deviation, recorded in DESIGN.md §7: the ω partition rounds of step
 // (d) are implemented as count/scan/scatter passes whose depth is
@@ -34,8 +40,6 @@
 package cosort
 
 import (
-	"slices"
-
 	"asymsort/internal/co"
 	"asymsort/internal/rt"
 	"asymsort/internal/seq"
@@ -52,6 +56,14 @@ type Options struct {
 // smallCutoff is the leaf size: below it a selection sort (write-light:
 // O(n²) reads, O(n) writes) finishes the job.
 const smallCutoff = 32
+
+// nativeLeaf is the native backend's leaf size: below it the recursive
+// √(nω)-way structure — which exists to economize writes and cache
+// misses in the cost models — buys nothing on hardware, so the leaf is
+// one sequential slice sort. The total order makes the output identical
+// to the metered recursion's; cross-leaf parallelism comes from the
+// enclosing ParFor.
+const nativeLeaf = 1 << 12
 
 // Sort sorts in into a fresh array on the metered cache-oblivious
 // substrate, charging cache misses and work/depth to c.
@@ -80,6 +92,11 @@ func sortInto(c rt.Ctx, in, out rt.Arr[seq.Record], opt Options) {
 	n := in.Len()
 	if n != out.Len() {
 		panic("cosort: length mismatch")
+	}
+	if rawOut := rt.Raw(out); rawOut != nil && n <= nativeLeaf {
+		copy(rawOut, rt.Raw(in))
+		rt.SeqSortRecords(rawOut)
+		return
 	}
 	if n <= smallCutoff {
 		selectionSortInto(c, in, out)
@@ -112,7 +129,7 @@ func sortInto(c rt.Ctx, in, out rt.Arr[seq.Record], opt Options) {
 		// Degenerate sample (tiny n): the rows are sorted; finish with a
 		// mergesort of the whole workspace.
 		ms := rt.MergeSort(c, work)
-		c.ParFor(n, func(c rt.Ctx, i int) { out.Set(c, i, ms.Get(c, i)) })
+		rt.CopySpan(c, out, ms)
 		return
 	}
 
@@ -141,18 +158,12 @@ func sortInto(c rt.Ctx, in, out rt.Arr[seq.Record], opt Options) {
 }
 
 // selectionSortInto copies in to out and selection-sorts it there:
-// O(n²) reads, O(n) writes — the write-efficient leaf. Natively a leaf
-// has no write cost to economize, so it sorts the raw slice directly.
+// O(n²) reads, O(n) writes — the write-efficient leaf. It only runs on
+// the metered backends: native execution short-circuits at nativeLeaf
+// (≥ smallCutoff) in sortInto and refineBucket before reaching it.
 func selectionSortInto(c rt.Ctx, in, out rt.Arr[seq.Record]) {
-	if rawOut := rt.Raw(out); rawOut != nil {
-		copy(rawOut, rt.Raw(in))
-		slices.SortFunc(rawOut, seq.TotalCompare)
-		return
-	}
 	n := in.Len()
-	for i := 0; i < n; i++ {
-		out.Set(c, i, in.Get(c, i))
-	}
+	rt.CopySpanSeq(c, out, in)
 	for i := 0; i < n-1; i++ {
 		minI := i
 		minV := out.Get(c, i)
@@ -198,9 +209,14 @@ func sampleSplitters(c rt.Ctx, work rt.Arr[seq.Record], bounds []int, n, omega i
 			srcPos = append(srcPos, p)
 		}
 	}
-	c.ParFor(total, func(c rt.Ctx, w int) {
-		sample.Set(c, w, work.Get(c, srcPos[w]))
-	})
+	rawWork := rt.Raw(work)
+	rt.ForSpan(c, sample, 0, total,
+		func(span []seq.Record, base int) {
+			for k := range span {
+				span[k] = rawWork[srcPos[base+k]]
+			}
+		},
+		func(c rt.Ctx, w int) { sample.Set(c, w, work.Get(c, srcPos[w])) })
 	sorted := rt.MergeSort(c, sample)
 
 	want := isqrtCeil(n / maxInt(1, omega))
@@ -245,9 +261,26 @@ func splitterPositions(c rt.Ctx, work rt.Arr[seq.Record], bounds []int, splitter
 			tasks = append(tasks, rc{s, k0, k1})
 		}
 	}
+	rawWork, rawSpl, rawPos := rt.Raw(work), rt.Raw(splitters), rt.Raw(pos)
 	c.ParFor(len(tasks), func(c rt.Ctx, t int) {
 		task := tasks[t]
 		s := task.s
+		if rawWork != nil {
+			// Native kernel: the same walk on raw sub-slices.
+			row := rawWork[bounds[s]:bounds[s+1]]
+			i0 := diagSplittersRaw(rawSpl, row, task.k0)
+			i1 := diagSplittersRaw(rawSpl, row, task.k1)
+			j := task.k0 - i0
+			for i := i0; i < i1; {
+				if j < len(row) && seq.TotalLess(row[j], rawSpl[i]) {
+					j++
+					continue
+				}
+				rawPos[i*numSub+s] = uint64(j)
+				i++
+			}
+			return
+		}
 		row := work.Slice(bounds[s], bounds[s+1])
 		// diagSearch with splitters as the tie-priority side: i = number
 		// of splitters among the first k of the merge.
@@ -266,6 +299,30 @@ func splitterPositions(c rt.Ctx, work rt.Arr[seq.Record], bounds []int, splitter
 		}
 	})
 	return pos
+}
+
+// diagSplittersRaw is diagSplitters on raw slices — the native kernel's
+// uncharged counterpart.
+func diagSplittersRaw(splitters, row []seq.Record, k int) int {
+	n, m := len(splitters), len(row)
+	lo := 0
+	if k > m {
+		lo = k - m
+	}
+	hi := k
+	if hi > n {
+		hi = n
+	}
+	for lo < hi {
+		i := int(uint(lo+hi) >> 1)
+		j := k - i - 1
+		if !seq.TotalLess(row[j], splitters[i]) {
+			lo = i + 1
+		} else {
+			hi = i
+		}
+	}
+	return lo
 }
 
 // diagSplitters returns the number of splitters among the first k merged
@@ -298,21 +355,40 @@ func diagSplitters(c rt.Ctx, splitters, row rt.Arr[seq.Record], k int) int {
 func countsFromPositions(c rt.Ctx, pos rt.Arr[uint64], bounds []int, numSub, numBuckets int) rt.Arr[uint64] {
 	ct := rt.NewArr[uint64](c, numBuckets*numSub)
 	nSpl := numBuckets - 1
-	c.ParFor(numBuckets*numSub, func(c rt.Ctx, idx int) {
-		b := idx / numSub
-		s := idx % numSub
-		rowLen := uint64(bounds[s+1] - bounds[s])
-		var start, end uint64
-		if b > 0 {
-			start = pos.Get(c, (b-1)*numSub+s)
-		}
-		if b < nSpl {
-			end = pos.Get(c, b*numSub+s)
-		} else {
-			end = rowLen
-		}
-		ct.Set(c, idx, end-start)
-	})
+	rawPos := rt.Raw(pos)
+	rt.ForSpan(c, ct, 0, numBuckets*numSub,
+		func(span []uint64, base int) {
+			for k := range span {
+				idx := base + k
+				b := idx / numSub
+				s := idx % numSub
+				var start, end uint64
+				if b > 0 {
+					start = rawPos[(b-1)*numSub+s]
+				}
+				if b < nSpl {
+					end = rawPos[b*numSub+s]
+				} else {
+					end = uint64(bounds[s+1] - bounds[s])
+				}
+				span[k] = end - start
+			}
+		},
+		func(c rt.Ctx, idx int) {
+			b := idx / numSub
+			s := idx % numSub
+			rowLen := uint64(bounds[s+1] - bounds[s])
+			var start, end uint64
+			if b > 0 {
+				start = pos.Get(c, (b-1)*numSub+s)
+			}
+			if b < nSpl {
+				end = pos.Get(c, b*numSub+s)
+			} else {
+				end = rowLen
+			}
+			ct.Set(c, idx, end-start)
+		})
 	return ct
 }
 
@@ -321,11 +397,29 @@ func countsFromPositions(c rt.Ctx, pos rt.Arr[uint64], bounds []int, numSub, num
 // the largest single segment (O(polylog) w.h.p. for random inputs).
 func scatterSegments(c rt.Ctx, work, out rt.Arr[seq.Record], bounds []int, pos, offsets rt.Arr[uint64], numSub, numBuckets int) {
 	nSpl := numBuckets - 1
+	rawWork, rawOut := rt.Raw(work), rt.Raw(out)
+	rawPos, rawOff := rt.Raw(pos), rt.Raw(offsets)
 	c.ParFor(numBuckets*numSub, func(c rt.Ctx, idx int) {
 		b := idx / numSub
 		s := idx % numSub
 		rowLo := bounds[s]
 		rowLen := uint64(bounds[s+1] - bounds[s])
+		if rawOut != nil {
+			// Native kernel: each (row, bucket) segment is one contiguous
+			// bulk copy.
+			var start, end uint64
+			if b > 0 {
+				start = rawPos[(b-1)*numSub+s]
+			}
+			if b < nSpl {
+				end = rawPos[b*numSub+s]
+			} else {
+				end = rowLen
+			}
+			w := rawOff[idx]
+			copy(rawOut[w:w+(end-start)], rawWork[rowLo+int(start):rowLo+int(end)])
+			return
+		}
 		var start, end uint64
 		if b > 0 {
 			start = pos.Get(c, (b-1)*numSub+s)
@@ -347,9 +441,13 @@ func scatterSegments(c rt.Ctx, work, out rt.Arr[seq.Record], bounds []int, pos, 
 // into ω sub-buckets with ω scan rounds, then sort each recursively.
 func refineBucket(c rt.Ctx, seg rt.Arr[seq.Record], omega int, opt Options) {
 	m := seg.Len()
+	if raw := rt.Raw(seg); raw != nil && m <= nativeLeaf {
+		rt.SeqSortRecords(raw)
+		return
+	}
 	if m <= smallCutoff {
 		tmp := rt.NewArr[seq.Record](c, m)
-		c.ParFor(m, func(c rt.Ctx, i int) { tmp.Set(c, i, seg.Get(c, i)) })
+		rt.CopySpan(c, tmp, seg)
 		selectionSortInto(c, tmp, seg)
 		return
 	}
@@ -357,7 +455,7 @@ func refineBucket(c rt.Ctx, seg rt.Arr[seq.Record], omega int, opt Options) {
 		// Classic variant: recurse directly on the bucket.
 		tmp := rt.NewArr[seq.Record](c, m)
 		sortInto(c, seg, tmp, opt)
-		c.ParFor(m, func(c rt.Ctx, i int) { seg.Set(c, i, tmp.Get(c, i)) })
+		rt.CopySpan(c, seg, tmp)
 		return
 	}
 	pivots := choosePivots(c, seg, omega, opt)
@@ -365,7 +463,7 @@ func refineBucket(c rt.Ctx, seg rt.Arr[seq.Record], omega int, opt Options) {
 	if nPiv == 0 {
 		tmp := rt.NewArr[seq.Record](c, m)
 		sortInto(c, seg, tmp, opt)
-		c.ParFor(m, func(c rt.Ctx, i int) { seg.Set(c, i, tmp.Get(c, i)) })
+		rt.CopySpan(c, seg, tmp)
 		return
 	}
 	// ω rounds: round r packs the records of pivot-range r contiguously
@@ -387,12 +485,33 @@ func refineBucket(c rt.Ctx, seg rt.Arr[seq.Record], omega int, opt Options) {
 		}
 		return true
 	}
+	rawSeg, rawTmp := rt.Raw(seg), rt.Raw(tmp)
+	rawPiv, rawCounts := rt.Raw(pivots), rt.Raw(counts)
+	inRangeRaw := func(r seq.Record, round int) bool {
+		if round > 0 && seq.TotalLess(r, rawPiv[round-1]) {
+			return false
+		}
+		if round < nPiv && !seq.TotalLess(r, rawPiv[round]) {
+			return false
+		}
+		return true
+	}
 	for round := 0; round < rounds; round++ {
 		subStart[round] = off
 		c.ParFor(numChunks, func(c rt.Ctx, t int) {
 			lo, hi := t*chunk, (t+1)*chunk
 			if hi > m {
 				hi = m
+			}
+			if rawSeg != nil {
+				cnt := uint64(0)
+				for _, r := range rawSeg[lo:hi] {
+					if inRangeRaw(r, round) {
+						cnt++
+					}
+				}
+				rawCounts[t] = cnt
+				return
 			}
 			cnt := uint64(0)
 			for p := lo; p < hi; p++ {
@@ -407,6 +526,16 @@ func refineBucket(c rt.Ctx, seg rt.Arr[seq.Record], omega int, opt Options) {
 			lo, hi := t*chunk, (t+1)*chunk
 			if hi > m {
 				hi = m
+			}
+			if rawSeg != nil {
+				w := off + int(rawCounts[t])
+				for _, r := range rawSeg[lo:hi] {
+					if inRangeRaw(r, round) {
+						rawTmp[w] = r
+						w++
+					}
+				}
+				return
 			}
 			w := off + int(counts.Get(c, t))
 			for p := lo; p < hi; p++ {

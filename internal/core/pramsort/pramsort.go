@@ -28,12 +28,16 @@
 // charges published bounds. SortOn runs on any backend; SortNative runs
 // at hardware speed, where step 4's slot claims become real compare-and-
 // swap operations, the cost oracle becomes an actual sort, and the leaf
-// tree sort becomes a slice sort.
+// tree sort becomes a slice sort. The per-element hot loops — the
+// bucket binary searches of step 3, the empty-slot pack-out of step 5,
+// and the copy passes — go through the rt span operations (rt.ForSpan,
+// rt.MapSpan, rt.CopySpan, ReadSpan/WriteSpan): metered backends charge
+// exactly the per-element loops they replace, the native backend runs
+// raw-slice kernels with zero interface dispatch.
 package pramsort
 
 import (
 	"math/bits"
-	"slices"
 	"sync/atomic"
 
 	"asymsort/internal/aram"
@@ -67,6 +71,13 @@ type Options struct {
 // smallCutoff is the size below which Sort degenerates to the sequential
 // RAM sort — below it log²n buckets are meaningless.
 const smallCutoff = 256
+
+// nativeLeaf is the native backend's leaf size: a bucket at or below it
+// is sorted in one sequential pass instead of running step 6's Lemma 3.1
+// sub-splitting, which exists purely to bound model depth — on hardware
+// the cross-bucket ParFor already supplies the parallelism. The total
+// order makes the output identical either way.
+const nativeLeaf = 1 << 12
 
 // ceilLog2 returns ⌈log₂ n⌉ for n ≥ 2, else 1.
 func ceilLog2(n int) int {
@@ -115,9 +126,7 @@ func SortOn(c rt.Ctx, in rt.Arr[seq.Record], opt Options) rt.Arr[seq.Record] {
 		return out
 	}
 	if n <= smallCutoff {
-		for i := 0; i < n; i++ {
-			out.Set(c, i, in.Get(c, i))
-		}
+		rt.CopySpanSeq(c, out, in)
 		leafSort(c, out)
 		return out
 	}
@@ -143,15 +152,27 @@ func SortOn(c rt.Ctx, in rt.Arr[seq.Record], opt Options) rt.Arr[seq.Record] {
 
 	// Step 3: locate each record's bucket by binary search.
 	bucketID := rt.NewArr[uint64](c, n)
-	c.ParFor(n, func(c rt.Ctx, i int) {
-		r := in.Get(c, i)
-		bucketID.Set(c, i, uint64(rt.SearchSplitters(c, splitters, r.Key)))
-	})
+	rawIn, rawSpl := rt.Raw(in), rt.Raw(splitters)
+	rt.ForSpan(c, bucketID, 0, n,
+		func(span []uint64, base int) {
+			for k := range span {
+				span[k] = uint64(searchKeys(rawSpl, rawIn[base+k].Key))
+			}
+		},
+		func(c rt.Ctx, i int) {
+			r := in.Get(c, i)
+			bucketID.Set(c, i, uint64(rt.SearchSplitters(c, splitters, r.Key)))
+		})
 
 	// Step 4: randomized placement into per-bucket slot arrays. On the
 	// (w.h.p.-excluded) event that a record exhausts its tries, the whole
 	// placement restarts with twice the slots, and is charged again.
+	// Natively the slot array is a bare record array plus the CAS claim
+	// vector (the claim already encodes occupancy, so no slot structs are
+	// materialized or zeroed).
 	var slots rt.Arr[slot]
+	var natRecs []seq.Record
+	var natClaim []uint32
 	var slotsPerBucket int
 	for attempt := 0; ; attempt++ {
 		expected := (n + buckets - 1) / buckets
@@ -160,42 +181,55 @@ func SortOn(c rt.Ctx, in rt.Arr[seq.Record], opt Options) rt.Arr[seq.Record] {
 			minSlots = slotFactor * expected
 		}
 		slotsPerBucket = minSlots
-		slots = rt.NewArr[slot](c, buckets*slotsPerBucket)
-		if place(c, in, bucketID, slots, slotsPerBucket, opt.Seed+uint64(attempt)*1e9, logn) {
-			break
+		seed := opt.Seed + uint64(attempt)*1e9
+		if !c.Metered() {
+			natRecs = make([]seq.Record, buckets*slotsPerBucket)
+			natClaim = make([]uint32, buckets*slotsPerBucket)
+			if placeNative(c, in, bucketID, natRecs, natClaim, slotsPerBucket, seed, logn) {
+				break
+			}
+		} else {
+			slots = rt.NewArr[slot](c, buckets*slotsPerBucket)
+			if place(c, in, bucketID, slots, slotsPerBucket, seed, logn) {
+				break
+			}
 		}
 		slotFactor *= 2
 	}
 
 	// Step 5: pack out empty cells. The slot arrays are concatenated in
 	// bucket order, so the packed result is grouped by bucket.
-	flags := rt.NewArr[uint64](c, slots.Len())
-	c.ParFor(slots.Len(), func(c rt.Ctx, i int) {
-		v := uint64(0)
-		if slots.Get(c, i).used {
-			v = 1
+	var bounds []int
+	if !c.Metered() {
+		bounds = packSlotsNative(c, natRecs, natClaim, out, buckets, slotsPerBucket)
+	} else {
+		flags := rt.NewArr[uint64](c, slots.Len())
+		rt.MapSpan(c, flags, slots, func(s slot) uint64 {
+			if s.used {
+				return 1
+			}
+			return 0
+		})
+		rt.Scan(c, flags)
+		c.ParFor(slots.Len(), func(c rt.Ctx, i int) {
+			s := slots.Get(c, i)
+			if s.used {
+				out.Set(c, int(flags.Get(c, i)), s.rec)
+			}
+		})
+		// Bucket boundaries fall out of the scanned flags at bucket starts.
+		bounds = make([]int, buckets+1)
+		for b := 0; b < buckets; b++ {
+			bounds[b] = int(flags.Get(c, b*slotsPerBucket))
 		}
-		flags.Set(c, i, v)
-	})
-	rt.Scan(c, flags)
-	c.ParFor(slots.Len(), func(c rt.Ctx, i int) {
-		s := slots.Get(c, i)
-		if s.used {
-			out.Set(c, int(flags.Get(c, i)), s.rec)
-		}
-	})
-	// Bucket boundaries fall out of the scanned flags at bucket starts.
-	bounds := make([]int, buckets+1)
-	for b := 0; b < buckets; b++ {
-		bounds[b] = int(flags.Get(c, b*slotsPerBucket))
+		bounds[buckets] = n
+		c.Write(uint64(buckets) + 1)
 	}
-	bounds[buckets] = n
-	c.Write(uint64(buckets) + 1)
 
 	// Steps 6+7: refine each bucket (optionally) and sort it.
 	c.ParFor(buckets, func(c rt.Ctx, b int) {
 		seg := out.Slice(bounds[b], bounds[b+1])
-		if !opt.DeepSplit {
+		if !opt.DeepSplit || (!c.Metered() && seg.Len() <= nativeLeaf) {
 			leafSort(c, seg)
 			return
 		}
@@ -230,14 +264,12 @@ func sortSample(c rt.Ctx, s rt.Arr[seq.Record], opt Options) rt.Arr[seq.Record] 
 // across groups (the paper's grouping that bounds the tries per group by
 // O(log n) w.h.p.). Returns false if any record exceeded its try budget.
 //
-// On the metered backends the sequential simulator emulates the CRCW
-// semantics (see the package comment); on the native backend the claims
-// race for real, so placeNative runs them as compare-and-swap operations.
+// place is the metered emulation: the sequential simulator provides the
+// CRCW semantics (see the package comment). On the native backend the
+// claims race for real — SortOn dispatches to placeNative, where they
+// are compare-and-swap operations.
 func place(c rt.Ctx, in rt.Arr[seq.Record], bucketID rt.Arr[uint64],
 	slots rt.Arr[slot], slotsPerBucket int, seed uint64, logn int) bool {
-	if !c.Metered() {
-		return placeNative(c, in, bucketID, slots, slotsPerBucket, seed, logn)
-	}
 	n := in.Len()
 	groups := (n + logn - 1) / logn
 	ok := true
@@ -275,17 +307,55 @@ func place(c rt.Ctx, in rt.Arr[seq.Record], bucketID rt.Arr[uint64],
 	return ok
 }
 
+// packSlotsNative is step 5 on hardware: instead of materializing a
+// flag per slot and scanning all of them (the metered charge structure),
+// it counts claimed slots per bucket through the 4-byte claim vector,
+// prefix-sums the per-bucket counts, and compacts each bucket's slot
+// range in one walk. The concatenation order — bucket-major, slot order
+// within a bucket — is exactly the flags-and-scan order, so the packed
+// array is identical.
+func packSlotsNative(c rt.Ctx, recs []seq.Record, claim []uint32, out rt.Arr[seq.Record], buckets, slotsPerBucket int) []int {
+	rawOut := out.Unwrap()
+	cnts := make([]int, buckets)
+	c.ParFor(buckets, func(_ rt.Ctx, b int) {
+		n := 0
+		for _, u := range claim[b*slotsPerBucket : (b+1)*slotsPerBucket] {
+			if u != 0 {
+				n++
+			}
+		}
+		cnts[b] = n
+	})
+	bounds := make([]int, buckets+1)
+	off := 0
+	for b, n := range cnts {
+		bounds[b] = off
+		off += n
+	}
+	bounds[buckets] = off
+	c.ParFor(buckets, func(_ rt.Ctx, b int) {
+		w := bounds[b]
+		base := b * slotsPerBucket
+		for k, u := range claim[base : base+slotsPerBucket] {
+			if u != 0 {
+				rawOut[w] = recs[base+k]
+				w++
+			}
+		}
+	})
+	return bounds
+}
+
 // placeNative is the hardware execution of step 4: slot claims are
 // compare-and-swap operations on a claim vector, so concurrent groups
 // contend exactly as the CRCW algorithm prescribes; the slot record is
 // then written by its unique claimant and read only after the ParFor
-// join.
+// join. The claim vector doubles as the occupancy flags consumed by
+// packSlotsNative.
 func placeNative(c rt.Ctx, in rt.Arr[seq.Record], bucketID rt.Arr[uint64],
-	slots rt.Arr[slot], slotsPerBucket int, seed uint64, logn int) bool {
+	recs []seq.Record, claim []uint32, slotsPerBucket int, seed uint64, logn int) bool {
 	rawIn := in.Unwrap()
 	rawBucket := bucketID.Unwrap()
-	rawSlots := slots.Unwrap()
-	claim := make([]uint32, len(rawSlots))
 	var failed atomic.Bool
 	n := len(rawIn)
 	groups := (n + logn - 1) / logn
@@ -301,7 +371,7 @@ func placeNative(c rt.Ctx, in rt.Arr[seq.Record], bucketID rt.Arr[uint64],
 			for try := 0; try < maxTries; try++ {
 				pos := base + int(hashAt(seed, uint64(i), uint64(try+1))%uint64(slotsPerBucket))
 				if atomic.CompareAndSwapUint32(&claim[pos], 0, 1) {
-					rawSlots[pos] = slot{rec: rawIn[i], used: true}
+					recs[pos] = rawIn[i]
 					placed = true
 					break
 				}
@@ -384,9 +454,7 @@ func lemma31Split(c rt.Ctx, seg rt.Arr[seq.Record], opt Options) []segBound {
 	c.ChargeSpan(2*uint64(m)*uint64(ceilLog2(buckets)+1), 0, uint64(ceilLog2(buckets)+1))
 
 	// Copy the bucket-grouped order back into the segment.
-	c.ParFor(m, func(c rt.Ctx, i int) {
-		seg.Set(c, i, sorted.Get(c, i))
-	})
+	rt.CopySpan(c, seg, sorted)
 	res := make([]segBound, 0, buckets)
 	for b := 0; b < buckets; b++ {
 		res = append(res, segBound{bounds[b], bounds[b+1]})
@@ -394,20 +462,26 @@ func lemma31Split(c rt.Ctx, seg rt.Arr[seq.Record], opt Options) []segBound {
 	return res
 }
 
-// searchKeys is an uncharged binary search over raw splitter keys, used
-// inside CountingSort's key callback (its reads are charged in bulk by the
-// caller — see lemma31Split).
+// searchKeys is an uncharged binary search over raw splitter keys (the
+// count of splitters ≤ key), used by the native step-3 kernel and inside
+// CountingSort's key callback (whose reads are charged in bulk by the
+// caller — see lemma31Split). The halving is written branch-free-style
+// so the compiler can emit a conditional move: a random key makes the
+// classic mid-branch a coin flip, and the mispredicts dominate the
+// search at native speed.
 func searchKeys(splitters []uint64, key uint64) int {
-	lo, hi := 0, len(splitters)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if splitters[mid] <= key {
-			lo = mid + 1
-		} else {
-			hi = mid
+	base, n := 0, len(splitters)
+	for n > 1 {
+		half := n >> 1
+		if splitters[base+half-1] <= key {
+			base += half
 		}
+		n -= half
 	}
-	return lo
+	if n == 1 && splitters[base] <= key {
+		base++
+	}
+	return base
 }
 
 // icbrt returns ⌈m^{1/3}⌉ via integer search.
@@ -437,19 +511,15 @@ func leafSort(c rt.Ctx, seg rt.Arr[seq.Record]) {
 		return
 	}
 	if !c.Metered() {
-		slices.SortFunc(seg.Unwrap(), seq.TotalCompare)
+		rt.SeqSortRecords(seg.Unwrap())
 		return
 	}
 	recs := make([]seq.Record, m)
-	for i := 0; i < m; i++ {
-		recs[i] = seg.Get(c, i)
-	}
+	seg.ReadSpan(c, 0, recs)
 	lm := aram.New(1)
 	arr := aram.FromSlice(lm, recs)
 	sorted := ramsort.TreeSort(arr).Unwrap()
 	st := lm.Stats()
 	c.ChargeSeq(st.Reads, st.Writes)
-	for i := 0; i < m; i++ {
-		seg.Set(c, i, sorted[i])
-	}
+	seg.WriteSpan(c, 0, sorted)
 }

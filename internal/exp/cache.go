@@ -67,7 +67,10 @@ func E8Lemma21(w io.Writer, cfg Config) {
 	}
 	tb := newTable("trace", "accesses", "Q_Belady(MI)", "Q_rwLRU(ML)", "bound", "QL/bound")
 	allOK := true
-	for name, trace := range traces {
+	// Sorted name order: map iteration order would shuffle the rows (and
+	// the table is golden-stable).
+	for _, name := range sortedKeys(traces) {
+		trace := traces[name]
 		qi := icache.ReplayBelady(trace, mi).Cost(omega)
 		s := icache.New(1, 2*ml, omega, icache.PolicyRWLRU)
 		for _, a := range trace {

@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Every experiment table must be byte-stable for a fixed seed: golden
+// comparisons across runs (and the CHANGES.md byte-identity guarantees)
+// depend on it. Rendering twice in one process already exposes the
+// historical offenders — Go randomizes map iteration per range
+// statement, so any map-ordered rows (E8's trace table), map-ordered
+// sample I/O (E5/E13 via aemsample), or map-tie-broken Belady victims
+// (E8) diverge between the two renders.
+func TestExperimentTablesDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	cfg := Config{Quick: true, Seed: 1}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var first, second bytes.Buffer
+			e.Run(&first, cfg)
+			e.Run(&second, cfg)
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Errorf("%s renders differently run-to-run with the same seed:\n--- first ---\n%s\n--- second ---\n%s",
+					e.ID, first.String(), second.String())
+			}
+		})
+	}
+}

@@ -9,9 +9,10 @@
 package exp
 
 import (
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 	"text/tabwriter"
 )
@@ -145,12 +146,14 @@ func geoMeanGrowth(vals []float64) float64 {
 	return vals[len(vals)-1] / vals[0]
 }
 
-// sortedKeys returns the sorted keys of a map[int]T.
-func sortedKeys[T any](m map[int]T) []int {
-	out := make([]int, 0, len(m))
+// sortedKeys returns the sorted keys of a map. Every experiment that
+// renders rows from a map must iterate it through this helper: Go's map
+// order is randomized per run, and the tables are golden-stable.
+func sortedKeys[K cmp.Ordered, T any](m map[K]T) []K {
+	out := make([]K, 0, len(m))
 	for k := range m {
 		out = append(out, k)
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }

@@ -66,19 +66,33 @@ func NativeBench(w io.Writer, cfg Config, procs int) {
 			procs, runtime.GOMAXPROCS(0), omega))
 	ns := sizes(cfg, []int{1 << 16}, []int{1 << 18, 1 << 20, 1 << 22})
 
-	tb := newTable("algorithm", "n", "1 worker", fmt.Sprintf("%d workers", procs), "speedup", "Mrec/s")
+	// "× merge" is each algorithm's parallel time relative to the raw
+	// parallel mergesort at the same n — the span-port headline: the
+	// §5.1/Alg.1 structures used to pay 5–10× here on per-element
+	// interface dispatch.
+	tb := newTable("algorithm", "n", "1 worker", fmt.Sprintf("%d workers", procs),
+		"speedup", "Mrec/s", "× merge")
 	poolN := rt.NewPool(procs)
 	pool1 := rt.NewPool(1)
 	for _, n := range ns {
 		in := seq.Uniform(n, cfg.Seed)
+		var mergePar float64
 		for _, a := range NativeAlgos() {
 			serial := timeSort(a, pool1, in, cfg.Seed, omega)
 			par := timeSort(a, poolN, in, cfg.Seed, omega)
+			if a.Name == "merge" {
+				mergePar = par.Seconds()
+			}
+			vsMerge := "-"
+			if mergePar > 0 {
+				vsMerge = fmt.Sprintf("%.2fx", par.Seconds()/mergePar)
+			}
 			tb.add(a.Title, n,
 				fmt.Sprintf("%.1fms", serial.Seconds()*1e3),
 				fmt.Sprintf("%.1fms", par.Seconds()*1e3),
 				fmt.Sprintf("%.2fx", serial.Seconds()/par.Seconds()),
-				fmt.Sprintf("%.2f", float64(n)/par.Seconds()/1e6))
+				fmt.Sprintf("%.2f", float64(n)/par.Seconds()/1e6),
+				vsMerge)
 		}
 	}
 	tb.write(w, cfg)

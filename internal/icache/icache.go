@@ -296,13 +296,21 @@ func ReplayBelady(trace []Access, capBlocks int) cost.Snapshot {
 		ctr.Read(1)
 		if len(res) >= capBlocks {
 			// Evict the furthest-next-use block; among ties prefer clean
-			// (saves an ω write-back at equal miss cost).
+			// (saves an ω write-back at equal miss cost), then the lowest
+			// block id — the final tie-break makes the victim independent
+			// of map iteration order, so replayed costs are deterministic
+			// run-to-run.
 			var victim int64
 			best := -1
 			victimDirty := true
+			first := true
 			for blk, r := range res {
-				if r.nextUse > best || (r.nextUse == best && victimDirty && !r.dirty) {
+				better := r.nextUse > best ||
+					(r.nextUse == best && victimDirty && !r.dirty) ||
+					(r.nextUse == best && victimDirty == r.dirty && blk < victim)
+				if first || better {
 					victim, best, victimDirty = blk, r.nextUse, r.dirty
+					first = false
 				}
 			}
 			if victimDirty {

@@ -68,8 +68,16 @@ type natArr[T any] struct {
 	data []T
 }
 
-func (x *natArr[T]) Len() int                { return len(x.data) }
-func (x *natArr[T]) Get(_ Ctx, i int) T      { return x.data[i] }
-func (x *natArr[T]) Set(_ Ctx, i int, v T)   { x.data[i] = v }
-func (x *natArr[T]) Slice(lo, hi int) Arr[T] { return &natArr[T]{data: x.data[lo:hi]} }
-func (x *natArr[T]) Unwrap() []T             { return x.data }
+func (x *natArr[T]) Len() int              { return len(x.data) }
+func (x *natArr[T]) Get(_ Ctx, i int) T    { return x.data[i] }
+func (x *natArr[T]) Set(_ Ctx, i int, v T) { x.data[i] = v }
+
+// Slice uses the full slice expression so the view's capacity ends at
+// hi: Unwrap on a view must not expose storage past the view's end.
+func (x *natArr[T]) Slice(lo, hi int) Arr[T] { return &natArr[T]{data: x.data[lo:hi:hi]} }
+
+// ReadSpan/WriteSpan bound the copy explicitly so an out-of-range span
+// panics here exactly as the metered backends' per-element loops do.
+func (x *natArr[T]) ReadSpan(_ Ctx, lo int, dst []T)  { copy(dst, x.data[lo:lo+len(dst)]) }
+func (x *natArr[T]) WriteSpan(_ Ctx, lo int, src []T) { copy(x.data[lo:lo+len(src)], src) }
+func (x *natArr[T]) Unwrap() []T                      { return x.data }

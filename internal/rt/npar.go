@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"math/bits"
 	"slices"
 
 	"asymsort/internal/seq"
@@ -15,16 +16,81 @@ import (
 const sortLeaf = 1 << 12
 
 // SortRecords sorts recs in place: parallel mergesort with merge-path
-// parallel merges and slices.SortFunc leaves. The order is the strict
+// parallel merges and SeqSortRecords leaves. The order is the strict
 // total order seq.TotalLess, matching every metered sort in the
 // repository, so native and simulated runs produce identical outputs.
 func SortRecords(p *Pool, recs []seq.Record) {
 	if len(recs) <= sortLeaf || p.tokens == nil {
-		slices.SortFunc(recs, seq.TotalCompare)
+		SeqSortRecords(recs)
 		return
 	}
 	buf := make([]seq.Record, len(recs))
 	msort(p, recs, buf, false)
+}
+
+// SeqSortRecords sorts recs in place by the repository's total record
+// order — the sequential leaf sort of the native backend. It is a
+// median-of-three Hoare quicksort with an insertion-sort base and an
+// introsort-style depth fallback to slices.SortFunc: seq.TotalLess
+// compiles inline here, where slices.SortFunc pays an indirect
+// comparison call per element pair, and the span-ported sorts are
+// leaf-dominated.
+func SeqSortRecords(a []seq.Record) {
+	quickRecs(a, 2*bits.Len(uint(len(a))))
+}
+
+func quickRecs(a []seq.Record, depth int) {
+	for len(a) > 24 {
+		if depth == 0 {
+			slices.SortFunc(a, seq.TotalCompare)
+			return
+		}
+		depth--
+		v := median3(a[0], a[len(a)/2], a[len(a)-1])
+		i, j := -1, len(a)
+		for {
+			for i++; seq.TotalLess(a[i], v); i++ {
+			}
+			for j--; seq.TotalLess(v, a[j]); j-- {
+			}
+			if i >= j {
+				break
+			}
+			a[i], a[j] = a[j], a[i]
+		}
+		// Recurse into the smaller half, iterate on the larger, so the
+		// stack stays O(log n) even when the depth guard never trips.
+		if j+1 <= len(a)-(j+1) {
+			quickRecs(a[:j+1], depth)
+			a = a[j+1:]
+		} else {
+			quickRecs(a[j+1:], depth)
+			a = a[:j+1]
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && seq.TotalLess(v, a[j]) {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// median3 returns the median of three records under seq.TotalLess.
+func median3(x, y, z seq.Record) seq.Record {
+	if seq.TotalLess(y, x) {
+		x, y = y, x
+	}
+	if seq.TotalLess(z, y) {
+		y = z
+		if seq.TotalLess(y, x) {
+			y = x
+		}
+	}
+	return y
 }
 
 // msort sorts a, leaving the result in b when toBuf is set and in a
@@ -34,9 +100,9 @@ func msort(p *Pool, a, b []seq.Record, toBuf bool) {
 	if n <= sortLeaf {
 		if toBuf {
 			copy(b, a)
-			slices.SortFunc(b, seq.TotalCompare)
+			SeqSortRecords(b)
 		} else {
-			slices.SortFunc(a, seq.TotalCompare)
+			SeqSortRecords(a)
 		}
 		return
 	}

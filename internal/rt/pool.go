@@ -84,6 +84,22 @@ func (p *Pool) For(n int, body func(int)) {
 // ForGrain runs body(i) for i in [0, n), executing runs of up to grain
 // consecutive iterations sequentially within one strand.
 func (p *Pool) ForGrain(n, grain int, body func(int)) {
+	p.ForRange(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForRange covers [0, n) with disjoint sub-ranges of at most grain
+// iterations, invoking body(lo, hi) once per sub-range, in parallel when
+// workers are free. It is the chunk-level counterpart of ForGrain: span
+// operations use it to hand whole sub-slices to a kernel instead of
+// calling a closure per element.
+func (p *Pool) ForRange(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
 	if grain < 1 {
 		grain = 1
 	}
@@ -94,7 +110,7 @@ func (p *Pool) ForGrain(n, grain int, body func(int)) {
 // token is free. When no worker is free the left half runs inline and
 // the loop re-tests the (shrinking) right half, so strands adapt to
 // workers freeing up mid-range.
-func (p *Pool) forRange(lo, hi, grain int, body func(int)) {
+func (p *Pool) forRange(lo, hi, grain int, body func(lo, hi int)) {
 	for hi-lo > grain && p.tokens != nil {
 		mid := lo + (hi-lo)/2
 		select {
@@ -113,11 +129,7 @@ func (p *Pool) forRange(lo, hi, grain int, body func(int)) {
 			lo = mid
 		}
 	}
-	p.seqRange(lo, hi, body)
-}
-
-func (p *Pool) seqRange(lo, hi int, body func(int)) {
-	for i := lo; i < hi; i++ {
-		body(i)
+	if lo < hi {
+		body(lo, hi)
 	}
 }

@@ -24,6 +24,12 @@
 // natively, and Metered reports which world the code is running in so
 // model-only constructs (cost oracles, CRCW emulation) can swap in their
 // executable counterparts.
+//
+// Hot loops go through the span-level bulk operations of spans.go
+// (CopySpan, FillSpan, MapSpan, ForSpan, and Arr's ReadSpan/WriteSpan):
+// metered backends run exactly the per-element loops they replace, the
+// native backend runs raw sub-slice kernels grain-split across the
+// Pool.
 package rt
 
 import (
@@ -68,8 +74,19 @@ type Arr[T any] interface {
 	Get(c Ctx, i int) T
 	Set(c Ctx, i int, v T)
 	// Slice returns a view of [lo, hi) sharing storage and, under the
-	// sim backends, simulated addresses.
+	// sim backends, simulated addresses. The view's capacity is clipped
+	// to its length, so Unwrap on a view cannot reach storage past hi.
 	Slice(lo, hi int) Arr[T]
+	// ReadSpan copies a[lo : lo+len(dst)] into dst on the current
+	// strand. On metered backends it is exactly the per-element loop
+	// `for k { dst[k] = a.Get(c, lo+k) }` — len(dst) ordered reads;
+	// natively it is a bulk copy.
+	ReadSpan(c Ctx, lo int, dst []T)
+	// WriteSpan copies src into a[lo : lo+len(src)] on the current
+	// strand. On metered backends it is exactly the per-element loop
+	// `for k { a.Set(c, lo+k, src[k]) }` — len(src) ordered writes;
+	// natively it is a bulk copy.
+	WriteSpan(c Ctx, lo int, src []T)
 	// Unwrap exposes the backing slice without charging — verification
 	// and native fast paths only.
 	Unwrap() []T

@@ -66,4 +66,21 @@ func (x coArr[T]) Len() int                { return x.a.Len() }
 func (x coArr[T]) Get(c Ctx, i int) T      { return x.a.Get(c.(*SimCO).c, i) }
 func (x coArr[T]) Set(c Ctx, i int, v T)   { x.a.Set(c.(*SimCO).c, i, v) }
 func (x coArr[T]) Slice(lo, hi int) Arr[T] { return coArr[T]{x.a.Slice(lo, hi)} }
-func (x coArr[T]) Unwrap() []T             { return x.a.Unwrap() }
+
+// ReadSpan/WriteSpan are the per-element loops, so the cache simulator
+// and depth ledger observe exactly the pre-span access sequence.
+func (x coArr[T]) ReadSpan(c Ctx, lo int, dst []T) {
+	cc := c.(*SimCO).c
+	for k := range dst {
+		dst[k] = x.a.Get(cc, lo+k)
+	}
+}
+
+func (x coArr[T]) WriteSpan(c Ctx, lo int, src []T) {
+	cc := c.(*SimCO).c
+	for k := range src {
+		x.a.Set(cc, lo+k, src[k])
+	}
+}
+
+func (x coArr[T]) Unwrap() []T { return x.a.Unwrap() }

@@ -63,4 +63,21 @@ func (x wdArr[T]) Len() int                { return x.a.Len() }
 func (x wdArr[T]) Get(c Ctx, i int) T      { return x.a.Get(c.(*SimWD).t, i) }
 func (x wdArr[T]) Set(c Ctx, i int, v T)   { x.a.Set(c.(*SimWD).t, i, v) }
 func (x wdArr[T]) Slice(lo, hi int) Arr[T] { return wdArr[T]{x.a.Slice(lo, hi)} }
-func (x wdArr[T]) Unwrap() []T             { return x.a.Unwrap() }
+
+// ReadSpan/WriteSpan are the per-element loops, so the work-depth
+// ledger observes exactly the pre-span access sequence.
+func (x wdArr[T]) ReadSpan(c Ctx, lo int, dst []T) {
+	t := c.(*SimWD).t
+	for k := range dst {
+		dst[k] = x.a.Get(t, lo+k)
+	}
+}
+
+func (x wdArr[T]) WriteSpan(c Ctx, lo int, src []T) {
+	t := c.(*SimWD).t
+	for k := range src {
+		x.a.Set(t, lo+k, src[k])
+	}
+}
+
+func (x wdArr[T]) Unwrap() []T { return x.a.Unwrap() }

@@ -1,0 +1,123 @@
+package rt
+
+// Span-level bulk operations. The cost-model interface (Get/Set through
+// Arr) is exactly what makes the metered backends trustworthy, but on
+// the native backend every element access was an interface call — the
+// 5–10× per-element overhead measured against the raw parallel
+// mergesort. These operations close that gap the way bulk primitives do
+// in GBBS-style systems: the model charges them analytically while the
+// machine executes them as tight loops.
+//
+// The contract, asserted by spans_test.go, is charge-for-charge
+// equivalence: on SimCO and SimWD every span operation performs exactly
+// the per-element loop it replaces — same accesses, same order, same
+// fork-join shape — so every metered experiment table stays
+// byte-identical. On Native the per-element loop is replaced by a
+// kernel over direct sub-slices of the backing storage, grain-split
+// across the Pool: zero interface dispatch inside the loop.
+//
+// ForSpan is the general form. A span computation has two equivalent
+// descriptions: a charge-bearing per-element body (what the meters must
+// observe) and a slice-level kernel (what the hardware should run).
+// Structured operations (CopySpan, FillSpan, MapSpan) pair the two
+// internally; bespoke loops pass both to ForSpan.
+
+// spanGrain returns the chunk size for splitting an n-element span
+// across the pool: ~16 chunks per worker, with a floor that keeps
+// per-chunk spawn bookkeeping negligible for memory-bound kernels.
+func spanGrain(n, procs int) int {
+	g := n / (16 * procs)
+	if g < 512 {
+		g = 512
+	}
+	return g
+}
+
+// ForSpan processes a[lo:hi) as parallel strands. On metered backends
+// it runs exactly c.ParFor(hi-lo) over the per-element body `each` —
+// the loop the call site replaced. On the native backend `each` is not
+// called; instead `kernel` receives grain-sized direct sub-slices of
+// a's backing storage (span = a[base : base+len(span)], indices into a)
+// and runs on the pool with zero interface dispatch inside the loop.
+// The two bodies must describe the same computation.
+func ForSpan[T any](c Ctx, a Arr[T], lo, hi int, kernel func(span []T, base int), each func(c Ctx, i int)) {
+	if nn, ok := c.(*Native); ok {
+		data := a.(*natArr[T]).data
+		n := hi - lo
+		nn.pool.ForRange(n, spanGrain(n, nn.pool.procs), func(l, h int) {
+			kernel(data[lo+l:lo+h:lo+h], lo+l)
+		})
+		return
+	}
+	c.ParFor(hi-lo, func(c Ctx, i int) { each(c, lo+i) })
+}
+
+// CopySpan copies src into dst (equal lengths) as a parallel pass:
+// metered backends charge exactly c.ParFor(n){ dst.Set(i, src.Get(i)) },
+// the native backend runs grain-split bulk copies.
+func CopySpan[T any](c Ctx, dst, src Arr[T]) {
+	if dst.Len() != src.Len() {
+		panic("rt: CopySpan length mismatch")
+	}
+	if nn, ok := c.(*Native); ok {
+		d, s := dst.(*natArr[T]).data, src.(*natArr[T]).data
+		nn.pool.ForRange(len(d), spanGrain(len(d), nn.pool.procs), func(l, h int) {
+			copy(d[l:h], s[l:h])
+		})
+		return
+	}
+	c.ParFor(dst.Len(), func(c Ctx, i int) { dst.Set(c, i, src.Get(c, i)) })
+}
+
+// CopySpanSeq copies src into dst (equal lengths) on the current
+// strand: metered backends charge exactly the sequential interleaved
+// loop `for i { dst.Set(i, src.Get(i)) }`, the native backend one bulk
+// copy.
+func CopySpanSeq[T any](c Ctx, dst, src Arr[T]) {
+	if dst.Len() != src.Len() {
+		panic("rt: CopySpanSeq length mismatch")
+	}
+	if _, ok := c.(*Native); ok {
+		copy(dst.(*natArr[T]).data, src.(*natArr[T]).data)
+		return
+	}
+	n := dst.Len()
+	for i := 0; i < n; i++ {
+		dst.Set(c, i, src.Get(c, i))
+	}
+}
+
+// FillSpan sets every element of a to v as a parallel pass: metered
+// backends charge exactly c.ParFor(n){ a.Set(i, v) }.
+func FillSpan[T any](c Ctx, a Arr[T], v T) {
+	if nn, ok := c.(*Native); ok {
+		data := a.(*natArr[T]).data
+		nn.pool.ForRange(len(data), spanGrain(len(data), nn.pool.procs), func(l, h int) {
+			for i := l; i < h; i++ {
+				data[i] = v
+			}
+		})
+		return
+	}
+	c.ParFor(a.Len(), func(c Ctx, i int) { a.Set(c, i, v) })
+}
+
+// MapSpan computes dst[i] = f(src[i]) (equal lengths) as a parallel
+// pass: metered backends charge exactly
+// c.ParFor(n){ dst.Set(i, f(src.Get(i))) }. f must be pure — the native
+// backend evaluates it concurrently, with no strand to charge.
+func MapSpan[T, U any](c Ctx, dst Arr[U], src Arr[T], f func(T) U) {
+	if dst.Len() != src.Len() {
+		panic("rt: MapSpan length mismatch")
+	}
+	if nn, ok := c.(*Native); ok {
+		d, s := dst.(*natArr[U]).data, src.(*natArr[T]).data
+		nn.pool.ForRange(len(d), spanGrain(len(d), nn.pool.procs), func(l, h int) {
+			for i := l; i < h; i++ {
+				d[i] = f(s[i])
+			}
+		})
+		return
+	}
+	c.ParFor(dst.Len(), func(c Ctx, i int) { dst.Set(c, i, f(src.Get(c, i))) })
+}

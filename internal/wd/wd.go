@@ -160,9 +160,10 @@ func (a *Array[V]) Set(c *T, i int, v V) {
 }
 
 // Slice returns a view of a[lo:hi] sharing the same storage; accesses
-// through the view charge like accesses through a.
+// through the view charge like accesses through a. The full slice
+// expression clips the view's capacity so Unwrap cannot reach past hi.
 func (a *Array[V]) Slice(lo, hi int) *Array[V] {
-	return &Array[V]{data: a.data[lo:hi]}
+	return &Array[V]{data: a.data[lo:hi:hi]}
 }
 
 // Unwrap returns the backing slice without charging — verification only.
