@@ -9,6 +9,8 @@
 //	asymbench -exp E4 -quick      # one experiment at test sizes
 //	asymbench -exp E3 -format csv # machine-readable output
 //	asymbench -exp native         # wall-clock table of the rt native backend
+//	asymbench -exp ext            # measured IO + wall-clock of the extmem engine
+//	asymbench -exp all -json out.json  # also record every table as JSON rows
 //	asymbench -list               # enumerate experiments
 package main
 
@@ -23,12 +25,13 @@ import (
 
 func main() {
 	var (
-		expID  = flag.String("exp", "all", "experiment ID (E1..E14), 'native', or 'all'")
-		quick  = flag.Bool("quick", false, "use reduced problem sizes")
-		format = flag.String("format", "text", "output format: text or csv")
-		seed   = flag.Uint64("seed", 1, "base random seed")
-		procs  = flag.Int("procs", 0, "native benchmark workers (0 = GOMAXPROCS)")
-		list   = flag.Bool("list", false, "list experiments and exit")
+		expID    = flag.String("exp", "all", "experiment ID (E1..E14), 'native', 'ext', or 'all'")
+		quick    = flag.Bool("quick", false, "use reduced problem sizes")
+		format   = flag.String("format", "text", "output format: text or csv")
+		seed     = flag.Uint64("seed", 1, "base random seed")
+		procs    = flag.Int("procs", 0, "native/ext benchmark workers (0 = GOMAXPROCS)")
+		jsonPath = flag.String("json", "", "also write every rendered table's rows as JSON to this file")
+		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -37,27 +40,39 @@ func main() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
 		fmt.Printf("%-4s %s\n", "native", "Hardware backend wall-clock (rt native, not golden-stable)")
+		fmt.Printf("%-4s %s\n", "ext", "External-memory engine measured IO + wall-clock (extmem, not golden-stable)")
 		return
 	}
 	cfg := exp.Config{Quick: *quick, Seed: *seed, CSV: *format == "csv"}
+	if *jsonPath != "" {
+		cfg.Rec = exp.NewRecorder()
+	}
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "asymbench: unknown format %q\n", *format)
 		os.Exit(2)
 	}
-	if strings.EqualFold(*expID, "native") {
+	switch {
+	case strings.EqualFold(*expID, "native"):
 		exp.NativeBench(os.Stdout, cfg, *procs)
-		return
-	}
-	if strings.EqualFold(*expID, "all") {
+	case strings.EqualFold(*expID, "ext"):
+		exp.ExtBench(os.Stdout, cfg, *procs)
+	case strings.EqualFold(*expID, "all"):
 		for _, e := range exp.All() {
 			e.Run(os.Stdout, cfg)
 		}
-		return
+	default:
+		e, ok := exp.Lookup(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "asymbench: unknown experiment %q (use -list)\n", *expID)
+			os.Exit(2)
+		}
+		e.Run(os.Stdout, cfg)
 	}
-	e, ok := exp.Lookup(*expID)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "asymbench: unknown experiment %q (use -list)\n", *expID)
-		os.Exit(2)
+	if cfg.Rec != nil {
+		if err := cfg.Rec.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "asymbench: writing -json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nrecorded %s\n", *jsonPath)
 	}
-	e.Run(os.Stdout, cfg)
 }

@@ -1,0 +1,324 @@
+package main
+
+// The ext model: sort a file larger than RAM with the internal/extmem
+// engine. Text keys are staged into a binary record file (payload =
+// line index, so records are unique under seq.TotalLess as the engine
+// requires), sorted under the memory budget, and streamed back out as
+// text. Verification is streaming too — order check plus a record
+// checksum against the input — since the whole point is that nothing
+// here fits in memory.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"asymsort/internal/extmem"
+	"asymsort/internal/seq"
+	"asymsort/internal/xrand"
+)
+
+// runExt drives one external sort end to end, funneling every failure
+// through a single error return so the staging/spill cleanup defers in
+// extRun always fire before the process exits.
+func runExt(inPath, outPath, memFlag string, blockRecs int, omega uint64, k, fanin int,
+	tmpdir string, n int, seed uint64, procs int) {
+	if err := extRun(inPath, outPath, memFlag, blockRecs, omega, k, fanin, tmpdir, n, seed, procs); err != nil {
+		fmt.Fprintf(os.Stderr, "asymsort: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// extChunk is the record granularity of the CLI's staging and
+// verification streams.
+const extChunk = 1 << 15
+
+// checksum is an order-independent digest of a record multiset.
+type checksum struct {
+	n        int
+	sum, xor uint64
+}
+
+func (c *checksum) add(r seq.Record) {
+	h := xrand.Mix(r.Key ^ xrand.Mix(r.Val))
+	c.n++
+	c.sum += h
+	c.xor ^= h
+}
+
+// extRun stages, sorts, verifies, and reports; its defers remove the
+// staged record files (and an auto-created temp dir) on every path.
+func extRun(inPath, outPath, memFlag string, blockRecs int, omega uint64, k, fanin int,
+	tmpdir string, n int, seed uint64, procs int) error {
+	memBytes, err := parseSize(memFlag)
+	if err != nil {
+		return fmt.Errorf("bad -mem: %v", err)
+	}
+	memRecs := int(memBytes / extmem.RecordBytes)
+
+	if tmpdir == "" {
+		tmpdir, err = os.MkdirTemp("", "asymsort-ext-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmpdir)
+	} else if err := os.MkdirAll(tmpdir, 0o755); err != nil {
+		return err
+	}
+
+	// Stage the input as a binary record file.
+	staged := filepath.Join(tmpdir, fmt.Sprintf("asymsort-ext-%d-in", os.Getpid()))
+	sortedBin := filepath.Join(tmpdir, fmt.Sprintf("asymsort-ext-%d-out", os.Getpid()))
+	defer os.Remove(staged)
+	defer os.Remove(sortedBin)
+
+	var inSum checksum
+	var src string
+	start := time.Now()
+	if inPath != "" {
+		src = inPath
+		if src == "-" {
+			src = "stdin"
+		}
+		if err := stageTextKeys(inPath, staged, &inSum); err != nil {
+			return err
+		}
+	} else {
+		src = "generated uniform workload"
+		if err := stageUniform(staged, n, seed, &inSum); err != nil {
+			return err
+		}
+	}
+	stageTime := time.Since(start)
+
+	cfg := extmem.Config{
+		Mem: memRecs, Block: blockRecs, K: k, Omega: float64(omega),
+		FanIn: fanin, TmpDir: tmpdir, Procs: procs,
+	}
+	fmt.Printf("external sort: n=%d records (%s) from %s\n",
+		inSum.n, fmtBytes(int64(inSum.n)*extmem.RecordBytes), src)
+
+	rep, err := extmem.Sort(cfg, staged, sortedBin)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  budget   : M=%d records (%s), B=%d records (%s), ω=%d\n",
+		rep.Mem, fmtBytes(int64(rep.Mem)*extmem.RecordBytes),
+		rep.Block, fmtBytes(int64(rep.Block)*extmem.RecordBytes), omega)
+	fmt.Printf("  plan     : k=%d, fan-in=%d, %d runs, %d merge levels (Appendix A: ω/lg(M/B) admits k=%d)\n",
+		rep.K, rep.FanIn, rep.Runs, rep.Levels,
+		extmem.ChooseK(float64(omega), rep.Mem, rep.Block))
+	for lvl, io := range rep.LevelIO {
+		name := fmt.Sprintf("merge %d", lvl)
+		if lvl == 0 {
+			name = "runs"
+		}
+		fmt.Printf("  level %-8s: %10d block reads %10d block writes\n", name, io.Reads, io.Writes)
+	}
+	fmt.Printf("  total    : %d reads, %d writes, device cost R+ωW = %.0f\n",
+		rep.Total.Reads, rep.Total.Writes, rep.Cost())
+	fmt.Printf("  elapsed  : stage %v, run formation %v, merge %v\n",
+		stageTime.Round(time.Millisecond), rep.FormTime.Round(time.Millisecond),
+		rep.MergeTime.Round(time.Millisecond))
+
+	// Streaming verification: sorted order + multiset checksum.
+	outSum, err := verifySortedBinary(sortedBin, outPath)
+	if err != nil {
+		return err
+	}
+	if outSum != inSum {
+		return fmt.Errorf("INTERNAL ERROR: output is not a permutation of the input (checksum mismatch)")
+	}
+	fmt.Println("  output verified: sorted, record checksum matches input")
+	if outPath != "" {
+		fmt.Printf("  wrote %d sorted keys to %s\n", outSum.n, outPath)
+	}
+	return nil
+}
+
+// stageTextKeys converts one-key-per-line text into a binary record
+// file, payload = line index.
+func stageTextKeys(inPath, dst string, sum *checksum) error {
+	var r io.Reader = os.Stdin
+	if inPath != "-" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	bf, err := extmem.CreateBlockFile(dst, 1, nil)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	batch := make([]seq.Record, 0, extChunk)
+	off, line := 0, 0
+	flush := func() error {
+		if err := bf.WriteAt(off, batch); err != nil {
+			return err
+		}
+		off += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	for sc.Scan() {
+		txt := sc.Text()
+		line++
+		if txt == "" {
+			continue
+		}
+		key, err := strconv.ParseUint(txt, 10, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		rec := seq.Record{Key: key, Val: uint64(off + len(batch))}
+		sum.add(rec)
+		batch = append(batch, rec)
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return flush()
+}
+
+// stageUniform streams the seq.Uniform workload to a binary record file
+// without materializing it: same key formula, bounded memory.
+func stageUniform(dst string, n int, seed uint64, sum *checksum) error {
+	bf, err := extmem.CreateBlockFile(dst, 1, nil)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	r := xrand.New(seed)
+	batch := make([]seq.Record, 0, extChunk)
+	for i := 0; i < n; i++ {
+		rec := seq.Record{Key: (r.Next() << 24) | uint64(i)&0xffffff, Val: uint64(i)}
+		sum.add(rec)
+		batch = append(batch, rec)
+		if len(batch) == cap(batch) {
+			if err := bf.WriteAt(i+1-len(batch), batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+	}
+	return bf.WriteAt(n-len(batch), batch)
+}
+
+// verifySortedBinary streams the sorted binary file, checking key
+// order and accumulating the checksum; when outPath is non-empty it
+// simultaneously writes the keys as text ('-' = stdout).
+func verifySortedBinary(binPath, outPath string) (checksum, error) {
+	var sum checksum
+	bf, err := extmem.OpenBlockFile(binPath, 1, nil)
+	if err != nil {
+		return sum, err
+	}
+	defer bf.Close()
+
+	var tw *bufio.Writer
+	var tf *os.File // closed explicitly: close errors mean a truncated -out
+	if outPath != "" {
+		var w io.Writer = os.Stdout
+		if outPath != "-" {
+			f, err := os.Create(outPath)
+			if err != nil {
+				return sum, err
+			}
+			defer f.Close() // no-op after the explicit Close below
+			tf = f
+			w = f
+		}
+		tw = bufio.NewWriterSize(w, 1<<20)
+	}
+
+	buf := make([]seq.Record, extChunk)
+	var prev uint64
+	have := false
+	var line []byte
+	for off := 0; off < bf.Len(); off += len(buf) {
+		if rem := bf.Len() - off; rem < len(buf) {
+			buf = buf[:rem]
+		}
+		if err := bf.ReadAt(off, buf); err != nil {
+			return sum, err
+		}
+		for _, r := range buf {
+			if have && r.Key < prev {
+				return sum, fmt.Errorf("output not sorted at record %d: %d after %d", sum.n, r.Key, prev)
+			}
+			prev, have = r.Key, true
+			sum.add(r)
+			if tw != nil {
+				line = strconv.AppendUint(line[:0], r.Key, 10)
+				line = append(line, '\n')
+				if _, err := tw.Write(line); err != nil {
+					return sum, err
+				}
+			}
+		}
+	}
+	if tw != nil {
+		if err := tw.Flush(); err != nil {
+			return sum, err
+		}
+		if tf != nil {
+			if err := tf.Close(); err != nil {
+				return sum, fmt.Errorf("closing %s: %w", outPath, err)
+			}
+		}
+	}
+	return sum, nil
+}
+
+// parseSize parses "8MB", "512KB", "1GB", "64" (bytes) — binary units,
+// case-insensitive, optional B suffix.
+func parseSize(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "GB"), strings.HasSuffix(t, "G"):
+		mult = 1 << 30
+		t = strings.TrimSuffix(strings.TrimSuffix(t, "B"), "G")
+	case strings.HasSuffix(t, "MB"), strings.HasSuffix(t, "M"):
+		mult = 1 << 20
+		t = strings.TrimSuffix(strings.TrimSuffix(t, "B"), "M")
+	case strings.HasSuffix(t, "KB"), strings.HasSuffix(t, "K"):
+		mult = 1 << 10
+		t = strings.TrimSuffix(strings.TrimSuffix(t, "B"), "K")
+	default:
+		t = strings.TrimSuffix(t, "B")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("cannot parse size %q", s)
+	}
+	return v * mult, nil
+}
+
+// fmtBytes renders a byte count humanly.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

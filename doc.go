@@ -21,6 +21,11 @@
 //
 //   - internal/aram, internal/wd — Asymmetric RAM and PRAM (work-depth)
 //   - internal/aem — Asymmetric External Memory (block transfers, strict M)
+//   - internal/extmem — the Section 4 external sort on real files: a
+//     disk-backed engine (instrumented block IO, parallel run formation,
+//     loser-tree k-way merge at fan-in kM/B) that sorts files larger
+//     than RAM and whose measured block-write ledger matches the
+//     simulated AEM machine's level-for-level (cmd/asymsort -model ext)
 //   - internal/icache, internal/co — Asymmetric Ideal-Cache + the
 //     low-depth cache-oblivious execution substrate
 //   - internal/core/... — the paper's algorithms: §3 RAM/PRAM sorts,

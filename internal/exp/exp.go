@@ -22,6 +22,9 @@ type Config struct {
 	Quick bool   // smaller sweeps for tests/benches
 	Seed  uint64 // base seed; all workloads derive from it
 	CSV   bool   // emit comma-separated values instead of aligned text
+	// Rec, when non-nil, additionally captures every rendered table as
+	// structured rows (see Recorder); asymbench -json drives it.
+	Rec *Recorder
 }
 
 // Experiment is a named, runnable experiment.
@@ -85,6 +88,9 @@ func (t *table) add(cells ...interface{}) {
 }
 
 func (t *table) write(w io.Writer, cfg Config) {
+	if cfg.Rec != nil {
+		cfg.Rec.table(t.header, t.rows)
+	}
 	if cfg.CSV {
 		fmt.Fprintln(w, strings.Join(t.header, ","))
 		for _, r := range t.rows {
@@ -102,6 +108,9 @@ func (t *table) write(w io.Writer, cfg Config) {
 
 // section prints an experiment banner.
 func section(w io.Writer, cfg Config, id, title, claim string) {
+	if cfg.Rec != nil {
+		cfg.Rec.begin(id, title)
+	}
 	if cfg.CSV {
 		fmt.Fprintf(w, "# %s %s\n", id, title)
 		return

@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Recorder captures every table an experiment run renders, as
+// structured rows, so a bench trajectory can be archived as
+// machine-readable BENCH_*.json instead of scraped text. Wire one into
+// Config.Rec and the section/table plumbing mirrors everything written
+// to the text output into it (verdict lines and banners excepted —
+// they are prose, not data).
+type Recorder struct {
+	exps []*ExpRecord
+}
+
+// ExpRecord is one experiment's recorded output.
+type ExpRecord struct {
+	Experiment string        `json:"experiment"`
+	Title      string        `json:"title"`
+	Tables     []TableRecord `json:"tables"`
+}
+
+// TableRecord is one rendered table: the column header plus one object
+// per row mapping column name to cell. Cells parse to JSON numbers
+// where possible — including measurement suffixes like "12.3ms",
+// "1.07x", and "45.6%" — and stay strings otherwise, so downstream
+// tooling gets numeric series without regex scraping.
+type TableRecord struct {
+	Columns []string         `json:"columns"`
+	Rows    []map[string]any `json:"rows"`
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// begin opens a new experiment record; tables recorded after it attach
+// there.
+func (r *Recorder) begin(id, title string) {
+	r.exps = append(r.exps, &ExpRecord{Experiment: id, Title: title})
+}
+
+// table records one rendered table under the current experiment.
+func (r *Recorder) table(header []string, rows [][]string) {
+	if len(r.exps) == 0 {
+		r.begin("?", "")
+	}
+	cur := r.exps[len(r.exps)-1]
+	tr := TableRecord{Columns: append([]string(nil), header...)}
+	for _, row := range rows {
+		obj := make(map[string]any, len(header))
+		for i, col := range header {
+			if i < len(row) {
+				obj[col] = cellValue(row[i])
+			}
+		}
+		tr.Rows = append(tr.Rows, obj)
+	}
+	cur.Tables = append(cur.Tables, tr)
+}
+
+// cellValue parses a rendered cell into a number when it is one,
+// tolerating the harness's unit suffixes.
+func cellValue(s string) any {
+	t := strings.TrimSpace(s)
+	for _, suffix := range []string{"", "x", "ms", "s", "%"} {
+		u := strings.TrimSuffix(t, suffix)
+		if suffix != "" && u == t {
+			continue
+		}
+		if v, err := strconv.ParseFloat(u, 64); err == nil {
+			return v
+		}
+	}
+	return s
+}
+
+// WriteFile marshals everything recorded so far as indented JSON.
+func (r *Recorder) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r.exps, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,305 @@
+package extmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"asymsort/internal/seq"
+)
+
+// RecordBytes is the on-disk footprint of one record: key then payload,
+// little-endian uint64s. It matches the 16-byte in-memory footprint
+// that makes the simulators' block-size parameter B meaningful.
+const RecordBytes = 16
+
+// BlockFile is a file of fixed-width binary records addressed at record
+// granularity, with every transfer charged to an IOStats ledger at
+// block granularity: a transfer of records [off, off+n) touches the
+// device blocks ⌊off/B⌋ .. ⌊(off+n-1)/B⌋ and charges one read or write
+// per touched block, exactly as aem.File.ReadRange/WriteRange charge
+// the simulated ledger. Reading a span smaller than a block therefore
+// still costs a whole block read — which is how the merge stage's
+// sub-block prefetch buffers realize the paper's k× read multiplier on
+// a real device.
+//
+// A BlockFile is not safe for concurrent use (its scratch buffer is
+// shared across calls); the engine performs all IO from one goroutine.
+type BlockFile struct {
+	f       *os.File
+	path    string
+	b       int      // block size in records
+	n       int      // file length in records (max extent written)
+	stats   *IOStats // nil = uncharged (staging and test fixtures)
+	scratch []byte
+}
+
+// CreateBlockFile creates (truncating) a record file charging to stats;
+// stats may be nil for uncharged staging files.
+func CreateBlockFile(path string, b int, stats *IOStats) (*BlockFile, error) {
+	if b < 1 {
+		return nil, fmt.Errorf("extmem: block size must be >= 1 records")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &BlockFile{f: f, path: path, b: b, stats: stats}, nil
+}
+
+// createTempBlockFile creates a uniquely-named record file in dir via
+// os.CreateTemp, so concurrent engines sharing a spill directory (or
+// one process's default os.TempDir) can never collide.
+func createTempBlockFile(dir, pattern string, b int, stats *IOStats) (*BlockFile, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &BlockFile{f: f, path: f.Name(), b: b, stats: stats}, nil
+}
+
+// OpenBlockFile opens an existing record file; its length must be a
+// whole number of records.
+func OpenBlockFile(path string, b int, stats *IOStats) (*BlockFile, error) {
+	if b < 1 {
+		return nil, fmt.Errorf("extmem: block size must be >= 1 records")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi.Size()%RecordBytes != 0 {
+		f.Close()
+		return nil, fmt.Errorf("extmem: %s: size %d is not a whole number of %d-byte records",
+			path, fi.Size(), RecordBytes)
+	}
+	return &BlockFile{f: f, path: path, b: b, n: int(fi.Size() / RecordBytes), stats: stats}, nil
+}
+
+// Len returns the file length in records.
+func (bf *BlockFile) Len() int { return bf.n }
+
+// Path returns the file's path.
+func (bf *BlockFile) Path() string { return bf.path }
+
+// blockSpan returns how many device blocks records [off, off+n) touch.
+func (bf *BlockFile) blockSpan(off, n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	first := off / bf.b
+	last := (off + n - 1) / bf.b
+	return uint64(last - first + 1)
+}
+
+// ioChunk bounds the per-syscall encode/decode scratch of one logical
+// transfer, in records: large transfers (a whole M-record run) move in
+// 64KB pieces so the scratch buffer stays negligible next to the
+// memory budget instead of shadowing it. Charging is per logical
+// transfer, not per piece, so chunking never changes the ledger.
+const ioChunk = 1 << 12
+
+func (bf *BlockFile) buf(n int) []byte {
+	if cap(bf.scratch) < n {
+		bf.scratch = make([]byte, n)
+	}
+	return bf.scratch[:n]
+}
+
+// ReadAt fills dst with records [off, off+len(dst)), charging one block
+// read per touched block. Short reads — a file truncated behind the
+// engine's back — are hard errors, never partially decoded data.
+func (bf *BlockFile) ReadAt(off int, dst []seq.Record) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	if off < 0 || off+len(dst) > bf.n {
+		return fmt.Errorf("extmem: read [%d,%d) beyond %s length %d", off, off+len(dst), bf.path, bf.n)
+	}
+	for start := 0; start < len(dst); start += ioChunk {
+		sub := dst[start:min(start+ioChunk, len(dst))]
+		raw := bf.buf(len(sub) * RecordBytes)
+		n, err := bf.f.ReadAt(raw, int64(off+start)*RecordBytes)
+		if n != len(raw) {
+			return fmt.Errorf("extmem: short read of %s at record %d (%d of %d bytes): %v",
+				bf.path, off+start, n, len(raw), err)
+		}
+		for i := range sub {
+			sub[i].Key = binary.LittleEndian.Uint64(raw[i*RecordBytes:])
+			sub[i].Val = binary.LittleEndian.Uint64(raw[i*RecordBytes+8:])
+		}
+	}
+	if bf.stats != nil {
+		bf.stats.reads.Add(bf.blockSpan(off, len(dst)))
+	}
+	return nil
+}
+
+// WriteAt stores src at records [off, off+len(src)), charging one block
+// write per touched block and extending the file as needed (writes past
+// the current extent leave a hole, which spill files use to lay each
+// merge-tree node's output at its input offset).
+func (bf *BlockFile) WriteAt(off int, src []seq.Record) error {
+	if len(src) == 0 {
+		return nil
+	}
+	if off < 0 {
+		return fmt.Errorf("extmem: negative write offset %d on %s", off, bf.path)
+	}
+	for start := 0; start < len(src); start += ioChunk {
+		sub := src[start:min(start+ioChunk, len(src))]
+		raw := bf.buf(len(sub) * RecordBytes)
+		for i, r := range sub {
+			binary.LittleEndian.PutUint64(raw[i*RecordBytes:], r.Key)
+			binary.LittleEndian.PutUint64(raw[i*RecordBytes+8:], r.Val)
+		}
+		if _, err := bf.f.WriteAt(raw, int64(off+start)*RecordBytes); err != nil {
+			return fmt.Errorf("extmem: write %s: %w", bf.path, err)
+		}
+	}
+	if off+len(src) > bf.n {
+		bf.n = off + len(src)
+	}
+	if bf.stats != nil {
+		bf.stats.writes.Add(bf.blockSpan(off, len(src)))
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (bf *BlockFile) Close() error { return bf.f.Close() }
+
+// Remove closes and deletes the file.
+func (bf *BlockFile) Remove() error {
+	bf.f.Close()
+	return os.Remove(bf.path)
+}
+
+// WriteRecordsFile writes recs to path as an uncharged record file —
+// a convenience for staging inputs in tests, benchmarks, and examples.
+func WriteRecordsFile(path string, recs []seq.Record) error {
+	bf, err := CreateBlockFile(path, 1, nil)
+	if err != nil {
+		return err
+	}
+	if err := bf.WriteAt(0, recs); err != nil {
+		bf.Close()
+		return err
+	}
+	return bf.Close()
+}
+
+// ReadRecordsFile reads a whole record file back, uncharged.
+func ReadRecordsFile(path string) ([]seq.Record, error) {
+	bf, err := OpenBlockFile(path, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer bf.Close()
+	out := make([]seq.Record, bf.Len())
+	if err := bf.ReadAt(0, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runWriter appends records to a destination region [base, …) of a
+// BlockFile through a block-multiple buffer, so every flush is
+// block-aligned and a region of n records costs exactly ⌈n/B⌉ block
+// writes — the same accounting as the simulator's store-block flushes.
+type runWriter struct {
+	bf   *BlockFile
+	base int // absolute record offset of the region start
+	off  int // records flushed so far
+	buf  []seq.Record
+}
+
+// newRunWriter adopts buf (empty, capacity a whole number of blocks —
+// the engine carves it from its arena) as the flush buffer.
+func newRunWriter(bf *BlockFile, base int, buf []seq.Record) *runWriter {
+	if cap(buf)%bf.b != 0 || cap(buf) == 0 {
+		panic("extmem: runWriter buffer must be a positive whole number of blocks")
+	}
+	return &runWriter{bf: bf, base: base, buf: buf[:0]}
+}
+
+func (w *runWriter) add(r seq.Record) error {
+	w.buf = append(w.buf, r)
+	if len(w.buf) == cap(w.buf) {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *runWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if err := w.bf.WriteAt(w.base+w.off, w.buf); err != nil {
+		return err
+	}
+	w.off += len(w.buf)
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// written returns how many records have been flushed plus buffered.
+func (w *runWriter) written() int { return w.off + len(w.buf) }
+
+// runReader streams records of a region [lo, hi) of a BlockFile through
+// a prefetch buffer of bufRecs records, one ReadAt per refill. Buffers
+// smaller than a block make consecutive refills re-read the straddled
+// device block — the deliberate read amplification of the wide merge.
+type runReader struct {
+	bf   *BlockFile
+	next int // next record offset to refill from
+	hi   int
+	buf  []seq.Record
+	pos  int // cursor within buf
+}
+
+// newRunReader adopts buf (empty, non-zero capacity) as the prefetch
+// buffer; the engine carves one per run from its arena.
+func newRunReader(bf *BlockFile, lo, hi int, buf []seq.Record) *runReader {
+	if cap(buf) == 0 {
+		panic("extmem: runReader buffer must have capacity")
+	}
+	return &runReader{bf: bf, next: lo, hi: hi, buf: buf[:0]}
+}
+
+// refill loads the next span; it reports whether any records remain.
+func (r *runReader) refill() (bool, error) {
+	n := r.hi - r.next
+	if n <= 0 {
+		return false, nil
+	}
+	if n > cap(r.buf) {
+		n = cap(r.buf)
+	}
+	r.buf = r.buf[:n]
+	if err := r.bf.ReadAt(r.next, r.buf); err != nil {
+		return false, err
+	}
+	r.next += n
+	r.pos = 0
+	return true, nil
+}
+
+// cur returns the record under the cursor; valid only after a
+// successful refill/advance.
+func (r *runReader) cur() seq.Record { return r.buf[r.pos] }
+
+// advance moves to the next record, refilling as needed; it reports
+// whether a current record exists.
+func (r *runReader) advance() (bool, error) {
+	r.pos++
+	if r.pos < len(r.buf) {
+		return true, nil
+	}
+	return r.refill()
+}

@@ -1,0 +1,123 @@
+package extmem
+
+import "asymsort/internal/seq"
+
+// loserTree is a tournament selection tree over k run readers: popping
+// the minimum and replaying the winner's path costs ⌈log₂k⌉ record
+// comparisons, against the log k a binary heap pays twice (delete-min
+// plus insert). That constant matters here because the merge stage's
+// fan-in is kM/B — routinely thousands — and every record of every
+// level passes through the tree.
+//
+// Leaves are padded to a power of two; padding slots and exhausted runs
+// compare as +∞. Ties order by run index, so merging is stable across
+// runs and the output is deterministic even with records that compare
+// equal under seq.TotalLess.
+type loserTree struct {
+	p      int          // leaves, padded to a power of two
+	tree   []int        // tree[1..p-1]: loser run index of each match
+	cur    []seq.Record // cached head record per run
+	done   []bool       // run exhausted (or padding)
+	rdrs   []*runReader
+	winner int // overall winner; -1 when all runs are exhausted
+}
+
+// newLoserTree builds the tree, priming every reader's first record.
+func newLoserTree(rdrs []*runReader) (*loserTree, error) {
+	k := len(rdrs)
+	p := 1
+	for p < k {
+		p *= 2
+	}
+	lt := &loserTree{
+		p:    p,
+		tree: make([]int, p),
+		cur:  make([]seq.Record, p),
+		done: make([]bool, p),
+		rdrs: rdrs,
+	}
+	for i := 0; i < p; i++ {
+		if i >= k {
+			lt.done[i] = true
+			continue
+		}
+		ok, err := rdrs[i].refill()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			lt.done[i] = true // empty run
+			continue
+		}
+		lt.cur[i] = rdrs[i].cur()
+	}
+	lt.winner = lt.build(1)
+	return lt, nil
+}
+
+// build plays the initial matches of the subtree rooted at internal
+// node `node`, recording losers and returning the subtree winner.
+func (lt *loserTree) build(node int) int {
+	if node >= lt.p {
+		if lt.p == 1 {
+			// Single leaf: no internal nodes exist.
+			return 0
+		}
+		return node - lt.p
+	}
+	l := lt.build(2 * node)
+	r := lt.build(2*node + 1)
+	if lt.beats(l, r) {
+		lt.tree[node] = r
+		return l
+	}
+	lt.tree[node] = l
+	return r
+}
+
+// beats reports whether run i wins (orders before) run j.
+func (lt *loserTree) beats(i, j int) bool {
+	if lt.done[j] {
+		return true
+	}
+	if lt.done[i] {
+		return false
+	}
+	if seq.TotalLess(lt.cur[i], lt.cur[j]) {
+		return true
+	}
+	if seq.TotalLess(lt.cur[j], lt.cur[i]) {
+		return false
+	}
+	return i < j
+}
+
+// pop removes and returns the minimum record across all runs; ok is
+// false when every run is exhausted.
+func (lt *loserTree) pop() (rec seq.Record, ok bool, err error) {
+	w := lt.winner
+	if w < 0 || lt.done[w] {
+		return rec, false, nil
+	}
+	rec = lt.cur[w]
+	adv, err := lt.rdrs[w].advance()
+	if err != nil {
+		return rec, false, err
+	}
+	if adv {
+		lt.cur[w] = lt.rdrs[w].cur()
+	} else {
+		lt.done[w] = true
+	}
+	// Replay the matches on w's path to the root.
+	for node := (lt.p + w) / 2; node >= 1; node /= 2 {
+		if lt.beats(lt.tree[node], w) {
+			lt.tree[node], w = w, lt.tree[node]
+		}
+	}
+	lt.winner = w
+	if lt.done[w] {
+		lt.winner = -1
+	}
+	return rec, true, nil
+}

@@ -1,0 +1,196 @@
+package extmem
+
+import (
+	"fmt"
+	"time"
+
+	"asymsort/internal/cost"
+	"asymsort/internal/seq"
+)
+
+// engine executes one plan. All IO runs on the calling goroutine; only
+// the in-memory run sorts fan out over the rt pool.
+type engine struct {
+	cfg     resolved
+	plan    *Plan
+	stats   IOStats
+	in      *BlockFile
+	out     *BlockFile
+	spill   [2]*BlockFile // ping-pong by level parity; created lazily
+	formBuf []seq.Record  // M records, reused by every leaf
+	readBuf []seq.Record  // streaming chunk for selection passes
+	report  *Report
+}
+
+// Sort sorts the record file at inPath into a fresh record file at
+// outPath under cfg's memory budget. Spill files are created in
+// cfg.TmpDir and removed before returning, error or not.
+func Sort(cfg Config, inPath, outPath string) (*Report, error) {
+	r, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{cfg: r}
+	in, err := OpenBlockFile(inPath, r.block, &e.stats)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	e.in = in
+	out, err := CreateBlockFile(outPath, r.block, &e.stats)
+	if err != nil {
+		return nil, err
+	}
+	defer out.Close()
+	e.out = out
+
+	e.plan = NewPlan(in.Len(), r.mem, r.block, r.k, r.fanIn)
+	e.report = &Report{
+		N: in.Len(), Mem: r.mem, Block: r.block, K: r.k, FanIn: r.fanIn,
+		Runs: e.plan.Runs(), Levels: e.plan.Levels(), Omega: r.omega,
+		LevelIO: make([]cost.Snapshot, e.plan.Levels()+1),
+	}
+	e.formBuf = make([]seq.Record, r.mem)
+	chunk := formChunk
+	if chunk < r.block {
+		chunk = r.block
+	}
+	e.readBuf = make([]seq.Record, 0, chunk)
+
+	defer func() {
+		for _, sp := range e.spill {
+			if sp != nil {
+				sp.Remove()
+			}
+		}
+	}()
+	if e.plan.root != nil {
+		if err := e.exec(e.plan.root); err != nil {
+			return nil, err
+		}
+	}
+	e.report.Total = e.stats.Snapshot()
+	return e.report, nil
+}
+
+// dst returns the file a node's output lands in: the final output for
+// the root, otherwise the spill file of the node's level parity. Spill
+// files mirror the input's layout — every node writes its region at
+// its own input offsets — so a parent at level ℓ reads all its
+// children from the single parity-(ℓ-1) spill file. A same-parity
+// region is only ever overwritten two levels up, by which time its
+// contents (the grandchildren's runs) have been consumed. Two spill
+// files bound the engine's fd count at four (input, output, spills)
+// regardless of fan-in, where one-file-per-run would exhaust the fd
+// limit at the canonical kM/B fan-in.
+func (e *engine) dst(nd *planNode) (*BlockFile, error) {
+	if nd == e.plan.root {
+		return e.out, nil
+	}
+	parity := nd.level % 2
+	if e.spill[parity] == nil {
+		bf, err := createTempBlockFile(e.cfg.tmpDir,
+			fmt.Sprintf("asymsort-ext-spill%d-*", parity), e.cfg.block, &e.stats)
+		if err != nil {
+			return nil, fmt.Errorf("extmem: cannot create spill file: %w", err)
+		}
+		e.spill[parity] = bf
+	}
+	return e.spill[parity], nil
+}
+
+// exec runs the subtree bottom-up: children first, then the node's own
+// merge, attributing the IO delta of each stage to its ledger level.
+func (e *engine) exec(nd *planNode) error {
+	if nd.leaf() {
+		base := e.stats.Snapshot()
+		start := time.Now()
+		err := e.formRun(nd)
+		e.report.FormTime += time.Since(start)
+		e.addLevel(0, base)
+		return err
+	}
+	for _, kid := range nd.kids {
+		if err := e.exec(kid); err != nil {
+			return err
+		}
+	}
+	base := e.stats.Snapshot()
+	start := time.Now()
+	err := e.mergeNode(nd)
+	e.report.MergeTime += time.Since(start)
+	e.addLevel(nd.level, base)
+	return err
+}
+
+func (e *engine) addLevel(level int, base cost.Snapshot) {
+	e.report.LevelIO[level] = e.report.LevelIO[level].Add(e.stats.Snapshot().Sub(base))
+}
+
+// mergeNode merges the node's children — their outputs live in the
+// parity-(level-1) spill file (or, for leaf children, were formed
+// there) — into the node's own destination. The memory budget M splits
+// evenly across the fan-in's prefetch buffers plus one write buffer;
+// with the canonical fan-in kM/B the per-run buffer is ≈B/k records,
+// so each device block is fetched ≈k times per level, which is exactly
+// the read amplification AEM-MERGESORT trades for its shallower tree.
+func (e *engine) mergeNode(nd *planNode) error {
+	f := len(nd.kids)
+	// Carve the prefetch and write buffers out of the formation arena —
+	// formation and merging never overlap in the bottom-up execution, so
+	// the engine's resident record buffers stay at one M throughout. The
+	// write buffer takes whole blocks; degenerate configs whose f+1
+	// shares round below one record (or one block) fall back to a
+	// slightly larger scratch allocation, the same small slack the
+	// simulator grants.
+	c := e.cfg.mem / (f + 1)
+	if c < 1 {
+		c = 1
+	}
+	wLen := c - c%e.cfg.block
+	if wLen < e.cfg.block {
+		wLen = e.cfg.block
+	}
+	arena := e.formBuf
+	if need := f*c + wLen; need > len(arena) {
+		arena = make([]seq.Record, need)
+	}
+	rdrs := make([]*runReader, f)
+	for i, kid := range nd.kids {
+		src, err := e.dst(kid)
+		if err != nil {
+			return err
+		}
+		lo := i * c
+		rdrs[i] = newRunReader(src, kid.lo, kid.hi, arena[lo:lo+c:lo+c])
+	}
+	lt, err := newLoserTree(rdrs)
+	if err != nil {
+		return err
+	}
+	dst, err := e.dst(nd)
+	if err != nil {
+		return err
+	}
+	w := newRunWriter(dst, nd.lo, arena[f*c:f*c+wLen:f*c+wLen])
+	for {
+		rec, ok, err := lt.pop()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := w.add(rec); err != nil {
+			return err
+		}
+	}
+	if err := w.flush(); err != nil {
+		return err
+	}
+	if w.written() != nd.len() {
+		return fmt.Errorf("extmem: merge of [%d,%d) produced %d records, want %d",
+			nd.lo, nd.hi, w.written(), nd.len())
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package extmem
+
+import (
+	"fmt"
+
+	"asymsort/internal/rt"
+	"asymsort/internal/seq"
+)
+
+// This file forms the leaf runs of the merge tree: the real counterpart
+// of aemsort.SelectionSortFile (Lemma 4.2). A leaf holds at most kM
+// records but the engine may hold only M in memory, so a leaf is formed
+// in ⌈n/M⌉ ≤ k passes: each pass streams the leaf's range of the input
+// file, retains the M smallest records above the previous pass's
+// watermark in a bounded max-heap, sorts the retained set in parallel
+// with rt.SortRecords, and writes it out once. Reads multiply by up to
+// k; every record is written exactly once — the paper's trade.
+
+// formChunk is the streaming read granularity of a selection pass, in
+// records (clamped to a block minimum). Like the simulator's load
+// block, it rides in the slack beyond M.
+const formChunk = 1 << 13
+
+// formRun sorts input records [nd.lo, nd.hi) into dst at the same
+// offsets. The candidate buffer cand has capacity mem records and is
+// reused across leaves.
+func (e *engine) formRun(nd *planNode) error {
+	n := nd.len()
+	if n == 0 {
+		return nil
+	}
+	dst, err := e.dst(nd)
+	if err != nil {
+		return err
+	}
+	// Fast path: the leaf fits the budget (always, when k = 1) — one
+	// read pass, one parallel sort, one write pass, no watermark (and
+	// hence no uniqueness requirement).
+	if n <= e.cfg.mem {
+		buf := e.formBuf[:n]
+		if err := e.in.ReadAt(nd.lo, buf); err != nil {
+			return err
+		}
+		rt.SortRecords(e.cfg.pool, buf)
+		return dst.WriteAt(nd.lo, buf)
+	}
+
+	chunk := e.readBuf
+	var watermark seq.Record
+	have := false
+	outOff := nd.lo
+	for outOff < nd.hi {
+		// One selection pass: gather up to M candidates above the
+		// watermark, first by filling, then by max-heap replacement.
+		cand := e.formBuf[:0]
+		heaped := false
+		for off := nd.lo; off < nd.hi; off += len(chunk) {
+			c := nd.hi - off
+			if c > cap(chunk) {
+				c = cap(chunk)
+			}
+			chunk = chunk[:c]
+			if err := e.in.ReadAt(off, chunk); err != nil {
+				return err
+			}
+			for _, r := range chunk {
+				if have && !seq.TotalLess(watermark, r) {
+					continue // written by an earlier pass
+				}
+				if len(cand) < e.cfg.mem {
+					cand = append(cand, r)
+					continue
+				}
+				if !heaped {
+					heapify(cand)
+					heaped = true
+				}
+				if seq.TotalLess(r, cand[0]) {
+					cand[0] = r
+					siftDown(cand, 0)
+				}
+			}
+		}
+		if len(cand) == 0 {
+			return fmt.Errorf("extmem: selection pass at %d/%d found no records above the watermark (duplicate records under seq.TotalLess?)",
+				outOff-nd.lo, n)
+		}
+		rt.SortRecords(e.cfg.pool, cand)
+		if err := dst.WriteAt(outOff, cand); err != nil {
+			return err
+		}
+		outOff += len(cand)
+		watermark, have = cand[len(cand)-1], true
+	}
+	return nil
+}
+
+// heapify establishes the max-heap property under seq.TotalLess.
+func heapify(h []seq.Record) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+}
+
+// siftDown restores the max-heap property below index i.
+func siftDown(h []seq.Record, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		big := l
+		if r := l + 1; r < n && seq.TotalLess(h[l], h[r]) {
+			big = r
+		}
+		if !seq.TotalLess(h[i], h[big]) {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}

@@ -44,9 +44,30 @@ import (
 // opaque and create all arrays through NewArr/FromSlice so storage lands
 // in the right world.
 type Ctx interface {
-	// Omega returns the write-cost parameter ω. Native backends report
-	// the structural ω they were configured with (it still shapes
-	// ω-dependent algorithm structure, e.g. bucket refinement fan-out).
+	// Omega returns the write-cost parameter ω.
+	//
+	// ω plays two distinct roles in this repository, and this comment is
+	// the authoritative statement of both (internal/extmem's Config.Omega
+	// defers here rather than restating them):
+	//
+	//   - Structural parameter (this method): the ω an algorithm's shape
+	//     is tuned for — bucket refinement fan-out, the AEM branching
+	//     factor kM/B, selection-sort base-case depth. The metered
+	//     backends additionally charge ω per write in their ledgers.
+	//     Native backends report the structural ω they were configured
+	//     with; it still shapes ω-dependent structure even though
+	//     nothing is charged.
+	//   - Measured device ratio (extmem.Config.Omega): the empirical
+	//     cost of a block write relative to a block read on a concrete
+	//     storage device (≈19× for the PCM SSD of §2). It feeds the
+	//     Appendix A rule k/log k < ω/log(M/B) that picks the external
+	//     sort's read multiplier, and weights measured IO counts into a
+	//     device cost R + ωW for reporting — it is never charged to any
+	//     ledger.
+	//
+	// The two coincide when simulating the device the structure targets,
+	// but they are different knobs: an engine tuned with structural ω=16
+	// can be re-costed after the fact against any measured ratio.
 	Omega() uint64
 	// Metered reports whether accesses are being charged to a cost
 	// model. Native backends return false; algorithms use this to

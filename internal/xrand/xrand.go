@@ -26,7 +26,14 @@ func New(seed uint64) *SplitMix64 {
 // Next returns the next 64-bit value in the sequence.
 func (r *SplitMix64) Next() uint64 {
 	r.state += 0x9e3779b97f4a7c15
-	z := r.state
+	return Mix(r.state)
+}
+
+// Mix is the splitmix64 finalizer: a fast, high-quality 64-bit mixing
+// function (bijective, full avalanche). Callers needing a stateless
+// hash of an integer — checksums, priorities — share this one copy of
+// the magic constants.
+func Mix(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
