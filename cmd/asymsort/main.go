@@ -20,6 +20,7 @@
 //
 //	asymsort -model ext -in big.txt -out sorted.txt -mem 8MB
 //	asymsort -model ext -n 10000000 -mem 4MB -omega 16 -tmpdir /mnt/scratch
+//	asymsort -model ext -in big.txt -out sorted.txt -mem 8MB -procs 4
 //
 // Native and ext input is one unsigned 64-bit key per line (payload =
 // line number); -out writes the sorted keys one per line. The ext
@@ -28,6 +29,11 @@
 // -tmpdir and merging them at the fan-in the paper's Appendix A rule
 // picks for the device's read/write cost ratio ω (override with
 // -fanin), and reports the measured block-IO ledger next to wall-clock.
+// With -procs P > 1 (the default is GOMAXPROCS) the engine pipelines
+// run formation, cuts every merge into P worker-private key ranges,
+// and overlaps block IO with compute — the block-write ledger is
+// identical to the sequential engine's at any P; -procs 1 selects the
+// strictly sequential baseline.
 package main
 
 import (

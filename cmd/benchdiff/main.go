@@ -1,0 +1,244 @@
+// Command benchdiff renders the before/after table for the CI bench
+// job: it joins two asymbench -json recordings (see exp.Recorder and
+// the BENCH_*.json artifacts) — and, optionally, two `go test -bench`
+// text outputs — and emits a GitHub-flavored-markdown summary with
+// per-cell deltas against the baseline. The baseline side may be
+// missing (the first recorded run has nothing to diff against), in
+// which case the new numbers render without deltas.
+//
+// Usage:
+//
+//	benchdiff [-gobench-old old.txt] [-gobench-new new.txt] old.json new.json
+//
+// CI restores old.json from the rolling bench-baseline cache, writes
+// the markdown to $GITHUB_STEP_SUMMARY, and then promotes new.json to
+// be the next run's baseline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"asymsort/internal/exp"
+)
+
+func main() {
+	gobenchOld := flag.String("gobench-old", "", "baseline `go test -bench` text output (optional)")
+	gobenchNew := flag.String("gobench-new", "", "current `go test -bench` text output (optional)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-gobench-old f] [-gobench-new f] old.json new.json")
+		os.Exit(2)
+	}
+	oldRecs, oldOK := loadRecs(flag.Arg(0))
+	newRecs, newOK := loadRecs(flag.Arg(1))
+	if !newOK {
+		fmt.Fprintf(os.Stderr, "benchdiff: cannot read %s\n", flag.Arg(1))
+		os.Exit(1)
+	}
+	if !oldOK {
+		fmt.Println("_No bench baseline found — recording this run as the first baseline._")
+	}
+	fmt.Print(diffMarkdown(oldRecs, newRecs))
+	if *gobenchNew != "" {
+		oldNS := parseGoBench(readAll(*gobenchOld))
+		newNS := parseGoBench(readAll(*gobenchNew))
+		fmt.Print(goBenchMarkdown(oldNS, newNS))
+	}
+}
+
+// loadRecs reads one asymbench -json recording; a missing or unreadable
+// file reports ok=false (no baseline).
+func loadRecs(path string) ([]exp.ExpRecord, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var recs []exp.ExpRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, false
+	}
+	return recs, true
+}
+
+func readAll(path string) string {
+	if path == "" {
+		return ""
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return string(data)
+}
+
+// diffMarkdown renders every table of newRecs as markdown, annotating
+// each numeric cell with its delta against the same experiment, table
+// index, and row key (the first column's value) in oldRecs.
+func diffMarkdown(oldRecs, newRecs []exp.ExpRecord) string {
+	var b strings.Builder
+	for _, e := range newRecs {
+		fmt.Fprintf(&b, "\n### %s — %s\n\n", e.Experiment, e.Title)
+		for ti, tb := range e.Tables {
+			if len(tb.Columns) == 0 {
+				continue
+			}
+			base := matchTable(oldRecs, e.Experiment, ti, tb.Columns)
+			fmt.Fprintf(&b, "| %s |\n|%s\n", strings.Join(tb.Columns, " | "),
+				strings.Repeat("---|", len(tb.Columns)))
+			for _, row := range tb.Rows {
+				cells := make([]string, len(tb.Columns))
+				var baseRow map[string]any
+				if base != nil {
+					baseRow = matchRow(base, tb.Columns[0], row[tb.Columns[0]])
+				}
+				for i, col := range tb.Columns {
+					cells[i] = renderCell(row[col], baseRow[col], i > 0)
+				}
+				fmt.Fprintf(&b, "| %s |\n", strings.Join(cells, " | "))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// matchTable finds the ti-th table of the experiment with the given ID,
+// provided its column set still matches cols — a reordered or reshaped
+// table must read as "no baseline", not diff against the wrong data.
+func matchTable(recs []exp.ExpRecord, id string, ti int, cols []string) *exp.TableRecord {
+	for i := range recs {
+		if recs[i].Experiment != id || ti >= len(recs[i].Tables) {
+			continue
+		}
+		tb := &recs[i].Tables[ti]
+		if len(tb.Columns) != len(cols) {
+			return nil
+		}
+		for ci, col := range cols {
+			if tb.Columns[ci] != col {
+				return nil
+			}
+		}
+		return tb
+	}
+	return nil
+}
+
+// matchRow finds the row whose key column holds the same value.
+func matchRow(tb *exp.TableRecord, keyCol string, key any) map[string]any {
+	for _, row := range tb.Rows {
+		if fmt.Sprint(row[keyCol]) == fmt.Sprint(key) {
+			return row
+		}
+	}
+	return nil
+}
+
+// renderCell formats one cell, appending the percentage delta when both
+// sides are numbers. Key columns (diffable=false) render plain.
+func renderCell(v, baseline any, diffable bool) string {
+	nv, numNew := v.(float64)
+	if !numNew {
+		return fmt.Sprint(v)
+	}
+	s := trimFloat(nv)
+	if !diffable {
+		return s
+	}
+	nb, numOld := baseline.(float64)
+	if !numOld || nb == 0 {
+		return s
+	}
+	pct := 100 * (nv - nb) / nb
+	if pct == 0 {
+		return s
+	}
+	return fmt.Sprintf("%s (%+.1f%%)", s, pct)
+}
+
+// trimFloat renders a float without trailing zero noise.
+func trimFloat(f float64) string {
+	if f == float64(int64(f)) {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'f', 3, 64)
+}
+
+// parseGoBench extracts name → ns/op from `go test -bench` text. When
+// every benchmark carries the same trailing -N (the GOMAXPROCS suffix
+// the testing package appends at GOMAXPROCS > 1) it is stripped, so
+// runs from hosts with different processor counts still join; a
+// trailing -N that varies across lines is part of the benchmark's own
+// name (a dash-spelled parameter) and is kept.
+func parseGoBench(text string) map[string]float64 {
+	type bench struct {
+		name string
+		ns   float64
+	}
+	var rows []bench
+	common, uniform := "", true
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		rows = append(rows, bench{fields[0], ns})
+		suffix := ""
+		if i := strings.LastIndex(fields[0], "-"); i > 0 {
+			if _, err := strconv.Atoi(fields[0][i+1:]); err == nil {
+				suffix = fields[0][i:]
+			}
+		}
+		if common == "" {
+			common = suffix
+		}
+		if suffix == "" || suffix != common {
+			uniform = false
+		}
+	}
+	out := make(map[string]float64, len(rows))
+	for _, b := range rows {
+		name := b.name
+		// A single row is no evidence of a GOMAXPROCS suffix — it could
+		// as well be a dash-spelled parameter — so keep it verbatim.
+		if uniform && common != "" && len(rows) >= 2 {
+			name = strings.TrimSuffix(name, common)
+		}
+		out[name] = b.ns
+	}
+	return out
+}
+
+// goBenchMarkdown renders the go-test benchmark comparison.
+func goBenchMarkdown(oldNS, newNS map[string]float64) string {
+	if len(newNS) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(newNS))
+	for name := range newNS {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("\n### go test -bench\n\n| benchmark | ns/op | vs baseline |\n|---|---|---|\n")
+	for _, name := range names {
+		delta := "—"
+		if old, ok := oldNS[name]; ok && old > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(newNS[name]-old)/old)
+		}
+		fmt.Fprintf(&b, "| %s | %.0f | %s |\n", name, newNS[name], delta)
+	}
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"asymsort/internal/exp"
+)
+
+func rec(id string, cols []string, rows ...map[string]any) exp.ExpRecord {
+	return exp.ExpRecord{
+		Experiment: id,
+		Title:      "t",
+		Tables:     []exp.TableRecord{{Columns: cols, Rows: rows}},
+	}
+}
+
+func TestDiffMarkdownAnnotatesDeltas(t *testing.T) {
+	oldRecs := []exp.ExpRecord{rec("ext", []string{"k", "wall"},
+		map[string]any{"k": float64(1), "wall": float64(100)},
+		map[string]any{"k": float64(2), "wall": float64(50)},
+	)}
+	newRecs := []exp.ExpRecord{rec("ext", []string{"k", "wall"},
+		map[string]any{"k": float64(1), "wall": float64(80)},
+		map[string]any{"k": float64(2), "wall": float64(50)},
+		map[string]any{"k": float64(3), "wall": float64(40)},
+	)}
+	got := diffMarkdown(oldRecs, newRecs)
+	for _, want := range []string{
+		"| k | wall |",
+		"| 1 | 80 (-20.0%) |", // joined on the key column, delta vs 100
+		"| 2 | 50 |",          // unchanged: no delta noise
+		"| 3 | 40 |",          // new row: no baseline
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("markdown missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "| 1 (") {
+		t.Errorf("key column must not carry a delta:\n%s", got)
+	}
+}
+
+func TestDiffMarkdownNoBaseline(t *testing.T) {
+	newRecs := []exp.ExpRecord{rec("ext", []string{"k", "wall"},
+		map[string]any{"k": float64(1), "wall": float64(80)})}
+	got := diffMarkdown(nil, newRecs)
+	if !strings.Contains(got, "| 1 | 80 |") {
+		t.Errorf("baseline-free rows should render plain:\n%s", got)
+	}
+}
+
+func TestParseGoBench(t *testing.T) {
+	// A uniform trailing -N is the GOMAXPROCS suffix: stripped, and a
+	// dash-spelled parameter before it survives intact.
+	text := `goos: linux
+BenchmarkNativeCOSort/n=65536-4     3   11243865 ns/op    93.26 MB/s
+BenchmarkMerge/fanin-8-4            3    1518938 ns/op
+PASS
+`
+	got := parseGoBench(text)
+	if got["BenchmarkNativeCOSort/n=65536"] != 11243865 {
+		t.Errorf("procs suffix not stripped: %v", got)
+	}
+	if got["BenchmarkMerge/fanin-8"] != 1518938 {
+		t.Errorf("dash-spelled parameter mangled: %v", got)
+	}
+}
+
+func TestParseGoBenchMixedSuffixes(t *testing.T) {
+	// Trailing -N that varies across lines is part of the benchmark
+	// names (GOMAXPROCS=1 output has no suffix at all): nothing may be
+	// stripped, or two different benchmarks would merge into one key.
+	text := `BenchmarkMerge/fanin-8     3   100 ns/op
+BenchmarkMerge/fanin-16    3   200 ns/op
+BenchmarkSpanCopy          3   300 ns/op
+`
+	got := parseGoBench(text)
+	if len(got) != 3 || got["BenchmarkMerge/fanin-8"] != 100 || got["BenchmarkMerge/fanin-16"] != 200 {
+		t.Errorf("mixed suffixes must be kept verbatim: %v", got)
+	}
+}
+
+func TestDiffMarkdownReshapedTableIsNotJoined(t *testing.T) {
+	// A baseline table with different columns (a reordered or reshaped
+	// sweep) must read as "no baseline" rather than produce deltas
+	// against the wrong series.
+	oldRecs := []exp.ExpRecord{rec("ext", []string{"k", "reads", "wall"},
+		map[string]any{"k": float64(1), "reads": float64(9), "wall": float64(100)})}
+	newRecs := []exp.ExpRecord{rec("ext", []string{"k", "wall"},
+		map[string]any{"k": float64(1), "wall": float64(80)})}
+	got := diffMarkdown(oldRecs, newRecs)
+	if !strings.Contains(got, "| 1 | 80 |") || strings.Contains(got, "%") {
+		t.Errorf("reshaped table must render without deltas:\n%s", got)
+	}
+}
+
+func TestGoBenchMarkdown(t *testing.T) {
+	got := goBenchMarkdown(
+		map[string]float64{"BenchmarkA": 200},
+		map[string]float64{"BenchmarkA": 100, "BenchmarkB": 7},
+	)
+	if !strings.Contains(got, "| BenchmarkA | 100 | -50.0% |") {
+		t.Errorf("missing delta row:\n%s", got)
+	}
+	if !strings.Contains(got, "| BenchmarkB | 7 | — |") {
+		t.Errorf("missing baseline-free row:\n%s", got)
+	}
+}

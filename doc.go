@@ -22,10 +22,16 @@
 //   - internal/aram, internal/wd — Asymmetric RAM and PRAM (work-depth)
 //   - internal/aem — Asymmetric External Memory (block transfers, strict M)
 //   - internal/extmem — the Section 4 external sort on real files: a
-//     disk-backed engine (instrumented block IO, parallel run formation,
-//     loser-tree k-way merge at fan-in kM/B) that sorts files larger
-//     than RAM and whose measured block-write ledger matches the
-//     simulated AEM machine's level-for-level (cmd/asymsort -model ext)
+//     disk-backed engine (instrumented block IO, loser-tree k-way merge
+//     at fan-in kM/B) that sorts files larger than RAM and whose
+//     measured block-write ledger matches the simulated AEM machine's
+//     level-for-level (cmd/asymsort -model ext). With -procs P > 1 it
+//     runs the paper's P-processor machine: run formation pipelines
+//     read→sort→write across leaves, each merge is cut by exact
+//     splitter bounds into P worker-private key ranges merged through
+//     private loser trees, and an async IO worker layer prefetches and
+//     writes behind — output and write ledger identical at every P,
+//     asserted by internal/integration at P ∈ {1, 4}
 //   - internal/icache, internal/co — Asymmetric Ideal-Cache + the
 //     low-depth cache-oblivious execution substrate
 //   - internal/core/... — the paper's algorithms: §3 RAM/PRAM sorts,
@@ -33,7 +39,11 @@
 //     sort, FFT, and matrix multiplication (§3's pramsort and §5.1's
 //     cosort are rt-ported and run on both backends)
 //   - internal/exp — the experiment harness regenerating every theorem's
-//     table (run via cmd/asymbench or the benchmarks in bench_test.go)
+//     table (run via cmd/asymbench or the benchmarks in bench_test.go);
+//     asymbench -json records the tables as the structured rows the CI
+//     bench job archives as BENCH_<run>.json artifacts, and
+//     cmd/benchdiff joins two such recordings into the job summary's
+//     before/after markdown table
 //
 // The benchmarks in this directory (bench_test.go) regenerate each
 // experiment under `go test -bench` and time the native backend against

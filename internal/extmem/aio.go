@@ -1,0 +1,235 @@
+package extmem
+
+import (
+	"sync"
+
+	"asymsort/internal/seq"
+)
+
+// This file is the asynchronous IO worker layer under BlockFile: a
+// small pool of IO goroutines (ioq) plus the two façades the engine
+// stacks on it — prefetchReader (read-ahead) and asyncWriter
+// (write-behind). Both issue exactly the transfers their synchronous
+// counterparts (runReader, runWriter) would issue, span for span, so
+// the IOStats ledger is identical whether IO is overlapped or not; the
+// only difference is when the pread/pwrite happens relative to the
+// compute that consumes or produced the records.
+
+// ioq is a fixed pool of IO worker goroutines. submit enqueues a task
+// when a slot is free and otherwise runs it inline on the caller, so
+// the queue can never deadlock and degrades gracefully to synchronous
+// IO under pressure. close drains every queued task before returning —
+// the engine closes the queue before its spill-file cleanup runs.
+type ioq struct {
+	ch chan func()
+	wg sync.WaitGroup
+}
+
+func newIOQ(workers int) *ioq {
+	if workers < 1 {
+		workers = 1
+	}
+	q := &ioq{ch: make(chan func(), 4*workers)}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer q.wg.Done()
+			for f := range q.ch {
+				f()
+			}
+		}()
+	}
+	return q
+}
+
+// submit runs f asynchronously when queue capacity allows, inline
+// otherwise.
+func (q *ioq) submit(f func()) {
+	select {
+	case q.ch <- f:
+	default:
+		f()
+	}
+}
+
+// close stops the workers after draining every queued task.
+func (q *ioq) close() {
+	close(q.ch)
+	q.wg.Wait()
+}
+
+// ioResult carries one completed async transfer: the record count moved
+// and its error.
+type ioResult struct {
+	n   int
+	err error
+}
+
+// prefetchReader is a runReader with read-ahead: it owns two refill
+// buffers and always has the next span's ReadAt in flight on the ioq
+// while the consumer drains the current buffer. The sequence of refill
+// spans — and therefore the charged read ledger — is identical to a
+// runReader with the same buffer capacity; the second buffer rides in
+// the parallel engine's documented slack beyond M.
+type prefetchReader struct {
+	bf       *BlockFile
+	next, hi int
+	q        *ioq
+	bufs     [2][]seq.Record
+	fill     int // index of the buffer the in-flight read targets
+	act      []seq.Record
+	pos      int
+	pend     chan ioResult // nil when no read is in flight
+	done     bool          // exhausted or failed; no further launches
+}
+
+// newPrefetchReader streams [lo, hi) of bf through double buffers of
+// bufRecs records each.
+func newPrefetchReader(bf *BlockFile, lo, hi int, q *ioq, bufRecs int) *prefetchReader {
+	if bufRecs < 1 {
+		panic("extmem: prefetchReader buffer must have capacity")
+	}
+	return newPrefetchReaderBufs(bf, lo, hi, q,
+		make([]seq.Record, bufRecs), make([]seq.Record, bufRecs))
+}
+
+// newPrefetchReaderBufs adopts two caller-owned refill buffers — the
+// merge workers carve them from their reusable arenas.
+func newPrefetchReaderBufs(bf *BlockFile, lo, hi int, q *ioq, b0, b1 []seq.Record) *prefetchReader {
+	if len(b0) == 0 || len(b1) == 0 {
+		panic("extmem: prefetchReader buffers must have capacity")
+	}
+	return &prefetchReader{bf: bf, next: lo, hi: hi, q: q, bufs: [2][]seq.Record{b0, b1}}
+}
+
+// launch issues the next span's read into bufs[fill].
+func (r *prefetchReader) launch() {
+	ch := make(chan ioResult, 1)
+	r.pend = ch
+	n := r.hi - r.next
+	if n <= 0 {
+		ch <- ioResult{}
+		return
+	}
+	if n > len(r.bufs[r.fill]) {
+		n = len(r.bufs[r.fill])
+	}
+	off := r.next
+	buf := r.bufs[r.fill][:n]
+	r.next += n
+	bf := r.bf
+	r.q.submit(func() { ch <- ioResult{n, bf.ReadAt(off, buf)} })
+}
+
+func (r *prefetchReader) refill() (bool, error) {
+	if r.done {
+		return false, nil
+	}
+	if r.pend == nil {
+		r.launch()
+	}
+	res := <-r.pend
+	r.pend = nil
+	if res.err != nil || res.n == 0 {
+		r.done = true
+		return false, res.err
+	}
+	r.act = r.bufs[r.fill][:res.n]
+	r.pos = 0
+	r.fill ^= 1
+	r.launch() // read ahead while the consumer drains act
+	return true, nil
+}
+
+func (r *prefetchReader) cur() seq.Record { return r.act[r.pos] }
+
+func (r *prefetchReader) advance() (bool, error) {
+	r.pos++
+	if r.pos < len(r.act) {
+		return true, nil
+	}
+	return r.refill()
+}
+
+// asyncWriter is a runWriter with write-behind: it fills one of two
+// block-multiple buffers while the other's WriteAt is in flight on the
+// ioq. Flush offsets and spans are exactly those of a runWriter with
+// the same buffer capacity, so the charged write ledger is identical;
+// close joins the last in-flight write before returning.
+type asyncWriter struct {
+	bf   *BlockFile
+	base int // absolute record offset of the region start
+	off  int // records handed to flushes so far
+	q    *ioq
+	bufs [2][]seq.Record
+	curi int
+	buf  []seq.Record // bufs[curi][:fillLevel]
+	pend chan ioResult
+}
+
+// newAsyncWriter appends to [base, …) of bf through two fresh buffers
+// of bufRecs records (a positive whole number of blocks) each.
+func newAsyncWriter(bf *BlockFile, base int, q *ioq, bufRecs int) *asyncWriter {
+	return newAsyncWriterBufs(bf, base, q,
+		make([]seq.Record, 0, bufRecs), make([]seq.Record, 0, bufRecs))
+}
+
+// newAsyncWriterBufs adopts two caller-owned flush buffers (equal
+// capacity, a positive whole number of blocks) — the merge workers
+// carve them from their reusable arenas.
+func newAsyncWriterBufs(bf *BlockFile, base int, q *ioq, b0, b1 []seq.Record) *asyncWriter {
+	if cap(b0)%bf.b != 0 || cap(b0) == 0 || cap(b1) != cap(b0) {
+		panic("extmem: asyncWriter buffers must be equal positive whole numbers of blocks")
+	}
+	w := &asyncWriter{bf: bf, base: base, q: q, bufs: [2][]seq.Record{b0[:0], b1[:0]}}
+	w.buf = w.bufs[0][:0]
+	return w
+}
+
+func (w *asyncWriter) add(r seq.Record) error {
+	w.buf = append(w.buf, r)
+	if len(w.buf) == cap(w.buf) {
+		return w.flush()
+	}
+	return nil
+}
+
+// flush hands the filled buffer to the ioq and switches to the other
+// buffer, first joining that buffer's previous write.
+func (w *asyncWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if err := w.join(); err != nil {
+		return err
+	}
+	ch := make(chan ioResult, 1)
+	w.pend = ch
+	bf, off, buf := w.bf, w.base+w.off, w.buf
+	w.off += len(w.buf)
+	w.q.submit(func() { ch <- ioResult{len(buf), bf.WriteAt(off, buf)} })
+	w.curi ^= 1
+	w.buf = w.bufs[w.curi][:0]
+	return nil
+}
+
+// join waits for the in-flight write, if any.
+func (w *asyncWriter) join() error {
+	if w.pend == nil {
+		return nil
+	}
+	res := <-w.pend
+	w.pend = nil
+	return res.err
+}
+
+// close flushes the remainder and joins every outstanding write.
+func (w *asyncWriter) close() error {
+	if err := w.flush(); err != nil {
+		return err
+	}
+	return w.join()
+}
+
+// written returns how many records have been flushed plus buffered.
+func (w *asyncWriter) written() int { return w.off + len(w.buf) }

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
 
 	"asymsort/internal/seq"
 )
@@ -23,15 +25,32 @@ const RecordBytes = 16
 // sub-block prefetch buffers realize the paper's k× read multiplier on
 // a real device.
 //
-// A BlockFile is not safe for concurrent use (its scratch buffer is
-// shared across calls); the engine performs all IO from one goroutine.
+// A BlockFile is safe for concurrent use: transfers go through
+// pread/pwrite on disjoint extents, encode/decode scratch comes from a
+// shared pool, the length watermark is atomic, and the IOStats ledger
+// is atomic. The parallel merge stage relies on this to let every
+// worker stream its own key range of the same spill file.
 type BlockFile struct {
-	f       *os.File
-	path    string
-	b       int      // block size in records
-	n       int      // file length in records (max extent written)
-	stats   *IOStats // nil = uncharged (staging and test fixtures)
-	scratch []byte
+	f     *os.File
+	path  string
+	b     int          // block size in records
+	n     atomic.Int64 // file length in records (max extent written)
+	stats *IOStats     // nil = uncharged (staging and test fixtures)
+}
+
+// testWriteErr, when non-nil, is consulted by every WriteAt before it
+// touches the device — the fault-injection point for error-path tests.
+// It must be set before an engine starts and cleared after it returns.
+var testWriteErr func(path string, off int) error
+
+// scratchPool holds encode/decode buffers of the maximum per-piece
+// transfer size; chunking (ioChunk) bounds every piece to this size, so
+// one fixed-capacity pool serves all concurrent transfers.
+var scratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, ioChunk*RecordBytes)
+		return &b
+	},
 }
 
 // CreateBlockFile creates (truncating) a record file charging to stats;
@@ -78,11 +97,13 @@ func OpenBlockFile(path string, b int, stats *IOStats) (*BlockFile, error) {
 		return nil, fmt.Errorf("extmem: %s: size %d is not a whole number of %d-byte records",
 			path, fi.Size(), RecordBytes)
 	}
-	return &BlockFile{f: f, path: path, b: b, n: int(fi.Size() / RecordBytes), stats: stats}, nil
+	bf := &BlockFile{f: f, path: path, b: b, stats: stats}
+	bf.n.Store(fi.Size() / RecordBytes)
+	return bf, nil
 }
 
 // Len returns the file length in records.
-func (bf *BlockFile) Len() int { return bf.n }
+func (bf *BlockFile) Len() int { return int(bf.n.Load()) }
 
 // Path returns the file's path.
 func (bf *BlockFile) Path() string { return bf.path }
@@ -104,13 +125,6 @@ func (bf *BlockFile) blockSpan(off, n int) uint64 {
 // transfer, not per piece, so chunking never changes the ledger.
 const ioChunk = 1 << 12
 
-func (bf *BlockFile) buf(n int) []byte {
-	if cap(bf.scratch) < n {
-		bf.scratch = make([]byte, n)
-	}
-	return bf.scratch[:n]
-}
-
 // ReadAt fills dst with records [off, off+len(dst)), charging one block
 // read per touched block. Short reads — a file truncated behind the
 // engine's back — are hard errors, never partially decoded data.
@@ -118,12 +132,14 @@ func (bf *BlockFile) ReadAt(off int, dst []seq.Record) error {
 	if len(dst) == 0 {
 		return nil
 	}
-	if off < 0 || off+len(dst) > bf.n {
-		return fmt.Errorf("extmem: read [%d,%d) beyond %s length %d", off, off+len(dst), bf.path, bf.n)
+	if off < 0 || int64(off+len(dst)) > bf.n.Load() {
+		return fmt.Errorf("extmem: read [%d,%d) beyond %s length %d", off, off+len(dst), bf.path, bf.Len())
 	}
+	sp := scratchPool.Get().(*[]byte)
+	defer scratchPool.Put(sp)
 	for start := 0; start < len(dst); start += ioChunk {
 		sub := dst[start:min(start+ioChunk, len(dst))]
-		raw := bf.buf(len(sub) * RecordBytes)
+		raw := (*sp)[:len(sub)*RecordBytes]
 		n, err := bf.f.ReadAt(raw, int64(off+start)*RecordBytes)
 		if n != len(raw) {
 			return fmt.Errorf("extmem: short read of %s at record %d (%d of %d bytes): %v",
@@ -151,9 +167,16 @@ func (bf *BlockFile) WriteAt(off int, src []seq.Record) error {
 	if off < 0 {
 		return fmt.Errorf("extmem: negative write offset %d on %s", off, bf.path)
 	}
+	if hook := testWriteErr; hook != nil {
+		if err := hook(bf.path, off); err != nil {
+			return err
+		}
+	}
+	sp := scratchPool.Get().(*[]byte)
+	defer scratchPool.Put(sp)
 	for start := 0; start < len(src); start += ioChunk {
 		sub := src[start:min(start+ioChunk, len(src))]
-		raw := bf.buf(len(sub) * RecordBytes)
+		raw := (*sp)[:len(sub)*RecordBytes]
 		for i, r := range sub {
 			binary.LittleEndian.PutUint64(raw[i*RecordBytes:], r.Key)
 			binary.LittleEndian.PutUint64(raw[i*RecordBytes+8:], r.Val)
@@ -162,8 +185,12 @@ func (bf *BlockFile) WriteAt(off int, src []seq.Record) error {
 			return fmt.Errorf("extmem: write %s: %w", bf.path, err)
 		}
 	}
-	if off+len(src) > bf.n {
-		bf.n = off + len(src)
+	for {
+		end := int64(off + len(src))
+		cur := bf.n.Load()
+		if end <= cur || bf.n.CompareAndSwap(cur, end) {
+			break
+		}
 	}
 	if bf.stats != nil {
 		bf.stats.writes.Add(bf.blockSpan(off, len(src)))
@@ -251,6 +278,21 @@ func (w *runWriter) flush() error {
 // written returns how many records have been flushed plus buffered.
 func (w *runWriter) written() int { return w.off + len(w.buf) }
 
+// recStream is the record source the loser tree merges: a positioned
+// cursor over one sorted run (or a sub-range of one). runReader is the
+// synchronous implementation; prefetchReader (aio.go) overlaps the next
+// refill with consumption.
+type recStream interface {
+	// refill loads the next span; it reports whether records remain.
+	refill() (bool, error)
+	// cur returns the record under the cursor; valid only after a
+	// successful refill/advance.
+	cur() seq.Record
+	// advance moves to the next record, refilling as needed; it reports
+	// whether a current record exists.
+	advance() (bool, error)
+}
+
 // runReader streams records of a region [lo, hi) of a BlockFile through
 // a prefetch buffer of bufRecs records, one ReadAt per refill. Buffers
 // smaller than a block make consecutive refills re-read the straddled
@@ -272,7 +314,6 @@ func newRunReader(bf *BlockFile, lo, hi int, buf []seq.Record) *runReader {
 	return &runReader{bf: bf, next: lo, hi: hi, buf: buf[:0]}
 }
 
-// refill loads the next span; it reports whether any records remain.
 func (r *runReader) refill() (bool, error) {
 	n := r.hi - r.next
 	if n <= 0 {
@@ -290,12 +331,8 @@ func (r *runReader) refill() (bool, error) {
 	return true, nil
 }
 
-// cur returns the record under the cursor; valid only after a
-// successful refill/advance.
 func (r *runReader) cur() seq.Record { return r.buf[r.pos] }
 
-// advance moves to the next record, refilling as needed; it reports
-// whether a current record exists.
 func (r *runReader) advance() (bool, error) {
 	r.pos++
 	if r.pos < len(r.buf) {

@@ -18,9 +18,23 @@
 //     smallest records above the previous pass's watermark in a bounded
 //     max-heap, sorting the retained set in parallel with
 //     rt.SortRecords on the rt native pool, and writing it out once.
-//   - K-way merge (losertree.go, merge.go): each internal node of the
-//     tree merges its children's runs through a loser-tree selector
-//     with per-run block prefetch buffers and a buffered block writer.
+//     On a parallel pool (Config.Procs > 1) formation is a three-stage
+//     read→sort→write pipeline across the leaves, so the device and
+//     the cores stay busy simultaneously.
+//   - K-way merge (losertree.go, merge.go, parmerge.go): each internal
+//     node of the tree merges its children's runs through a loser-tree
+//     selector with per-run block prefetch buffers and a buffered
+//     block writer. On a parallel pool the node is cut into P disjoint
+//     key ranges by exact splitter cuts over the runs' in-memory block
+//     indexes, and each pool worker merges its range through a private
+//     loser tree into a private output extent; the sub-block fragments
+//     at extent boundaries are stitched by the coordinator so no device
+//     block is ever written twice.
+//   - Async IO (aio.go): a small pool of IO worker goroutines under
+//     BlockFile issues the merge readers' prefetches and the writers'
+//     write-behind flushes, overlapping block transfer with compute.
+//     The async façades issue exactly the spans their synchronous
+//     counterparts would, so overlapping never changes the ledger.
 //
 // Crucially, the merge tree the engine executes is the exact partition
 // tree AEM-MERGESORT builds for the same (n, M, B, k) — top-down,
@@ -28,11 +42,14 @@
 // of at most kM records (plan.go). Because both sides write each
 // node's output once through block-aligned buffers, the engine's
 // measured block-write count equals the simulated ledger's write count
-// level-for-level, for every configuration; the integration tests
-// assert this. Reads differ in the constant (the simulator re-reads
-// run blocks across queue rounds, the engine re-reads them across
-// prefetch refills) but both realize the ~k× read multiplier that buys
-// the shallower recursion.
+// level-for-level, for every configuration AND every worker count —
+// parallel workers write only whole private blocks, boundary fragments
+// are stitched once — and the integration tests assert this. Reads
+// differ in the constant (the simulator re-reads run blocks across
+// queue rounds, the engine re-reads them across prefetch refills, and
+// the parallel merge adds at most P-1 splitter-probe block reads per
+// run) but both realize the ~k× read multiplier that buys the
+// shallower recursion.
 //
 // The read multiplier k is chosen from the paper's Appendix A rule
 // k/log k < ω/log(M/B), where ω is the measured (or configured) ratio
@@ -74,15 +91,21 @@ func (s *IOStats) Snapshot() cost.Snapshot {
 type Config struct {
 	// Mem is the primary-memory budget in records (the model's M). It is
 	// rounded down to a multiple of Block and must leave at least one
-	// block. The engine's record buffers all live in one M-record arena:
-	// run formation uses it as the candidate set, and each merge carves
-	// it into the per-run prefetch buffers plus the write buffer, so
-	// resident record storage stays at M throughout. Outside the budget
-	// ride only what the simulator's slackBlocks also grants — O(fan-in)
-	// metadata, a streaming read chunk, the ≤64KB encode/decode scratch
-	// per open file — plus, on a parallel Pool, the transient merge
-	// scratch of rt.SortRecords during run formation (up to the leaf
-	// size again while a run is being sorted).
+	// block. On a one-worker pool the engine's record buffers all live
+	// in one M-record arena: run formation uses it as the candidate
+	// set, and each merge carves it into the per-run prefetch buffers
+	// plus the write buffer, so resident record storage stays at M
+	// throughout. Outside the budget ride only what the simulator's
+	// slackBlocks also grants — O(fan-in) metadata, a streaming read
+	// chunk, the bounded encode/decode scratch pool. A parallel engine
+	// (Procs > 1) runs the paper's P-processor machine (§3), where
+	// every processor owns a private memory of size M: the formation
+	// pipeline circulates two M-record candidate buffers plus the
+	// transient rt.SortRecords merge scratch, each of the P merge
+	// workers carves a full M/(f+1)-per-run share of reader and writer
+	// buffers (aggregate merge residency ≤ P·M), and each run keeps a
+	// one-record-per-block cut index in memory for the parent's
+	// splitter search.
 	Mem int
 	// Block is the device block/page size in records (the model's B).
 	Block int
@@ -103,8 +126,13 @@ type Config struct {
 	// TmpDir is where spill files live. Empty means os.TempDir(). The
 	// engine always removes its spill files before returning.
 	TmpDir string
-	// Procs is the worker count for in-memory run sorting (0 =
-	// GOMAXPROCS).
+	// Procs is the engine's worker count (0 = GOMAXPROCS): the pool
+	// width of the in-memory run sorts, the formation pipeline, the
+	// splitter-partitioned parallel merge, and the async IO layer.
+	// Procs == 1 selects the strictly sequential engine — one
+	// goroutine, one M-record arena — whose wall-clock is the baseline
+	// the parallel speedup is measured against. Any Procs produces the
+	// identical output file and the identical block-write ledger.
 	Procs int
 }
 
@@ -114,6 +142,7 @@ type resolved struct {
 	omega                float64
 	tmpDir               string
 	pool                 *rt.Pool
+	procs                int
 }
 
 func (c Config) resolve() (resolved, error) {
@@ -147,6 +176,7 @@ func (c Config) resolve() (resolved, error) {
 		r.tmpDir = os.TempDir()
 	}
 	r.pool = rt.NewPool(c.Procs)
+	r.procs = r.pool.Procs()
 	return r, nil
 }
 
@@ -190,6 +220,9 @@ type Report struct {
 	Total cost.Snapshot
 	// Omega echoes the configured device ratio for cost reporting.
 	Omega float64
+	// Procs is the engine's resolved worker count (1 = the sequential
+	// engine).
+	Procs int
 	// FormTime and MergeTime split the wall clock between the two
 	// stages.
 	FormTime  time.Duration

@@ -18,12 +18,12 @@ type loserTree struct {
 	tree   []int        // tree[1..p-1]: loser run index of each match
 	cur    []seq.Record // cached head record per run
 	done   []bool       // run exhausted (or padding)
-	rdrs   []*runReader
+	rdrs   []recStream
 	winner int // overall winner; -1 when all runs are exhausted
 }
 
 // newLoserTree builds the tree, priming every reader's first record.
-func newLoserTree(rdrs []*runReader) (*loserTree, error) {
+func newLoserTree(rdrs []recStream) (*loserTree, error) {
 	k := len(rdrs)
 	p := 1
 	for p < k {

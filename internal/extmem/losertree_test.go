@@ -21,7 +21,7 @@ func mergeViaLoserTree(t *testing.T, runs [][]seq.Record, bufRecs int) []seq.Rec
 		t.Fatal(err)
 	}
 	defer bf.Close()
-	rdrs := make([]*runReader, len(runs))
+	rdrs := make([]recStream, len(runs))
 	off := 0
 	for i, run := range runs {
 		if err := bf.WriteAt(off, run); err != nil {

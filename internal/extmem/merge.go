@@ -8,8 +8,14 @@ import (
 	"asymsort/internal/seq"
 )
 
-// engine executes one plan. All IO runs on the calling goroutine; only
-// the in-memory run sorts fan out over the rt pool.
+// engine executes one plan in two phases: run formation over every
+// leaf, then the merge levels bottom-up. On a one-worker pool both
+// phases are strictly sequential on the calling goroutine — the
+// baseline "sequential engine". On a parallel pool formation becomes a
+// read→sort→write pipeline (runform.go), each merge node fans out over
+// worker-private key ranges (parmerge.go), and IO overlaps compute
+// through the ioq layer (aio.go); the block-write ledger is identical
+// in either mode.
 type engine struct {
 	cfg     resolved
 	plan    *Plan
@@ -17,9 +23,14 @@ type engine struct {
 	in      *BlockFile
 	out     *BlockFile
 	spill   [2]*BlockFile // ping-pong by level parity; created lazily
-	formBuf []seq.Record  // M records, reused by every leaf
+	formBuf []seq.Record  // M records, reused by every leaf and merge
 	readBuf []seq.Record  // streaming chunk for selection passes
-	report  *Report
+	ioq     *ioq          // nil on the sequential engine
+	// parArena holds one reusable buffer arena per parallel merge
+	// worker (grown lazily, reused across nodes), so every node's
+	// readers and write-behind buffers carve instead of allocating.
+	parArena [][]seq.Record
+	report   *Report
 }
 
 // Sort sorts the record file at inPath into a fresh record file at
@@ -48,6 +59,7 @@ func Sort(cfg Config, inPath, outPath string) (*Report, error) {
 	e.report = &Report{
 		N: in.Len(), Mem: r.mem, Block: r.block, K: r.k, FanIn: r.fanIn,
 		Runs: e.plan.Runs(), Levels: e.plan.Levels(), Omega: r.omega,
+		Procs:   r.procs,
 		LevelIO: make([]cost.Snapshot, e.plan.Levels()+1),
 	}
 	e.formBuf = make([]seq.Record, r.mem)
@@ -57,6 +69,8 @@ func Sort(cfg Config, inPath, outPath string) (*Report, error) {
 	}
 	e.readBuf = make([]seq.Record, 0, chunk)
 
+	// Cleanup defers run LIFO: the ioq is drained and joined first, so
+	// no async transfer is in flight when the spill files are removed.
 	defer func() {
 		for _, sp := range e.spill {
 			if sp != nil {
@@ -64,13 +78,48 @@ func Sort(cfg Config, inPath, outPath string) (*Report, error) {
 			}
 		}
 	}()
-	if e.plan.root != nil {
-		if err := e.exec(e.plan.root); err != nil {
-			return nil, err
-		}
+	if r.procs > 1 {
+		e.ioq = newIOQ(r.procs)
+		defer e.ioq.close()
+	}
+	if err := e.run(); err != nil {
+		return nil, err
 	}
 	e.report.Total = e.stats.Snapshot()
 	return e.report, nil
+}
+
+// run executes the plan phase by phase: all leaves, then each merge
+// level left to right.
+func (e *engine) run() error {
+	leaves, byLevel := e.plan.phases()
+	if len(leaves) > 0 {
+		base := e.stats.Snapshot()
+		start := time.Now()
+		err := e.formLeaves(leaves)
+		e.report.FormTime += time.Since(start)
+		e.addLevel(0, base)
+		if err != nil {
+			return err
+		}
+	}
+	for lvl := 1; lvl < len(byLevel); lvl++ {
+		base := e.stats.Snapshot()
+		start := time.Now()
+		for _, nd := range byLevel[lvl] {
+			if err := e.mergeNode(nd); err != nil {
+				e.report.MergeTime += time.Since(start)
+				return err
+			}
+			// The children's block indexes were consumed by this merge.
+			for _, kid := range nd.kids {
+				kid.index = nil
+			}
+		}
+		e.report.MergeTime += time.Since(start)
+		e.addLevel(lvl, base)
+	}
+	return nil
 }
 
 // dst returns the file a node's output lands in: the final output for
@@ -82,7 +131,8 @@ func Sort(cfg Config, inPath, outPath string) (*Report, error) {
 // contents (the grandchildren's runs) have been consumed. Two spill
 // files bound the engine's fd count at four (input, output, spills)
 // regardless of fan-in, where one-file-per-run would exhaust the fd
-// limit at the canonical kM/B fan-in.
+// limit at the canonical kM/B fan-in. It is called only from the
+// coordinator goroutine, never from pipeline or merge workers.
 func (e *engine) dst(nd *planNode) (*BlockFile, error) {
 	if nd == e.plan.root {
 		return e.out, nil
@@ -99,45 +149,44 @@ func (e *engine) dst(nd *planNode) (*BlockFile, error) {
 	return e.spill[parity], nil
 }
 
-// exec runs the subtree bottom-up: children first, then the node's own
-// merge, attributing the IO delta of each stage to its ledger level.
-func (e *engine) exec(nd *planNode) error {
-	if nd.leaf() {
-		base := e.stats.Snapshot()
-		start := time.Now()
-		err := e.formRun(nd)
-		e.report.FormTime += time.Since(start)
-		e.addLevel(0, base)
-		return err
-	}
-	for _, kid := range nd.kids {
-		if err := e.exec(kid); err != nil {
-			return err
-		}
-	}
-	base := e.stats.Snapshot()
-	start := time.Now()
-	err := e.mergeNode(nd)
-	e.report.MergeTime += time.Since(start)
-	e.addLevel(nd.level, base)
-	return err
-}
-
 func (e *engine) addLevel(level int, base cost.Snapshot) {
 	e.report.LevelIO[level] = e.report.LevelIO[level].Add(e.stats.Snapshot().Sub(base))
 }
 
+// captureIndex reports whether nd's output should record its per-block
+// first records: only a parallel engine consumes them, and only for
+// nodes that have a parent merge to feed.
+func (e *engine) captureIndex(nd *planNode) bool {
+	return e.cfg.procs > 1 && nd != e.plan.root
+}
+
+// newIndex allocates nd's block index (see planNode.index).
+func newIndex(nd *planNode, block int) []seq.Record {
+	return make([]seq.Record, (nd.len()+block-1)/block)
+}
+
 // mergeNode merges the node's children — their outputs live in the
 // parity-(level-1) spill file (or, for leaf children, were formed
-// there) — into the node's own destination. The memory budget M splits
+// there) — into the node's own destination. Nodes big enough to carry
+// the coordination cost merge on all pool workers (parmerge.go);
+// everything else runs the sequential single-tree merge below.
+func (e *engine) mergeNode(nd *planNode) error {
+	if p := e.parMergeProcs(nd); p > 1 {
+		return e.mergeNodePar(nd, p)
+	}
+	return e.mergeNodeSeq(nd)
+}
+
+// mergeNodeSeq is the sequential merge: one loser tree over all
+// children, one block-aligned writer. The memory budget M splits
 // evenly across the fan-in's prefetch buffers plus one write buffer;
 // with the canonical fan-in kM/B the per-run buffer is ≈B/k records,
 // so each device block is fetched ≈k times per level, which is exactly
 // the read amplification AEM-MERGESORT trades for its shallower tree.
-func (e *engine) mergeNode(nd *planNode) error {
+func (e *engine) mergeNodeSeq(nd *planNode) error {
 	f := len(nd.kids)
 	// Carve the prefetch and write buffers out of the formation arena —
-	// formation and merging never overlap in the bottom-up execution, so
+	// formation and merging never overlap in the phased execution, so
 	// the engine's resident record buffers stay at one M throughout. The
 	// write buffer takes whole blocks; degenerate configs whose f+1
 	// shares round below one record (or one block) fall back to a
@@ -155,7 +204,7 @@ func (e *engine) mergeNode(nd *planNode) error {
 	if need := f*c + wLen; need > len(arena) {
 		arena = make([]seq.Record, need)
 	}
-	rdrs := make([]*runReader, f)
+	rdrs := make([]recStream, f)
 	for i, kid := range nd.kids {
 		src, err := e.dst(kid)
 		if err != nil {
@@ -172,7 +221,12 @@ func (e *engine) mergeNode(nd *planNode) error {
 	if err != nil {
 		return err
 	}
+	var idx []seq.Record
+	if e.captureIndex(nd) {
+		idx = newIndex(nd, e.cfg.block)
+	}
 	w := newRunWriter(dst, nd.lo, arena[f*c:f*c+wLen:f*c+wLen])
+	pos := nd.lo
 	for {
 		rec, ok, err := lt.pop()
 		if err != nil {
@@ -181,6 +235,10 @@ func (e *engine) mergeNode(nd *planNode) error {
 		if !ok {
 			break
 		}
+		if idx != nil && (pos-nd.lo)%e.cfg.block == 0 {
+			idx[(pos-nd.lo)/e.cfg.block] = rec
+		}
+		pos++
 		if err := w.add(rec); err != nil {
 			return err
 		}
@@ -192,5 +250,6 @@ func (e *engine) mergeNode(nd *planNode) error {
 		return fmt.Errorf("extmem: merge of [%d,%d) produced %d records, want %d",
 			nd.lo, nd.hi, w.written(), nd.len())
 	}
+	nd.index = idx
 	return nil
 }

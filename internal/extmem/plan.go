@@ -1,5 +1,7 @@
 package extmem
 
+import "asymsort/internal/seq"
+
 // This file plans the merge tree. The arithmetic is a deliberate mirror
 // of aemsort.mergeSortRec for the same (n, M, B, k): a node of n > kM
 // records partitions at block granularity into at most l = kM/B
@@ -25,6 +27,14 @@ type planNode struct {
 	// may sit at any level ≥ 0 in a ragged tree, but its writes are
 	// always formation writes.
 	level int
+	// index, on a parallel engine, caches the first record of each
+	// device block of the node's written output (entry j = the record
+	// at lo + j·B). The parent's parallel merge binary-searches it to
+	// cut this run into the workers' key ranges without touching the
+	// device, then frees it. It is O(len/B) metadata outside the record
+	// budget, the engine-side analogue of the simulator's slack blocks;
+	// the sequential engine never allocates it.
+	index []seq.Record
 }
 
 func (nd *planNode) leaf() bool { return len(nd.kids) == 0 }
@@ -117,6 +127,35 @@ func (p *Plan) assignLevels(root *planNode) int {
 	}
 	set(root, 0)
 	return depth
+}
+
+// phases returns the plan's nodes in execution-phase order: every leaf
+// (left to right), then the internal nodes of each merge level 1..
+// Levels() (left to right within a level). The engine executes the
+// phases in sequence — form all runs, then merge level by level — which
+// is IO-equivalent to the depth-first order (every node still writes
+// its own region exactly once, a region is only consumed by the next
+// level up, and a same-parity spill region is only overwritten two
+// levels later, after its reader finished) but lets run formation
+// pipeline across leaves.
+func (p *Plan) phases() (leaves []*planNode, byLevel [][]*planNode) {
+	byLevel = make([][]*planNode, p.levels+1)
+	if p.root == nil {
+		return nil, byLevel
+	}
+	var walk func(nd *planNode)
+	walk = func(nd *planNode) {
+		if nd.leaf() {
+			leaves = append(leaves, nd)
+			return
+		}
+		for _, kid := range nd.kids {
+			walk(kid)
+		}
+		byLevel[nd.level] = append(byLevel[nd.level], nd)
+	}
+	walk(p.root)
+	return leaves, byLevel
 }
 
 // Levels returns the number of merge levels (write passes beyond run

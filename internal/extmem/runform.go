@@ -2,6 +2,8 @@ package extmem
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"asymsort/internal/rt"
 	"asymsort/internal/seq"
@@ -12,19 +14,174 @@ import (
 // records but the engine may hold only M in memory, so a leaf is formed
 // in ⌈n/M⌉ ≤ k passes: each pass streams the leaf's range of the input
 // file, retains the M smallest records above the previous pass's
-// watermark in a bounded max-heap, sorts the retained set in parallel
-// with rt.SortRecords, and writes it out once. Reads multiply by up to
-// k; every record is written exactly once — the paper's trade.
+// watermark in a bounded max-heap, sorts the retained set with
+// rt.SortRecords, and writes it out once. Reads multiply by up to k;
+// every record is written exactly once — the paper's trade.
+//
+// On a one-worker pool the leaves are formed strictly one after
+// another (formRunSeq). On a parallel pool formation is a three-stage
+// producer/consumer pipeline over all leaves: the calling goroutine
+// streams candidate sets out of the input file, a sort stage runs
+// rt.SortRecords on the pool, and a write-behind stage drains sorted
+// sets to the spill file — so the read of one pass, the sort of the
+// previous, and the write of the one before that overlap. Two M-record
+// candidate buffers circulate through the stages (the pipeline's
+// double buffer); the second buffer and the sort scratch are the
+// documented parallel-mode slack beyond the budget. The IO ledger is
+// unchanged: the same ReadAt/WriteAt spans are issued in the same
+// per-stage order, only overlapped in time.
 
 // formChunk is the streaming read granularity of a selection pass, in
 // records (clamped to a block minimum). Like the simulator's load
 // block, it rides in the slack beyond M.
 const formChunk = 1 << 13
 
-// formRun sorts input records [nd.lo, nd.hi) into dst at the same
-// offsets. The candidate buffer cand has capacity mem records and is
-// reused across leaves.
-func (e *engine) formRun(nd *planNode) error {
+// formLeaves forms every leaf run of the plan, in plan order.
+func (e *engine) formLeaves(leaves []*planNode) error {
+	if e.cfg.procs == 1 {
+		for _, nd := range leaves {
+			if err := e.formRunSeq(nd); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return e.formLeavesPipelined(leaves)
+}
+
+// formBatch is one sorted-run write: the pipeline's unit of work. buf
+// is unsorted when it leaves the producer, sorted from the sort stage
+// on, and recycled into the free list after the write.
+type formBatch struct {
+	nd  *planNode
+	dst *BlockFile
+	off int // absolute destination offset
+	buf []seq.Record
+}
+
+// formLeavesPipelined runs the three-stage formation pipeline.
+func (e *engine) formLeavesPipelined(leaves []*planNode) error {
+	var (
+		sortCh  = make(chan formBatch, 1)
+		writeCh = make(chan formBatch, 1)
+		free    = make(chan []seq.Record, 2)
+		wErr    = make(chan error, 1)
+		failed  atomic.Bool
+	)
+	free <- e.formBuf
+	free <- make([]seq.Record, e.cfg.mem)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // sort stage
+		defer wg.Done()
+		defer close(writeCh)
+		for b := range sortCh {
+			if !failed.Load() {
+				rt.SortRecords(e.cfg.pool, b.buf)
+			}
+			writeCh <- b
+		}
+	}()
+	go func() { // write-behind stage
+		defer wg.Done()
+		for b := range writeCh {
+			if !failed.Load() {
+				if err := b.dst.WriteAt(b.off, b.buf); err != nil {
+					failed.Store(true)
+					wErr <- err
+				} else if idx := b.nd.index; idx != nil {
+					blk := e.cfg.block
+					for j := (blk - (b.off-b.nd.lo)%blk) % blk; j < len(b.buf); j += blk {
+						idx[(b.off+j-b.nd.lo)/blk] = b.buf[j]
+					}
+				}
+			}
+			// Recycle the buffer even after a failure, so the producer
+			// can never block on an empty free list.
+			free <- b.buf[:cap(b.buf)]
+		}
+	}()
+
+	err := e.produceLeaves(leaves, sortCh, free, &failed)
+	close(sortCh)
+	wg.Wait()
+	select {
+	case werr := <-wErr:
+		if err == nil {
+			err = werr
+		}
+	default:
+	}
+	return err
+}
+
+// produceLeaves is the pipeline's first stage: it streams each leaf's
+// candidate sets out of the input file and hands them to the sort
+// stage. It owns all reads of the formation phase, so the read ledger
+// is charged in exactly the sequential engine's order.
+func (e *engine) produceLeaves(leaves []*planNode, sortCh chan<- formBatch, free chan []seq.Record, failed *atomic.Bool) error {
+	for _, nd := range leaves {
+		if failed.Load() {
+			return nil // the write stage reports its own error
+		}
+		n := nd.len()
+		if n == 0 {
+			continue
+		}
+		dst, err := e.dst(nd)
+		if err != nil {
+			return err
+		}
+		if e.captureIndex(nd) {
+			nd.index = newIndex(nd, e.cfg.block)
+		}
+		// Fast path: the leaf fits the budget (always, when k = 1) — one
+		// read pass, one sort, one write, no watermark (and hence no
+		// uniqueness requirement).
+		if n <= e.cfg.mem {
+			buf := (<-free)[:n]
+			if err := e.in.ReadAt(nd.lo, buf); err != nil {
+				free <- buf[:cap(buf)]
+				return err
+			}
+			sortCh <- formBatch{nd: nd, dst: dst, off: nd.lo, buf: buf}
+			continue
+		}
+		var watermark seq.Record
+		have := false
+		for outOff := nd.lo; outOff < nd.hi; {
+			if failed.Load() {
+				return nil
+			}
+			cand, err := e.selectPass(nd, watermark, have, (<-free)[:0])
+			if err != nil {
+				free <- cand[:cap(cand)]
+				return err
+			}
+			if len(cand) == 0 {
+				free <- cand[:cap(cand)]
+				return noProgressErr(nd, outOff)
+			}
+			// The next pass's watermark is the candidate maximum — what
+			// the sort stage will place last, computed here so the scan
+			// need not wait for the sort.
+			watermark, have = cand[0], true
+			for _, r := range cand[1:] {
+				if seq.TotalLess(watermark, r) {
+					watermark = r
+				}
+			}
+			sortCh <- formBatch{nd: nd, dst: dst, off: outOff, buf: cand}
+			outOff += len(cand)
+		}
+	}
+	return nil
+}
+
+// formRunSeq sorts input records [nd.lo, nd.hi) into dst at the same
+// offsets, strictly sequentially — the one-worker engine's formation.
+func (e *engine) formRunSeq(nd *planNode) error {
 	n := nd.len()
 	if n == 0 {
 		return nil
@@ -33,9 +190,6 @@ func (e *engine) formRun(nd *planNode) error {
 	if err != nil {
 		return err
 	}
-	// Fast path: the leaf fits the budget (always, when k = 1) — one
-	// read pass, one parallel sort, one write pass, no watermark (and
-	// hence no uniqueness requirement).
 	if n <= e.cfg.mem {
 		buf := e.formBuf[:n]
 		if err := e.in.ReadAt(nd.lo, buf); err != nil {
@@ -44,46 +198,15 @@ func (e *engine) formRun(nd *planNode) error {
 		rt.SortRecords(e.cfg.pool, buf)
 		return dst.WriteAt(nd.lo, buf)
 	}
-
-	chunk := e.readBuf
 	var watermark seq.Record
 	have := false
-	outOff := nd.lo
-	for outOff < nd.hi {
-		// One selection pass: gather up to M candidates above the
-		// watermark, first by filling, then by max-heap replacement.
-		cand := e.formBuf[:0]
-		heaped := false
-		for off := nd.lo; off < nd.hi; off += len(chunk) {
-			c := nd.hi - off
-			if c > cap(chunk) {
-				c = cap(chunk)
-			}
-			chunk = chunk[:c]
-			if err := e.in.ReadAt(off, chunk); err != nil {
-				return err
-			}
-			for _, r := range chunk {
-				if have && !seq.TotalLess(watermark, r) {
-					continue // written by an earlier pass
-				}
-				if len(cand) < e.cfg.mem {
-					cand = append(cand, r)
-					continue
-				}
-				if !heaped {
-					heapify(cand)
-					heaped = true
-				}
-				if seq.TotalLess(r, cand[0]) {
-					cand[0] = r
-					siftDown(cand, 0)
-				}
-			}
+	for outOff := nd.lo; outOff < nd.hi; {
+		cand, err := e.selectPass(nd, watermark, have, e.formBuf[:0])
+		if err != nil {
+			return err
 		}
 		if len(cand) == 0 {
-			return fmt.Errorf("extmem: selection pass at %d/%d found no records above the watermark (duplicate records under seq.TotalLess?)",
-				outOff-nd.lo, n)
+			return noProgressErr(nd, outOff)
 		}
 		rt.SortRecords(e.cfg.pool, cand)
 		if err := dst.WriteAt(outOff, cand); err != nil {
@@ -93,6 +216,49 @@ func (e *engine) formRun(nd *planNode) error {
 		watermark, have = cand[len(cand)-1], true
 	}
 	return nil
+}
+
+// selectPass runs one Lemma 4.2 selection pass over the leaf's input
+// range: it gathers into cand (capacity ≥ M) up to M candidates above
+// the watermark, first by filling, then by max-heap replacement.
+func (e *engine) selectPass(nd *planNode, watermark seq.Record, have bool, cand []seq.Record) ([]seq.Record, error) {
+	chunk := e.readBuf
+	heaped := false
+	for off := nd.lo; off < nd.hi; off += len(chunk) {
+		c := nd.hi - off
+		if c > cap(chunk) {
+			c = cap(chunk)
+		}
+		chunk = chunk[:c]
+		if err := e.in.ReadAt(off, chunk); err != nil {
+			return cand, err
+		}
+		for _, r := range chunk {
+			if have && !seq.TotalLess(watermark, r) {
+				continue // written by an earlier pass
+			}
+			if len(cand) < e.cfg.mem {
+				cand = append(cand, r)
+				continue
+			}
+			if !heaped {
+				heapify(cand)
+				heaped = true
+			}
+			if seq.TotalLess(r, cand[0]) {
+				cand[0] = r
+				siftDown(cand, 0)
+			}
+		}
+	}
+	return cand, nil
+}
+
+// noProgressErr reports a selection pass that found nothing above the
+// watermark — duplicate records under seq.TotalLess.
+func noProgressErr(nd *planNode, outOff int) error {
+	return fmt.Errorf("extmem: selection pass at %d/%d found no records above the watermark (duplicate records under seq.TotalLess?)",
+		outOff-nd.lo, nd.len())
 }
 
 // heapify establishes the max-heap property under seq.TotalLess.
