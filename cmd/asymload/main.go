@@ -1,0 +1,467 @@
+// Command asymload is the deterministic load generator for asymsortd:
+// it drives the daemon with a seeded mix of concurrent sort jobs —
+// sizes, key shapes, and arrival spacing all derived from one seed, so
+// a run is exactly reproducible — verifies every response on the wire
+// (sorted order, record count, and an order-independent multiset
+// checksum against what it sent), cross-checks the daemon's /stats
+// ledgers (every ext job's measured block writes must equal the
+// simulated AEM plan's), and prints a throughput/latency table,
+// recordable as BENCH-style JSON rows via -json.
+//
+// Usage:
+//
+//	asymload -addr http://127.0.0.1:8077 -jobs 8 -concurrency 8 -seed 1
+//	asymload -jobs 8 -concurrency 1           # the serialized baseline
+//	asymload -jobs 8 -model ext -save outdir  # dump job inputs/outputs
+//
+// The same seed with -concurrency 1 runs the identical job mix one at
+// a time — the serialized baseline a shared-envelope speedup is
+// measured against (the CI smoke gates concurrent/serialized ≥ 1.5×).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"asymsort/internal/exp"
+	"asymsort/internal/xrand"
+)
+
+var shapeNames = []string{"uniform", "sorted", "reversed", "dups", "equal"}
+
+// jobSpec is one job of the deterministic mix.
+type jobSpec struct {
+	id    int
+	n     int
+	shape int
+	seed  uint64
+}
+
+// jobResult is what one finished job measured.
+type jobResult struct {
+	spec    jobSpec
+	model   string
+	memRecs int
+	wall    time.Duration
+	ttfb    time.Duration
+	err     error
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8077", "asymsortd base URL")
+		jobs    = flag.Int("jobs", 8, "number of jobs in the mix")
+		conc    = flag.Int("concurrency", 0, "max in-flight jobs (0 = all at once; 1 = serialized baseline)")
+		seed    = flag.Uint64("seed", 1, "mix seed: sizes, shapes, and per-job keys all derive from it")
+		minN    = flag.Int("minn", 20000, "smallest job size in records")
+		maxN    = flag.Int("maxn", 120000, "largest job size in records")
+		shapes  = flag.String("shapes", "uniform,sorted,reversed,dups,equal", "comma-separated shape pool the mix draws from")
+		spacing = flag.Duration("spacing", 0, "arrival spacing between job launches")
+		model   = flag.String("model", "auto", "forwarded to /sort?model=")
+		jobMem  = flag.Int("jobmem", 0, "per-job budget hint in records, forwarded as /sort?mem= (0 = server default)")
+		save    = flag.String("save", "", "directory to dump each job's input/output text (for solo-run diffing)")
+		jsonOut = flag.String("json", "", "record the tables as JSON rows (exp.Recorder format)")
+	)
+	flag.Parse()
+	if err := run(*addr, *jobs, *conc, *seed, *minN, *maxN, *shapes, *spacing, *model, *jobMem, *save, *jsonOut); err != nil {
+		fmt.Fprintf(os.Stderr, "asymload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, jobs, conc int, seed uint64, minN, maxN int, shapeList string,
+	spacing time.Duration, model string, jobMem int, save, jsonOut string) error {
+	if jobs < 1 || minN < 1 || maxN < minN {
+		return fmt.Errorf("need -jobs >= 1 and 1 <= -minn <= -maxn")
+	}
+	if conc <= 0 {
+		conc = jobs
+	}
+	pool, err := shapePool(shapeList)
+	if err != nil {
+		return err
+	}
+	if save != "" {
+		if err := os.MkdirAll(save, 0o755); err != nil {
+			return err
+		}
+	}
+
+	// The deterministic mix: every job's (n, shape, seed) comes from the
+	// mix seed alone, so -concurrency changes scheduling, never work.
+	rng := xrand.New(seed)
+	specs := make([]jobSpec, jobs)
+	for i := range specs {
+		specs[i] = jobSpec{
+			id:    i,
+			n:     minN + int(rng.Next()%uint64(maxN-minN+1)),
+			shape: pool[rng.Next()%uint64(len(pool))],
+			seed:  rng.Next(),
+		}
+	}
+
+	fmt.Printf("asymload: %d jobs (%d..%d records) against %s, concurrency %d, spacing %v, seed %d\n",
+		jobs, minN, maxN, addr, conc, spacing, seed)
+
+	results := make([]jobResult, jobs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, conc)
+	start := time.Now()
+	for i := range specs {
+		if i > 0 && spacing > 0 {
+			time.Sleep(spacing)
+		}
+		sem <- struct{}{} // launch-side cap: arrival order is preserved
+		wg.Add(1)
+		go func(sp jobSpec) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[sp.id] = runJob(addr, model, jobMem, save, sp)
+		}(specs[i])
+	}
+	wg.Wait()
+	makespan := time.Since(start)
+
+	// Render the per-job table and the summary.
+	var rec *exp.Recorder
+	if jsonOut != "" {
+		rec = exp.NewRecorder()
+	}
+	failures := renderJobTable(os.Stdout, rec, results)
+	totalRecs := renderSummary(os.Stdout, rec, results, makespan, conc)
+
+	// Cross-check the daemon's ledgers: every ext job's measured block
+	// writes must equal its simulated AEM plan.
+	extJobs, mismatches, err := checkLedgers(addr)
+	if err != nil {
+		return fmt.Errorf("fetching /stats: %v", err)
+	}
+	if mismatches > 0 {
+		failures += mismatches
+		fmt.Printf("ledger identity: %d of %d ext jobs DIVERGE from the simulated AEM plan\n", mismatches, extJobs)
+	} else {
+		fmt.Printf("ledger identity: OK (%d ext jobs, measured block writes == simulated AEM plan)\n", extJobs)
+	}
+
+	if rec != nil {
+		if err := rec.WriteFile(jsonOut); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %s\n", jsonOut)
+	}
+	// The greppable figures scripts (and the CI throughput gate) parse.
+	fmt.Printf("total wall: %dms\n", makespan.Milliseconds())
+	fmt.Printf("throughput: %.3f Mrec/s (%d records)\n",
+		float64(totalRecs)/makespan.Seconds()/1e6, totalRecs)
+	if failures > 0 {
+		return fmt.Errorf("%d job(s) failed verification", failures)
+	}
+	fmt.Println("all jobs verified: sorted, complete, checksums match")
+	return nil
+}
+
+// shapePool resolves the -shapes list to shape indexes.
+func shapePool(list string) ([]int, error) {
+	var pool []int
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		idx := -1
+		for i, s := range shapeNames {
+			if s == name {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("unknown shape %q (have %s)", name, strings.Join(shapeNames, ", "))
+		}
+		pool = append(pool, idx)
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("-shapes is empty")
+	}
+	return pool, nil
+}
+
+// genKey returns job sp's i-th key. Shapes follow the repository's
+// test corpus: uniform random, pre-sorted, reversed, duplicate-heavy
+// (16 distinct keys), and all-equal. Server-side payloads (line
+// indexes) keep the records unique, as the engines require.
+func genKey(sp jobSpec, r *xrand.SplitMix64, i int) uint64 {
+	switch shapeNames[sp.shape] {
+	case "sorted":
+		return uint64(i)
+	case "reversed":
+		return uint64(sp.n - i)
+	case "dups":
+		return r.Next() % 16
+	case "equal":
+		return 42
+	default:
+		return r.Next() >> 1
+	}
+}
+
+// checksum is the order-independent multiset digest both sides of the
+// wire are folded into (the same construction cmd/asymsort's ext
+// verifier uses).
+type checksum struct {
+	n        int
+	sum, xor uint64
+}
+
+func (c *checksum) add(key uint64) {
+	h := xrand.Mix(key)
+	c.n++
+	c.sum += h
+	c.xor ^= h
+}
+
+// runJob posts one job and verifies the response stream.
+func runJob(addr, model string, jobMem int, save string, sp jobSpec) jobResult {
+	res := jobResult{spec: sp}
+	inSumCh := make(chan checksum, 1)
+
+	// The request body streams straight out of the generator — no
+	// job-sized buffer on the client either. The generator goroutine is
+	// the sole owner of the input dump file: it flushes and closes it
+	// before signaling inSumCh, so no main-goroutine path (error or
+	// not) ever touches the writer concurrently, and the dump is
+	// complete on every exit — http.Post closes the pipe reader on all
+	// of its failure paths, which unblocks the generator.
+	pr, pw := io.Pipe()
+	var saveInF *os.File
+	if save != "" {
+		f, err := os.Create(filepath.Join(save, fmt.Sprintf("job-%d-in.txt", sp.id)))
+		if err != nil {
+			res.err = err
+			return res
+		}
+		saveInF = f
+	}
+	go func() {
+		var inSum checksum
+		var saveIn *bufio.Writer
+		if saveInF != nil {
+			saveIn = bufio.NewWriterSize(saveInF, 1<<20)
+		}
+		defer func() {
+			if saveInF != nil {
+				saveIn.Flush()
+				saveInF.Close()
+			}
+			inSumCh <- inSum
+		}()
+		bw := bufio.NewWriterSize(pw, 1<<20)
+		r := xrand.New(sp.seed)
+		var line []byte
+		for i := 0; i < sp.n; i++ {
+			key := genKey(sp, r, i)
+			inSum.add(key)
+			line = strconv.AppendUint(line[:0], key, 10)
+			line = append(line, '\n')
+			if saveIn != nil {
+				saveIn.Write(line)
+			}
+			if _, err := bw.Write(line); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		pw.CloseWithError(bw.Flush())
+	}()
+
+	query := "/sort?model=" + model
+	if jobMem > 0 {
+		query += "&mem=" + strconv.Itoa(jobMem)
+	}
+	start := time.Now()
+	resp, err := http.Post(addr+query, "text/plain", pr)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		res.err = fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		return res
+	}
+	res.model = resp.Header.Get("X-Asymsortd-Model")
+	res.memRecs, _ = strconv.Atoi(resp.Header.Get("X-Asymsortd-Mem"))
+
+	// Verify the stream: non-decreasing keys, exact count, and the
+	// multiset checksum of what we sent.
+	var outSum checksum
+	var saveOut *bufio.Writer
+	if save != "" {
+		f, err := os.Create(filepath.Join(save, fmt.Sprintf("job-%d-out.txt", sp.id)))
+		if err != nil {
+			res.err = err
+			return res
+		}
+		defer f.Close()
+		saveOut = bufio.NewWriterSize(f, 1<<20)
+		defer saveOut.Flush()
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var prev uint64
+	first := true
+	for sc.Scan() {
+		if first {
+			res.ttfb = time.Since(start)
+		}
+		key, err := strconv.ParseUint(sc.Text(), 10, 64)
+		if err != nil {
+			res.err = fmt.Errorf("response line %d: %v", outSum.n+1, err)
+			return res
+		}
+		if !first && key < prev {
+			res.err = fmt.Errorf("response not sorted at record %d: %d after %d", outSum.n, key, prev)
+			return res
+		}
+		prev, first = key, false
+		outSum.add(key)
+		if saveOut != nil {
+			saveOut.Write(sc.Bytes())
+			saveOut.WriteByte('\n')
+		}
+	}
+	if err := sc.Err(); err != nil {
+		res.err = err
+		return res
+	}
+	res.wall = time.Since(start)
+	// The generator has necessarily finished (the server only responds
+	// after consuming the whole body), so this receive cannot block.
+	inSum := <-inSumCh
+	if outSum != inSum {
+		res.err = fmt.Errorf("response is not a permutation of the input: sent %d records, got %d (checksum mismatch)",
+			inSum.n, outSum.n)
+	}
+	return res
+}
+
+// renderJobTable prints the per-job table and returns the failure
+// count.
+func renderJobTable(w io.Writer, rec *exp.Recorder, results []jobResult) int {
+	header := []string{"job", "shape", "n", "model", "memRecs", "wall ms", "ttfb ms", "Mrec/s", "status"}
+	var rows [][]string
+	failures := 0
+	for _, r := range results {
+		status := "ok"
+		if r.err != nil {
+			failures++
+			status = "FAIL: " + r.err.Error()
+		}
+		rate := ""
+		if r.wall > 0 {
+			rate = fmt.Sprintf("%.3f", float64(r.spec.n)/r.wall.Seconds()/1e6)
+		}
+		rows = append(rows, []string{
+			strconv.Itoa(r.spec.id), shapeNames[r.spec.shape], strconv.Itoa(r.spec.n),
+			r.model, strconv.Itoa(r.memRecs),
+			strconv.FormatInt(r.wall.Milliseconds(), 10),
+			strconv.FormatInt(r.ttfb.Milliseconds(), 10),
+			rate, status,
+		})
+	}
+	writeTable(w, header, rows)
+	if rec != nil {
+		rec.Record("load", "asymsortd job mix", header, rows)
+	}
+	return failures
+}
+
+// renderSummary prints the aggregate line items and returns the total
+// record count.
+func renderSummary(w io.Writer, rec *exp.Recorder, results []jobResult, makespan time.Duration, conc int) int {
+	totalRecs := 0
+	walls := make([]time.Duration, 0, len(results))
+	for _, r := range results {
+		if r.err == nil {
+			totalRecs += r.spec.n
+			walls = append(walls, r.wall)
+		}
+	}
+	sort.Slice(walls, func(a, b int) bool { return walls[a] < walls[b] })
+	med, max := time.Duration(0), time.Duration(0)
+	if len(walls) > 0 {
+		med, max = walls[len(walls)/2], walls[len(walls)-1]
+	}
+	header := []string{"concurrency", "jobs", "records", "makespan ms", "agg Mrec/s", "p50 ms", "max ms"}
+	rows := [][]string{{
+		strconv.Itoa(conc), strconv.Itoa(len(results)), strconv.Itoa(totalRecs),
+		strconv.FormatInt(makespan.Milliseconds(), 10),
+		fmt.Sprintf("%.3f", float64(totalRecs)/makespan.Seconds()/1e6),
+		strconv.FormatInt(med.Milliseconds(), 10),
+		strconv.FormatInt(max.Milliseconds(), 10),
+	}}
+	fmt.Fprintln(w)
+	writeTable(w, header, rows)
+	if rec != nil {
+		rec.Record("load", "asymsortd job mix", header, rows)
+	}
+	return totalRecs
+}
+
+func writeTable(w io.Writer, header []string, rows [][]string) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+}
+
+// statsPayload mirrors the /stats JSON shape (see internal/serve).
+type statsPayload struct {
+	Jobs []struct {
+		ID         int    `json:"id"`
+		State      string `json:"state"`
+		Model      string `json:"model"`
+		Writes     uint64 `json:"writes"`
+		PlanWrites uint64 `json:"plan_writes"`
+	} `json:"jobs"`
+}
+
+// checkLedgers fetches /stats and compares every completed ext job's
+// measured write ledger to its simulated plan.
+func checkLedgers(addr string) (extJobs, mismatches int, err error) {
+	resp, err := http.Get(addr + "/stats")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var snap statsPayload
+	if err := decodeJSON(resp.Body, &snap); err != nil {
+		return 0, 0, err
+	}
+	for _, j := range snap.Jobs {
+		if j.Model != "ext" || j.State != "done" {
+			continue
+		}
+		extJobs++
+		if j.Writes != j.PlanWrites {
+			mismatches++
+			fmt.Printf("  job %d: measured %d block writes, simulated plan %d\n", j.ID, j.Writes, j.PlanWrites)
+		}
+	}
+	return extJobs, mismatches, nil
+}
+
+func decodeJSON(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}

@@ -15,11 +15,11 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
-	"strings"
 	"time"
 
 	"asymsort/internal/extmem"
 	"asymsort/internal/seq"
+	"asymsort/internal/serve"
 	"asymsort/internal/xrand"
 )
 
@@ -293,40 +293,8 @@ func verifySortedBinary(binPath, outPath string) (checksum, error) {
 	return sum, nil
 }
 
-// parseSize parses "8MB", "512KB", "1GB", "64" (bytes) — binary units,
-// case-insensitive, optional B suffix.
-func parseSize(s string) (int64, error) {
-	t := strings.TrimSpace(strings.ToUpper(s))
-	mult := int64(1)
-	switch {
-	case strings.HasSuffix(t, "GB"), strings.HasSuffix(t, "G"):
-		mult = 1 << 30
-		t = strings.TrimSuffix(strings.TrimSuffix(t, "B"), "G")
-	case strings.HasSuffix(t, "MB"), strings.HasSuffix(t, "M"):
-		mult = 1 << 20
-		t = strings.TrimSuffix(strings.TrimSuffix(t, "B"), "M")
-	case strings.HasSuffix(t, "KB"), strings.HasSuffix(t, "K"):
-		mult = 1 << 10
-		t = strings.TrimSuffix(strings.TrimSuffix(t, "B"), "K")
-	default:
-		t = strings.TrimSuffix(t, "B")
-	}
-	v, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
-	if err != nil || v <= 0 {
-		return 0, fmt.Errorf("cannot parse size %q", s)
-	}
-	return v * mult, nil
-}
+// parseSize and fmtBytes are the shared size helpers (serve owns the
+// canonical implementation so asymsortd's -mem parses identically).
+func parseSize(s string) (int64, error) { return serve.ParseSize(s) }
 
-// fmtBytes renders a byte count humanly.
-func fmtBytes(n int64) string {
-	switch {
-	case n >= 1<<30:
-		return fmt.Sprintf("%.1f GB", float64(n)/(1<<30))
-	case n >= 1<<20:
-		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
-	case n >= 1<<10:
-		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
-	}
-	return fmt.Sprintf("%d B", n)
-}
+func fmtBytes(n int64) string { return serve.FmtBytes(n) }

@@ -1,0 +1,114 @@
+// Command asymsortd is the long-running sort service: it admits many
+// concurrent sort jobs over HTTP and makes them share one machine-wide
+// resource envelope — the paper's (M, B, ω) — through the budget
+// broker of internal/serve, instead of each job assuming it owns the
+// box.
+//
+// Usage:
+//
+//	asymsortd -addr :8077 -mem 8MB -b 64 -omega 16
+//	asymsortd -addr 127.0.0.1:0 -mem 64MB -procs 4 -tmpdir /mnt/scratch
+//
+// API (see internal/serve for the full contract):
+//
+//	POST /sort?model=auto|ext|native&mem=<records>
+//	     body: one decimal uint64 key per line → sorted keys, streamed
+//	GET  /stats    broker + per-job JSON (grants, queue, IO ledgers,
+//	               simulated-plan write counts, wall times)
+//	GET  /healthz  liveness
+//
+// -mem is the global budget shared by every job (a byte size; divided
+// by the 16-byte record footprint). Jobs queue FIFO under
+// backpressure, leases shrink/grow at merge-level boundaries as load
+// changes, and a disconnected client cancels its job — the engine
+// aborts and its spill files are removed. cmd/asymload is the matching
+// deterministic load generator.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"asymsort/internal/extmem"
+	"asymsort/internal/serve"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:8077", "listen address (host:port; :0 picks a free port)")
+		mem    = flag.String("mem", "64MB", "global memory budget shared by all jobs, e.g. 8MB")
+		block  = flag.Int("b", 64, "device block size in records (the model's B)")
+		omega  = flag.Float64("omega", 8, "device write/read cost ratio ω (picks k when -k 0)")
+		k      = flag.Int("k", 0, "ext read multiplier (0 = choose from ω, Appendix A)")
+		procs  = flag.Int("procs", 0, "machine worker count shared by all jobs (0 = GOMAXPROCS)")
+		tmpdir = flag.String("tmpdir", "", "job staging/spill directory (default os.TempDir)")
+	)
+	flag.Parse()
+	if err := run(*addr, *mem, *block, *omega, *k, *procs, *tmpdir); err != nil {
+		fmt.Fprintf(os.Stderr, "asymsortd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, memFlag string, block int, omega float64, k, procs int, tmpdir string) error {
+	memBytes, err := serve.ParseSize(memFlag)
+	if err != nil {
+		return fmt.Errorf("bad -mem: %v", err)
+	}
+	memRecs := int(memBytes / extmem.RecordBytes)
+
+	broker, err := serve.NewBroker(serve.BrokerConfig{
+		Mem: memRecs, Procs: procs, MinLease: 16 * block,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := serve.NewServer(serve.ServerConfig{
+		Broker: broker, Block: block, Omega: omega, K: k, TmpDir: tmpdir,
+	})
+	if err != nil {
+		broker.Close()
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		broker.Close()
+		return err
+	}
+	stats := broker.Stats()
+	fmt.Printf("asymsortd: listening on %s\n", ln.Addr())
+	fmt.Printf("  envelope : M=%d records (%s), B=%d records, ω=%g, procs=%d, min lease %d records\n",
+		stats.TotalMem, memFlag, block, omega, stats.Procs, stats.MinLease)
+	fmt.Printf("  endpoints: POST /sort · GET /stats · GET /healthz\n")
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		// Graceful drain: Shutdown waits for in-flight jobs, and only a
+		// clean drain may close the broker — its shared IO queue must
+		// never be closed under a still-running engine. On timeout the
+		// process exits with the queue open; the OS reclaims it.
+		fmt.Printf("asymsortd: %v — draining jobs and shutting down\n", s)
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("shutdown with jobs still in flight: %w", err)
+		}
+		broker.Close()
+		return nil
+	}
+}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -92,6 +94,94 @@ func TestDiffMarkdownReshapedTableIsNotJoined(t *testing.T) {
 	got := diffMarkdown(oldRecs, newRecs)
 	if !strings.Contains(got, "| 1 | 80 |") || strings.Contains(got, "%") {
 		t.Errorf("reshaped table must render without deltas:\n%s", got)
+	}
+}
+
+func TestDiffMarkdownDisjointExperimentSets(t *testing.T) {
+	// Experiments only in the baseline are ignored; experiments only in
+	// the new recording render plain. Shared ones still join — a partial
+	// overlap must not poison either side.
+	oldRecs := []exp.ExpRecord{
+		rec("gone", []string{"k", "wall"}, map[string]any{"k": float64(1), "wall": float64(9)}),
+		rec("ext", []string{"k", "wall"}, map[string]any{"k": float64(1), "wall": float64(100)}),
+	}
+	newRecs := []exp.ExpRecord{
+		rec("ext", []string{"k", "wall"}, map[string]any{"k": float64(1), "wall": float64(50)}),
+		rec("fresh", []string{"k", "wall"}, map[string]any{"k": float64(1), "wall": float64(7)}),
+	}
+	got := diffMarkdown(oldRecs, newRecs)
+	if strings.Contains(got, "gone") {
+		t.Errorf("baseline-only experiment leaked into the summary:\n%s", got)
+	}
+	if !strings.Contains(got, "| 1 | 50 (-50.0%) |") {
+		t.Errorf("shared experiment lost its delta:\n%s", got)
+	}
+	if !strings.Contains(got, "### fresh") || !strings.Contains(got, "| 1 | 7 |") {
+		t.Errorf("new-only experiment must render plain:\n%s", got)
+	}
+	if strings.Contains(got, "| 1 | 7 (") {
+		t.Errorf("new-only experiment must not carry deltas:\n%s", got)
+	}
+}
+
+func TestDiffMarkdownNonNumericCells(t *testing.T) {
+	// String cells render verbatim and never get a percentage — even
+	// when the baseline holds a number under the same key — and a
+	// numeric cell over a string baseline renders plain.
+	oldRecs := []exp.ExpRecord{rec("ext", []string{"k", "engine", "wall"},
+		map[string]any{"k": float64(1), "engine": float64(3), "wall": "n/a"})}
+	newRecs := []exp.ExpRecord{rec("ext", []string{"k", "engine", "wall"},
+		map[string]any{"k": float64(1), "engine": "sequential", "wall": float64(80)})}
+	got := diffMarkdown(oldRecs, newRecs)
+	if !strings.Contains(got, "| 1 | sequential | 80 |") {
+		t.Errorf("non-numeric cells mishandled:\n%s", got)
+	}
+	if strings.Contains(got, "%") {
+		t.Errorf("no delta may appear across a string/number type change:\n%s", got)
+	}
+}
+
+func TestLoadRecsMissingAndMalformed(t *testing.T) {
+	// A missing baseline file is ok=false (first-run mode), as is one
+	// that is not an exp.Recorder JSON array.
+	if _, ok := loadRecs(filepath.Join(t.TempDir(), "nope.json")); ok {
+		t.Fatal("missing file reported ok")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"not":"an array"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := loadRecs(bad); ok {
+		t.Fatal("malformed JSON reported ok")
+	}
+	good := filepath.Join(t.TempDir(), "good.json")
+	if err := os.WriteFile(good, []byte(`[{"experiment":"e","title":"t","tables":[]}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if recs, ok := loadRecs(good); !ok || len(recs) != 1 {
+		t.Fatalf("valid recording rejected: ok=%v recs=%d", ok, len(recs))
+	}
+}
+
+func TestDiffMarkdownDuplicateRowKeys(t *testing.T) {
+	// Duplicate key-column values in the baseline: every new row joins
+	// the FIRST baseline row with that key, deterministically — the
+	// stable choice when a sweep records one row per repetition.
+	oldRecs := []exp.ExpRecord{rec("ext", []string{"k", "wall"},
+		map[string]any{"k": float64(1), "wall": float64(100)},
+		map[string]any{"k": float64(1), "wall": float64(10)},
+	)}
+	newRecs := []exp.ExpRecord{rec("ext", []string{"k", "wall"},
+		map[string]any{"k": float64(1), "wall": float64(50)},
+		map[string]any{"k": float64(1), "wall": float64(50)},
+	)}
+	got := diffMarkdown(oldRecs, newRecs)
+	want := "| 1 | 50 (-50.0%) |"
+	if strings.Count(got, want) != 2 {
+		t.Errorf("duplicate keys must join the first baseline row on both rows:\n%s", got)
+	}
+	if strings.Contains(got, "+400.0%") {
+		t.Errorf("a duplicate-key row joined the second baseline row:\n%s", got)
 	}
 }
 

@@ -38,6 +38,18 @@
 //     §4 AEM mergesort/sample sort/buffer-tree heapsort, §5 cache-oblivious
 //     sort, FFT, and matrix multiplication (§3's pramsort and §5.1's
 //     cosort are rt-ported and run on both backends)
+//   - internal/serve — the sort service: a budget Broker that owns one
+//     machine-wide (M, P) envelope — the global memory budget in
+//     records, the shared rt.Pool worker tokens, the extmem async-IO
+//     queue — and leases per-job (Mᵢ, Pᵢ) slices with FIFO admission,
+//     backpressure, grow/shrink rebalancing at merge-level boundaries
+//     (extmem.Config.Lease), and cancellation that reclaims spill
+//     files and grants; plus the HTTP job engine (POST /sort streams
+//     newline-delimited keys both ways, GET /stats serves per-job
+//     measured-vs-simulated write ledgers). cmd/asymsortd is the
+//     daemon; cmd/asymload the deterministic seeded load generator
+//     that drives it, verifies every response on the wire, and prints
+//     recordable throughput/latency tables
 //   - internal/exp — the experiment harness regenerating every theorem's
 //     table (run via cmd/asymbench or the benchmarks in bench_test.go);
 //     asymbench -json records the tables as the structured rows the CI

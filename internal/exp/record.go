@@ -78,6 +78,19 @@ func cellValue(s string) any {
 	return s
 }
 
+// Record appends one rendered table under a named experiment — the
+// exported entry point for recorders outside the harness's
+// section/table plumbing (cmd/asymload records its throughput/latency
+// tables this way, in the same BENCH_*.json row shape cmd/benchdiff
+// joins on). Consecutive calls with the same id attach to one
+// experiment record.
+func (r *Recorder) Record(id, title string, header []string, rows [][]string) {
+	if len(r.exps) == 0 || r.exps[len(r.exps)-1].Experiment != id {
+		r.begin(id, title)
+	}
+	r.table(header, rows)
+}
+
 // WriteFile marshals everything recorded so far as indented JSON.
 func (r *Recorder) WriteFile(path string) error {
 	data, err := json.MarshalIndent(r.exps, "", "  ")

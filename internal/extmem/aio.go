@@ -7,7 +7,7 @@ import (
 )
 
 // This file is the asynchronous IO worker layer under BlockFile: a
-// small pool of IO goroutines (ioq) plus the two façades the engine
+// small pool of IO goroutines (IOQueue) plus the two façades the engine
 // stacks on it — prefetchReader (read-ahead) and asyncWriter
 // (write-behind). Both issue exactly the transfers their synchronous
 // counterparts (runReader, runWriter) would issue, span for span, so
@@ -15,21 +15,24 @@ import (
 // only difference is when the pread/pwrite happens relative to the
 // compute that consumes or produced the records.
 
-// ioq is a fixed pool of IO worker goroutines. submit enqueues a task
-// when a slot is free and otherwise runs it inline on the caller, so
-// the queue can never deadlock and degrades gracefully to synchronous
-// IO under pressure. close drains every queued task before returning —
-// the engine closes the queue before its spill-file cleanup runs.
-type ioq struct {
+// IOQueue is a fixed pool of IO worker goroutines. submit enqueues a
+// task when a slot is free and otherwise runs it inline on the caller,
+// so the queue can never deadlock and degrades gracefully to
+// synchronous IO under pressure. A queue may be private to one engine
+// or shared by many concurrent ones (Config.IOQ): the serve broker
+// owns one machine-wide queue so the aggregate async-IO parallelism
+// stays bounded no matter how many jobs run.
+type IOQueue struct {
 	ch chan func()
 	wg sync.WaitGroup
 }
 
-func newIOQ(workers int) *ioq {
+// NewIOQueue starts a queue of the given worker count (min 1).
+func NewIOQueue(workers int) *IOQueue {
 	if workers < 1 {
 		workers = 1
 	}
-	q := &ioq{ch: make(chan func(), 4*workers)}
+	q := &IOQueue{ch: make(chan func(), 4*workers)}
 	q.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
@@ -44,7 +47,7 @@ func newIOQ(workers int) *ioq {
 
 // submit runs f asynchronously when queue capacity allows, inline
 // otherwise.
-func (q *ioq) submit(f func()) {
+func (q *IOQueue) submit(f func()) {
 	select {
 	case q.ch <- f:
 	default:
@@ -52,11 +55,35 @@ func (q *ioq) submit(f func()) {
 	}
 }
 
-// close stops the workers after draining every queued task.
-func (q *ioq) close() {
+// Close stops the workers after draining every queued task. Only the
+// queue's owner may call it, and only once no engine is using the
+// queue.
+func (q *IOQueue) Close() {
 	close(q.ch)
 	q.wg.Wait()
 }
+
+// ioSession tracks one engine's in-flight tasks on a (possibly shared)
+// IOQueue: every submit is counted, and drain blocks until the
+// engine's own transfers have completed. This is what lets an engine
+// remove its spill files on exit — including error and cancellation
+// exits with prefetches still in flight — without closing a queue
+// other engines are using.
+type ioSession struct {
+	q  *IOQueue
+	wg sync.WaitGroup
+}
+
+func (s *ioSession) submit(f func()) {
+	s.wg.Add(1)
+	s.q.submit(func() {
+		defer s.wg.Done()
+		f()
+	})
+}
+
+// drain waits for every transfer this session submitted.
+func (s *ioSession) drain() { s.wg.Wait() }
 
 // ioResult carries one completed async transfer: the record count moved
 // and its error.
@@ -66,7 +93,7 @@ type ioResult struct {
 }
 
 // prefetchReader is a runReader with read-ahead: it owns two refill
-// buffers and always has the next span's ReadAt in flight on the ioq
+// buffers and always has the next span's ReadAt in flight on the IO queue
 // while the consumer drains the current buffer. The sequence of refill
 // spans — and therefore the charged read ledger — is identical to a
 // runReader with the same buffer capacity; the second buffer rides in
@@ -74,7 +101,7 @@ type ioResult struct {
 type prefetchReader struct {
 	bf       *BlockFile
 	next, hi int
-	q        *ioq
+	q        *ioSession
 	bufs     [2][]seq.Record
 	fill     int // index of the buffer the in-flight read targets
 	act      []seq.Record
@@ -85,7 +112,7 @@ type prefetchReader struct {
 
 // newPrefetchReader streams [lo, hi) of bf through double buffers of
 // bufRecs records each.
-func newPrefetchReader(bf *BlockFile, lo, hi int, q *ioq, bufRecs int) *prefetchReader {
+func newPrefetchReader(bf *BlockFile, lo, hi int, q *ioSession, bufRecs int) *prefetchReader {
 	if bufRecs < 1 {
 		panic("extmem: prefetchReader buffer must have capacity")
 	}
@@ -95,7 +122,7 @@ func newPrefetchReader(bf *BlockFile, lo, hi int, q *ioq, bufRecs int) *prefetch
 
 // newPrefetchReaderBufs adopts two caller-owned refill buffers — the
 // merge workers carve them from their reusable arenas.
-func newPrefetchReaderBufs(bf *BlockFile, lo, hi int, q *ioq, b0, b1 []seq.Record) *prefetchReader {
+func newPrefetchReaderBufs(bf *BlockFile, lo, hi int, q *ioSession, b0, b1 []seq.Record) *prefetchReader {
 	if len(b0) == 0 || len(b1) == 0 {
 		panic("extmem: prefetchReader buffers must have capacity")
 	}
@@ -160,7 +187,7 @@ type asyncWriter struct {
 	bf   *BlockFile
 	base int // absolute record offset of the region start
 	off  int // records handed to flushes so far
-	q    *ioq
+	q    *ioSession
 	bufs [2][]seq.Record
 	curi int
 	buf  []seq.Record // bufs[curi][:fillLevel]
@@ -169,7 +196,7 @@ type asyncWriter struct {
 
 // newAsyncWriter appends to [base, …) of bf through two fresh buffers
 // of bufRecs records (a positive whole number of blocks) each.
-func newAsyncWriter(bf *BlockFile, base int, q *ioq, bufRecs int) *asyncWriter {
+func newAsyncWriter(bf *BlockFile, base int, q *ioSession, bufRecs int) *asyncWriter {
 	return newAsyncWriterBufs(bf, base, q,
 		make([]seq.Record, 0, bufRecs), make([]seq.Record, 0, bufRecs))
 }
@@ -177,7 +204,7 @@ func newAsyncWriter(bf *BlockFile, base int, q *ioq, bufRecs int) *asyncWriter {
 // newAsyncWriterBufs adopts two caller-owned flush buffers (equal
 // capacity, a positive whole number of blocks) — the merge workers
 // carve them from their reusable arenas.
-func newAsyncWriterBufs(bf *BlockFile, base int, q *ioq, b0, b1 []seq.Record) *asyncWriter {
+func newAsyncWriterBufs(bf *BlockFile, base int, q *ioSession, b0, b1 []seq.Record) *asyncWriter {
 	if cap(b0)%bf.b != 0 || cap(b0) == 0 || cap(b1) != cap(b0) {
 		panic("extmem: asyncWriter buffers must be equal positive whole numbers of blocks")
 	}
@@ -194,7 +221,7 @@ func (w *asyncWriter) add(r seq.Record) error {
 	return nil
 }
 
-// flush hands the filled buffer to the ioq and switches to the other
+// flush hands the filled buffer to the IO session and switches to the other
 // buffer, first joining that buffer's previous write.
 func (w *asyncWriter) flush() error {
 	if len(w.buf) == 0 {

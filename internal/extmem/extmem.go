@@ -64,6 +64,7 @@
 package extmem
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -73,6 +74,37 @@ import (
 	"asymsort/internal/cost"
 	"asymsort/internal/rt"
 )
+
+// ErrCanceled is returned by Sort when its Lease is revoked mid-run.
+// The engine aborts at the next block boundary and removes its spill
+// files before returning, so a canceled job leaves nothing behind.
+var ErrCanceled = errors.New("extmem: sort canceled (lease revoked)")
+
+// Lease is an external budget broker's handle on a running sort (see
+// internal/serve). Config.Mem remains the admission-time grant that
+// fixes the merge plan — and with it the block-write ledger — but a
+// non-nil Lease lets the broker resize the job's resident memory while
+// it runs: the engine calls Mem at every merge-level boundary and
+// carves that level's reader/writer buffers from the returned grant
+// instead of Config.Mem. A shrunken grant trades reads (smaller
+// prefetch buffers refill more often, raising the read amplification
+// beyond the planned ≈k×); a grown grant buys them back. Writes are
+// unaffected: every node still writes its output exactly once through
+// block-aligned buffers, so the ledger identity with the simulated AEM
+// machine holds at any grant trajectory.
+//
+// Both methods are called from engine goroutines and must be safe for
+// concurrent use.
+type Lease interface {
+	// Mem reports the job's current memory grant in records. The engine
+	// clamps it to a block multiple of at least one block. Returning a
+	// non-positive grant means "keep the admission-time budget".
+	Mem() int
+	// Canceled returns a channel that is closed when the grant is
+	// revoked. The engine polls it at block granularity and aborts with
+	// ErrCanceled.
+	Canceled() <-chan struct{}
+}
 
 // IOStats is a concurrency-safe block-IO ledger. BlockFiles constructed
 // with the same *IOStats share one ledger, mirroring how all Files of
@@ -134,6 +166,24 @@ type Config struct {
 	// the parallel speedup is measured against. Any Procs produces the
 	// identical output file and the identical block-write ledger.
 	Procs int
+	// Pool, when non-nil, supplies the engine's worker pool instead of a
+	// fresh rt.NewPool(Procs): the serve broker lends each job a
+	// rt.Pool.Split slice of one process-wide pool, so concurrent
+	// engines draw spawn tokens from a shared bucket and can never
+	// oversubscribe the machine in aggregate. Procs is ignored when Pool
+	// is set; the engine's width is Pool.Procs().
+	Pool *rt.Pool
+	// IOQ, when non-nil, supplies a shared pool of async-IO workers
+	// (NewIOQueue) instead of a per-engine one. The engine drains its
+	// own in-flight transfers before removing its spill files but never
+	// closes a shared queue — the owner (the serve broker) does. Ignored
+	// by the sequential engine, which issues no async IO.
+	IOQ *IOQueue
+	// Lease, when non-nil, lets an external budget broker resize the
+	// running job's memory between merge levels and cancel it — see the
+	// Lease interface. The merge plan (and the write ledger) stays fixed
+	// at the admission-time Mem.
+	Lease Lease
 }
 
 // resolved is a validated Config with derived parameters filled in.
@@ -143,6 +193,8 @@ type resolved struct {
 	tmpDir               string
 	pool                 *rt.Pool
 	procs                int
+	ioq                  *IOQueue // shared queue; nil = engine owns one
+	lease                Lease
 }
 
 func (c Config) resolve() (resolved, error) {
@@ -175,8 +227,13 @@ func (c Config) resolve() (resolved, error) {
 	if r.tmpDir == "" {
 		r.tmpDir = os.TempDir()
 	}
-	r.pool = rt.NewPool(c.Procs)
+	r.pool = c.Pool
+	if r.pool == nil {
+		r.pool = rt.NewPool(c.Procs)
+	}
 	r.procs = r.pool.Procs()
+	r.ioq = c.IOQ
+	r.lease = c.Lease
 	return r, nil
 }
 
@@ -218,6 +275,12 @@ type Report struct {
 	LevelIO []cost.Snapshot
 	// Total is the engine's whole ledger: sum of LevelIO.
 	Total cost.Snapshot
+	// PlanWrites is the executed plan's predicted block-write count
+	// (Plan.TotalWrites). At the canonical fan-in kM/B it equals the
+	// simulated AEM machine's write ledger for the same (n, M, B, k) —
+	// the identity internal/integration pins — so Total.Writes ==
+	// PlanWrites is the per-job check a served sort exposes on /stats.
+	PlanWrites uint64
 	// Omega echoes the configured device ratio for cost reporting.
 	Omega float64
 	// Procs is the engine's resolved worker count (1 = the sequential

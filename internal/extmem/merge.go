@@ -25,12 +25,48 @@ type engine struct {
 	spill   [2]*BlockFile // ping-pong by level parity; created lazily
 	formBuf []seq.Record  // M records, reused by every leaf and merge
 	readBuf []seq.Record  // streaming chunk for selection passes
-	ioq     *ioq          // nil on the sequential engine
+	ioq     *ioSession    // nil on the sequential engine
+	// levelMem is the memory grant the current phase's buffers carve
+	// from: the admission-time budget, or — when a Lease is wired — the
+	// broker's current grant, re-read at every merge-level boundary. It
+	// never alters the plan, only the buffer carve, so the write ledger
+	// is grant-trajectory-independent.
+	levelMem int
 	// parArena holds one reusable buffer arena per parallel merge
 	// worker (grown lazily, reused across nodes), so every node's
 	// readers and write-behind buffers carve instead of allocating.
 	parArena [][]seq.Record
 	report   *Report
+}
+
+// grantMem returns the grant the next phase's buffers carve from:
+// cfg.mem, or the lease's current grant clamped to a block multiple of
+// at least one block.
+func (e *engine) grantMem() int {
+	m := e.cfg.mem
+	if e.cfg.lease != nil {
+		if g := e.cfg.lease.Mem(); g > 0 {
+			m = g - g%e.cfg.block
+			if m < e.cfg.block {
+				m = e.cfg.block
+			}
+		}
+	}
+	return m
+}
+
+// canceled polls the lease's revocation channel; engines call it at
+// block/chunk granularity on every long-running loop.
+func (e *engine) canceled() error {
+	if e.cfg.lease == nil {
+		return nil
+	}
+	select {
+	case <-e.cfg.lease.Canceled():
+		return ErrCanceled
+	default:
+		return nil
+	}
 }
 
 // Sort sorts the record file at inPath into a fresh record file at
@@ -59,10 +95,12 @@ func Sort(cfg Config, inPath, outPath string) (*Report, error) {
 	e.report = &Report{
 		N: in.Len(), Mem: r.mem, Block: r.block, K: r.k, FanIn: r.fanIn,
 		Runs: e.plan.Runs(), Levels: e.plan.Levels(), Omega: r.omega,
-		Procs:   r.procs,
-		LevelIO: make([]cost.Snapshot, e.plan.Levels()+1),
+		Procs:      r.procs,
+		LevelIO:    make([]cost.Snapshot, e.plan.Levels()+1),
+		PlanWrites: e.plan.TotalWrites(),
 	}
 	e.formBuf = make([]seq.Record, r.mem)
+	e.levelMem = r.mem
 	chunk := formChunk
 	if chunk < r.block {
 		chunk = r.block
@@ -79,8 +117,13 @@ func Sort(cfg Config, inPath, outPath string) (*Report, error) {
 		}
 	}()
 	if r.procs > 1 {
-		e.ioq = newIOQ(r.procs)
-		defer e.ioq.close()
+		q := r.ioq
+		if q == nil {
+			q = NewIOQueue(r.procs)
+			defer q.Close()
+		}
+		e.ioq = &ioSession{q: q}
+		defer e.ioq.drain()
 	}
 	if err := e.run(); err != nil {
 		return nil, err
@@ -104,9 +147,16 @@ func (e *engine) run() error {
 		}
 	}
 	for lvl := 1; lvl < len(byLevel); lvl++ {
+		// The level boundary is where a broker rebalance lands: re-read
+		// the lease's grant and carve this level's buffers from it.
+		e.levelMem = e.grantMem()
 		base := e.stats.Snapshot()
 		start := time.Now()
 		for _, nd := range byLevel[lvl] {
+			if err := e.canceled(); err != nil {
+				e.report.MergeTime += time.Since(start)
+				return err
+			}
 			if err := e.mergeNode(nd); err != nil {
 				e.report.MergeTime += time.Since(start)
 				return err
@@ -187,12 +237,12 @@ func (e *engine) mergeNodeSeq(nd *planNode) error {
 	f := len(nd.kids)
 	// Carve the prefetch and write buffers out of the formation arena —
 	// formation and merging never overlap in the phased execution, so
-	// the engine's resident record buffers stay at one M throughout. The
-	// write buffer takes whole blocks; degenerate configs whose f+1
-	// shares round below one record (or one block) fall back to a
-	// slightly larger scratch allocation, the same small slack the
-	// simulator grants.
-	c := e.cfg.mem / (f + 1)
+	// the engine's resident record buffers stay at one M throughout
+	// (one levelMem, when a lease resized the grant). The write buffer
+	// takes whole blocks; degenerate configs whose f+1 shares round
+	// below one record (or one block) fall back to a slightly larger
+	// scratch allocation, the same small slack the simulator grants.
+	c := e.levelMem / (f + 1)
 	if c < 1 {
 		c = 1
 	}
@@ -202,7 +252,11 @@ func (e *engine) mergeNodeSeq(nd *planNode) error {
 	}
 	arena := e.formBuf
 	if need := f*c + wLen; need > len(arena) {
+		// Degenerate carves — and, routinely, a lease grown past the
+		// admission-time M — need a larger arena; keep it so every
+		// node of the level reuses one allocation.
 		arena = make([]seq.Record, need)
+		e.formBuf = arena
 	}
 	rdrs := make([]recStream, f)
 	for i, kid := range nd.kids {
@@ -235,8 +289,13 @@ func (e *engine) mergeNodeSeq(nd *planNode) error {
 		if !ok {
 			break
 		}
-		if idx != nil && (pos-nd.lo)%e.cfg.block == 0 {
-			idx[(pos-nd.lo)/e.cfg.block] = rec
+		if (pos-nd.lo)%e.cfg.block == 0 {
+			if err := e.canceled(); err != nil {
+				return err
+			}
+			if idx != nil {
+				idx[(pos-nd.lo)/e.cfg.block] = rec
+			}
 		}
 		pos++
 		if err := w.add(rec); err != nil {

@@ -191,8 +191,8 @@ func TestPrefetchReaderMatchesRunReader(t *testing.T) {
 	if err := WriteRecordsFile(path, recs); err != nil {
 		t.Fatal(err)
 	}
-	q := newIOQ(2)
-	defer q.close()
+	q := &ioSession{q: NewIOQueue(2)}
+	defer q.q.Close()
 	for _, bufRecs := range []int{1, 3, 16, 64, 1000, 2000} {
 		for _, span := range [][2]int{{0, 1000}, {17, 923}, {500, 500}} {
 			var sStats, pStats IOStats
@@ -240,8 +240,8 @@ func TestPrefetchReaderMatchesRunReader(t *testing.T) {
 func TestAsyncWriterMatchesRunWriter(t *testing.T) {
 	recs := seq.Uniform(777, 9)
 	dir := t.TempDir()
-	q := newIOQ(2)
-	defer q.close()
+	q := &ioSession{q: NewIOQueue(2)}
+	defer q.q.Close()
 	for _, bufBlocks := range []int{1, 2, 7} {
 		for _, base := range []int{0, 16, 160} {
 			write := func(path string, async bool) (costW uint64) {

@@ -149,10 +149,11 @@ func (e *engine) mergeNodePar(nd *planNode, P int) error {
 	// carve M/(f+1) — the paper's parallel machine (§3) grants every
 	// one of the P processors a private memory of size M, so the
 	// engine's aggregate merge residency of ≤ P·M realizes exactly
-	// that machine. Keeping the per-run refill span at the sequential
-	// size also keeps the read amplification at the sequential ≈k×
-	// instead of multiplying it by P.
-	c := e.cfg.mem / (f + 1)
+	// that machine (P·levelMem when a lease resized the grant).
+	// Keeping the per-run refill span at the sequential size also
+	// keeps the read amplification at the sequential ≈k× instead of
+	// multiplying it by P.
+	c := e.levelMem / (f + 1)
 	if c < 1 {
 		c = 1
 	}
@@ -302,8 +303,14 @@ func (e *engine) mergeRange(nd *planNode, srcs []*BlockFile, cuts [][]int, wi in
 		case pos < headEnd:
 			out.head = append(out.head, rec)
 		case pos < bodyEnd:
-			if idx != nil && (pos-nd.lo)%B == 0 {
-				idx[(pos-nd.lo)/B] = rec
+			if (pos-nd.lo)%B == 0 {
+				if err := e.canceled(); err != nil {
+					out.err = err
+					return out
+				}
+				if idx != nil {
+					idx[(pos-nd.lo)/B] = rec
+				}
 			}
 			if err := w.add(rec); err != nil {
 				out.err = err

@@ -125,6 +125,9 @@ func (e *engine) produceLeaves(leaves []*planNode, sortCh chan<- formBatch, free
 		if failed.Load() {
 			return nil // the write stage reports its own error
 		}
+		if err := e.canceled(); err != nil {
+			return err
+		}
 		n := nd.len()
 		if n == 0 {
 			continue
@@ -186,6 +189,9 @@ func (e *engine) formRunSeq(nd *planNode) error {
 	if n == 0 {
 		return nil
 	}
+	if err := e.canceled(); err != nil {
+		return err
+	}
 	dst, err := e.dst(nd)
 	if err != nil {
 		return err
@@ -225,6 +231,9 @@ func (e *engine) selectPass(nd *planNode, watermark seq.Record, have bool, cand 
 	chunk := e.readBuf
 	heaped := false
 	for off := nd.lo; off < nd.hi; off += len(chunk) {
+		if err := e.canceled(); err != nil {
+			return cand, err
+		}
 		c := nd.hi - off
 		if c > cap(chunk) {
 			c = cap(chunk)

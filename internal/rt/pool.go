@@ -19,6 +19,40 @@ import (
 type Pool struct {
 	procs  int
 	tokens chan struct{} // nil when procs == 1
+	// local is a Split pool's own width bucket (procs-1 slots): a
+	// spawn must take a local slot and a parent token, so a split is
+	// bounded by its granted width even when the shared bucket has
+	// capacity to spare. nil on non-split pools.
+	local chan struct{}
+}
+
+// acquire takes a spawn slot without blocking: the split's own width
+// slot first, then a shared token. On failure nothing is held.
+func (p *Pool) acquire() bool {
+	if p.local != nil {
+		select {
+		case p.local <- struct{}{}:
+		default:
+			return false
+		}
+	}
+	select {
+	case p.tokens <- struct{}{}:
+		return true
+	default:
+		if p.local != nil {
+			<-p.local
+		}
+		return false
+	}
+}
+
+// release returns a spawn slot taken by acquire.
+func (p *Pool) release() {
+	<-p.tokens
+	if p.local != nil {
+		<-p.local
+	}
 }
 
 // NewPool returns a pool of procs workers; procs <= 0 means GOMAXPROCS.
@@ -35,6 +69,27 @@ func NewPool(procs int) *Pool {
 
 // Procs returns the worker count.
 func (p *Pool) Procs() int { return p.procs }
+
+// Split returns a pool of at most procs workers that draws its spawn
+// tokens from p's bucket instead of owning one — the lending half of a
+// machine-wide worker budget. Every spawn takes both one of the
+// split's own procs-1 width slots and one of the parent's shared
+// tokens, so a split is held to its granted width AND all splits
+// together can never oversubscribe the parent; a split whose slots or
+// tokens are taken degrades to inline execution exactly as the parent
+// would. procs <= 0 or procs > p.Procs() means the parent's full
+// width. A split of a one-worker pool is itself one-worker.
+func (p *Pool) Split(procs int) *Pool {
+	if procs <= 0 || procs > p.procs {
+		procs = p.procs
+	}
+	s := &Pool{procs: procs}
+	if procs > 1 {
+		s.tokens = p.tokens
+		s.local = make(chan struct{}, procs-1)
+	}
+	return s
+}
 
 // Run invokes every function, in parallel when workers are free. It
 // returns when all have completed.
@@ -54,15 +109,14 @@ func (p *Pool) Run(fs ...func()) {
 	}
 	var wg sync.WaitGroup
 	for _, f := range fs[1:] {
-		select {
-		case p.tokens <- struct{}{}:
+		if p.acquire() {
 			wg.Add(1)
 			go func(f func()) {
 				defer wg.Done()
-				defer func() { <-p.tokens }()
+				defer p.release()
 				f()
 			}(f)
-		default:
+		} else {
 			f()
 		}
 	}
@@ -113,21 +167,19 @@ func (p *Pool) ForRange(n, grain int, body func(lo, hi int)) {
 func (p *Pool) forRange(lo, hi, grain int, body func(lo, hi int)) {
 	for hi-lo > grain && p.tokens != nil {
 		mid := lo + (hi-lo)/2
-		select {
-		case p.tokens <- struct{}{}:
+		if p.acquire() {
 			done := make(chan struct{})
 			go func() {
 				defer close(done)
-				defer func() { <-p.tokens }()
+				defer p.release()
 				p.forRange(mid, hi, grain, body)
 			}()
 			p.forRange(lo, mid, grain, body)
 			<-done
 			return
-		default:
-			p.forRange(lo, mid, grain, body)
-			lo = mid
 		}
+		p.forRange(lo, mid, grain, body)
+		lo = mid
 	}
 	if lo < hi {
 		body(lo, hi)

@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -69,6 +70,80 @@ func TestPoolNestedParallelism(t *testing.T) {
 	})
 	if count != 64*64*2 {
 		t.Fatalf("nested count = %d, want %d", count, 64*64*2)
+	}
+}
+
+// TestPoolSplitSharesTokenBudget checks that splits lend the parent's
+// tokens: work still covers every index on every split, concurrent
+// splits never hold more spawned goroutines than the parent bucket
+// admits, and splitting a one-worker pool stays strictly inline.
+func TestPoolSplitSharesTokenBudget(t *testing.T) {
+	parent := NewPool(4)
+	if got := parent.Split(0).Procs(); got != 4 {
+		t.Fatalf("Split(0).Procs() = %d, want parent width 4", got)
+	}
+	if got := parent.Split(99).Procs(); got != 4 {
+		t.Fatalf("Split(99).Procs() = %d, want clamp to parent width 4", got)
+	}
+	if s := NewPool(1).Split(3); s.Procs() != 1 || s.tokens != nil {
+		t.Fatalf("split of a one-worker pool must be inline, got procs=%d tokens=%v",
+			s.Procs(), s.tokens != nil)
+	}
+
+	// Concurrent splits: live spawned goroutines across all of them must
+	// never exceed the parent's token capacity (procs - 1).
+	var live, peak atomic.Int32
+	body := func(int) {
+		n := live.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		live.Add(-1)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := parent.Split(2)
+			var count int32
+			s.For(5000, func(i int) { atomic.AddInt32(&count, 1); body(i) })
+			if count != 5000 {
+				t.Errorf("split %d covered %d of 5000 indices", w, count)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Each split's calling goroutine plus at most parent-procs-1 spawned
+	// strands may run a body at once.
+	if max := int32(3 + parent.Procs() - 1); peak.Load() > max {
+		t.Fatalf("peak concurrent strands %d exceeds callers+tokens bound %d", peak.Load(), max)
+	}
+}
+
+// TestPoolSplitEnforcesOwnWidth checks the per-split bound: a 2-wide
+// split of a wide, otherwise-idle parent may never run more than 2
+// concurrent strands (caller + 1 spawned), even though the shared
+// bucket has spare tokens.
+func TestPoolSplitEnforcesOwnWidth(t *testing.T) {
+	parent := NewPool(8)
+	s := parent.Split(2)
+	var live, peak atomic.Int32
+	s.For(20000, func(int) {
+		n := live.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		live.Add(-1)
+	})
+	if peak.Load() > 2 {
+		t.Fatalf("2-wide split ran %d concurrent strands with the parent idle", peak.Load())
 	}
 }
 

@@ -1,0 +1,391 @@
+// Package serve turns the repository's one-shot sort engines into a
+// long-running service: a budget Broker that makes many concurrent
+// sort jobs share one machine-wide resource envelope (the model's M
+// and P, owned once per process instead of assumed whole by every
+// job), and an HTTP job engine (server.go) that admits jobs, picks an
+// execution model per job from its size versus its leased budget, and
+// streams records in and out.
+//
+// The Broker is the paper's fixed (M, B, ω) envelope made operational:
+// the global memory budget M (in records), the rt.Pool worker tokens,
+// and the extmem async-IO workers all live here, and every job runs
+// under a Lease — a (Mᵢ, Pᵢ) slice of the whole. Admission is FIFO
+// with backpressure: a job waits until the broker can grant it at
+// least its fair share, so a burst of arrivals queues instead of
+// oversubscribing memory. While jobs run the broker rebalances:
+// when arrivals queue behind running jobs it shrinks oversized grants
+// toward the fair share, and when capacity frees with nothing queued
+// it grows running grants back toward what each job asked for. Grants
+// move at the engines' merge-level boundaries — extmem.Config.Lease is
+// the hook — so a resize needs no locking inside a level: shrunk
+// memory only returns to the free pool when the engine acknowledges
+// the new grant, which keeps the envelope conservative (the sum of
+// charged grants never exceeds M, even mid-handoff).
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"asymsort/internal/extmem"
+	"asymsort/internal/rt"
+)
+
+// BrokerConfig parameterizes the machine-wide envelope.
+type BrokerConfig struct {
+	// Mem is the global memory budget in records — the machine's M,
+	// shared by every concurrent job.
+	Mem int
+	// Procs is the global worker count (0 = GOMAXPROCS): the width of
+	// the shared rt.Pool whose tokens leased jobs draw from, and of the
+	// shared async-IO queue.
+	Procs int
+	// MinLease is the smallest admissible memory grant in records
+	// (default Mem/64, min 1): admission control never hands out slices
+	// an ext engine cannot run on, and the fair share never fragments
+	// below it.
+	MinLease int
+}
+
+// Broker owns the envelope and leases slices of it.
+type Broker struct {
+	mu       sync.Mutex
+	total    int
+	free     int
+	minLease int
+	procs    int
+	pool     *rt.Pool
+	ioq      *extmem.IOQueue
+	queue    []*waiter // FIFO admission queue
+	running  []*Lease  // admission order — rebalance iterates deterministically
+	nextID   int
+	// testOnAck, when non-nil, runs (outside the lock) after every Mem
+	// acknowledgement with the lease and its ack ordinal — the
+	// deterministic seam the fault-injection tests use to revoke a
+	// lease at an exact engine phase boundary (ack 1 is the job's
+	// pre-sort grant read; ack ℓ+1 is merge level ℓ's boundary).
+	testOnAck func(l *Lease, ack int)
+}
+
+// waiter is one queued Acquire.
+type waiter struct {
+	want  int
+	ready chan *Lease // buffered; receives the grant on admission
+	gone  bool        // context canceled; skip on admission
+}
+
+// NewBroker validates the config and builds the envelope. Close
+// releases the IO workers.
+func NewBroker(cfg BrokerConfig) (*Broker, error) {
+	if cfg.Mem < 1 {
+		return nil, fmt.Errorf("serve: broker needs a positive memory budget, got %d records", cfg.Mem)
+	}
+	procs := cfg.Procs
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	minLease := cfg.MinLease
+	if minLease <= 0 {
+		minLease = cfg.Mem / 64
+	}
+	if minLease < 1 {
+		minLease = 1
+	}
+	if minLease > cfg.Mem {
+		minLease = cfg.Mem
+	}
+	return &Broker{
+		total:    cfg.Mem,
+		free:     cfg.Mem,
+		minLease: minLease,
+		procs:    procs,
+		pool:     rt.NewPool(procs),
+		ioq:      extmem.NewIOQueue(procs),
+	}, nil
+}
+
+// Close stops the broker's shared IO workers. Callers must release
+// every lease first.
+func (b *Broker) Close() { b.ioq.Close() }
+
+// IOQ returns the shared async-IO worker queue jobs pass to
+// extmem.Config.IOQ.
+func (b *Broker) IOQ() *extmem.IOQueue { return b.ioq }
+
+// Acquire blocks until the broker grants a lease of at least
+// min(want, fair share, MinLease-floored) records, in FIFO arrival
+// order; ctx cancels the wait. want is clamped to [1, total].
+func (b *Broker) Acquire(ctx context.Context, want int) (*Lease, error) {
+	if want < 1 {
+		want = 1
+	}
+	if want > b.total {
+		want = b.total
+	}
+	b.mu.Lock()
+	w := &waiter{want: want, ready: make(chan *Lease, 1)}
+	b.queue = append(b.queue, w)
+	b.rebalance()
+	b.mu.Unlock()
+
+	select {
+	case l := <-w.ready:
+		return l, nil
+	case <-ctx.Done():
+		b.mu.Lock()
+		select {
+		case l := <-w.ready:
+			// Admission raced the cancellation: the grant exists, so give
+			// it back rather than leak it.
+			b.mu.Unlock()
+			l.Release()
+			return nil, ctx.Err()
+		default:
+		}
+		w.gone = true
+		b.dropGone()
+		b.rebalance()
+		b.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// dropGone removes canceled waiters from the head of the queue so they
+// cannot block admission of live ones. Interior canceled waiters are
+// skipped at admission time.
+func (b *Broker) dropGone() {
+	for len(b.queue) > 0 && b.queue[0].gone {
+		b.queue = b.queue[1:]
+	}
+}
+
+// fairShare is the deterministic per-job target the rebalance steers
+// toward: the envelope split evenly over every active job (running and
+// queued), floored at MinLease.
+func (b *Broker) fairShare() int {
+	active := len(b.running) + len(b.queue)
+	if active < 1 {
+		active = 1
+	}
+	fair := b.total / active
+	if fair < b.minLease {
+		fair = b.minLease
+	}
+	return fair
+}
+
+// rebalance is the broker's one scheduling step, called with mu held
+// after every event (arrival, release, ack, cancel): admit from the
+// queue head, shrink oversized running grants when arrivals still
+// wait, and grow running grants back when capacity is free with an
+// empty queue.
+func (b *Broker) rebalance() {
+	b.dropGone()
+	// Admit: the queue head gets min(want, fair) — but when it is the
+	// only active job the fair share is the whole envelope, so a lone
+	// job still gets everything it asked for.
+	for len(b.queue) > 0 {
+		w := b.queue[0]
+		if w.gone {
+			b.queue = b.queue[1:]
+			continue
+		}
+		grant := min(w.want, b.fairShare())
+		if grant > b.free {
+			break // backpressure: wait for releases or shrink acks
+		}
+		b.queue = b.queue[1:]
+		b.free -= grant
+		l := &Lease{
+			b: b, id: b.nextID, want: w.want,
+			target: grant, held: grant, charged: grant,
+			procs:  b.leaseProcs(),
+			cancel: make(chan struct{}),
+		}
+		b.nextID++
+		l.pool = b.pool.Split(l.procs)
+		b.running = append(b.running, l)
+		w.ready <- l
+	}
+	if len(b.queue) > 0 {
+		// Arrivals are still blocked: shrink every oversized running
+		// grant toward the fair share. The memory lands in free when the
+		// engine acks at its next level boundary.
+		fair := b.fairShare() // already floored at minLease
+		for _, l := range b.running {
+			if l.target > fair {
+				l.target = fair
+			}
+		}
+		return
+	}
+	// Queue empty: hand capacity back to running jobs that wanted more,
+	// in admission order. Growth back into a lease's still-charged
+	// headroom (a shrink the engine never acknowledged) is free — the
+	// records were never returned — and only growth beyond charged
+	// debits the free pool. charged thus never falls below
+	// max(target, held), and any surplus above it (a pending shrink, or
+	// a grow a later shrink superseded) returns to free at the
+	// engine's next ack (Lease.Mem).
+	for _, l := range b.running {
+		grow := l.want - l.target
+		if grow <= 0 {
+			continue
+		}
+		paid := min(grow, l.charged-l.target)
+		extra := min(grow-paid, b.free)
+		l.target += paid + extra
+		l.charged += extra
+		b.free -= extra
+	}
+}
+
+// leaseProcs is the worker width a newly admitted job gets: an even
+// split of the machine's processors over the active jobs, min 1.
+func (b *Broker) leaseProcs() int {
+	active := len(b.running) + len(b.queue) + 1
+	p := b.procs / active
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// release returns a lease's entire charge to the pool.
+func (b *Broker) release(l *Lease) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if l.released {
+		return
+	}
+	l.released = true
+	for i, r := range b.running {
+		if r == l {
+			b.running = append(b.running[:i], b.running[i+1:]...)
+			break
+		}
+	}
+	b.free += l.charged
+	l.charged = 0
+	b.rebalance()
+}
+
+// BrokerStats is a point-in-time snapshot for /stats.
+type BrokerStats struct {
+	TotalMem int          `json:"total_mem"` // records
+	FreeMem  int          `json:"free_mem"`  // records not charged to any lease
+	Procs    int          `json:"procs"`
+	MinLease int          `json:"min_lease"`
+	Running  []LeaseStats `json:"running"`
+	Queued   int          `json:"queued"`
+}
+
+// LeaseStats is one running lease's grant state.
+type LeaseStats struct {
+	ID     int  `json:"id"`
+	Want   int  `json:"want"`
+	Target int  `json:"target"` // broker's desired grant
+	Held   int  `json:"held"`   // engine-acknowledged grant
+	Procs  int  `json:"procs"`
+	Dead   bool `json:"canceled,omitempty"`
+}
+
+// Stats snapshots the broker.
+func (b *Broker) Stats() BrokerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := BrokerStats{
+		TotalMem: b.total, FreeMem: b.free, Procs: b.procs,
+		MinLease: b.minLease, Queued: len(b.queue),
+	}
+	for _, l := range b.running {
+		s.Running = append(s.Running, LeaseStats{
+			ID: l.id, Want: l.want, Target: l.target, Held: l.held,
+			Procs: l.procs, Dead: l.dead,
+		})
+	}
+	return s
+}
+
+// Lease is one job's (Mᵢ, Pᵢ) slice of the envelope. It implements
+// extmem.Lease: the engine reads Mem at every merge-level boundary,
+// which doubles as the acknowledgement protocol for shrink/grow.
+type Lease struct {
+	b     *Broker
+	id    int
+	want  int
+	procs int
+	pool  *rt.Pool
+
+	// Guarded by b.mu: target is the broker's desired grant, held the
+	// engine-acknowledged one, charged the amount debited from free
+	// (= max of the two while a handoff is pending), acks the Mem call
+	// count.
+	target, held, charged, acks int
+	released                    bool
+	dead                        bool
+	cancel                      chan struct{}
+	once                        sync.Once
+}
+
+// ID returns the lease's broker-assigned id.
+func (l *Lease) ID() int { return l.id }
+
+// Procs returns the leased worker width.
+func (l *Lease) Procs() int { return l.procs }
+
+// Pool returns the job's worker pool: a Split of the broker's shared
+// pool, so all leased pools together can never oversubscribe the
+// machine.
+func (l *Lease) Pool() *rt.Pool { return l.pool }
+
+// Mem reports the current grant and acknowledges any pending resize:
+// on a shrink the difference returns to the free pool here — the
+// engine has provably stopped using it, since it carves buffers from
+// the returned value — and queued jobs are re-admitted immediately.
+func (l *Lease) Mem() int {
+	l.b.mu.Lock()
+	if !l.released {
+		// The ack: the engine now holds exactly the broker's target, and
+		// any surplus charge — a shrink pending acknowledgement, or a
+		// grow superseded by a shrink before the engine saw it — returns
+		// to the free pool here, where the engine has provably stopped
+		// using it.
+		l.held = l.target
+		if l.charged > l.held {
+			l.b.free += l.charged - l.held
+			l.charged = l.held
+			l.b.rebalance()
+		}
+	}
+	l.acks++
+	held, hook, ack := l.held, l.b.testOnAck, l.acks
+	l.b.mu.Unlock()
+	if hook != nil {
+		hook(l, ack)
+	}
+	return held
+}
+
+// Canceled returns the revocation channel (closed by Cancel).
+func (l *Lease) Canceled() <-chan struct{} { return l.cancel }
+
+// Cancel revokes the lease: the engine observes the closed channel at
+// its next block boundary and aborts with extmem.ErrCanceled. The
+// memory returns to the pool when the job's owner calls Release —
+// cancellation is a request, reclamation happens when the engine has
+// actually stopped.
+func (l *Lease) Cancel() {
+	l.once.Do(func() {
+		l.b.mu.Lock()
+		l.dead = true
+		l.b.mu.Unlock()
+		close(l.cancel)
+	})
+}
+
+// Release returns the lease's whole grant to the broker and re-admits
+// queued jobs. Idempotent.
+func (l *Lease) Release() { l.b.release(l) }

@@ -1,0 +1,375 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// checkInvariant asserts the broker's accounting identity: the free
+// pool plus every running lease's charge equals the envelope, and
+// nothing is negative.
+func checkInvariant(t *testing.T, b *Broker) {
+	t.Helper()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sum := b.free
+	if b.free < 0 {
+		t.Fatalf("free went negative: %d", b.free)
+	}
+	for _, l := range b.running {
+		if l.charged < 0 || l.target < 0 || l.held < 0 {
+			t.Fatalf("lease %d has negative accounting: charged=%d target=%d held=%d",
+				l.id, l.charged, l.target, l.held)
+		}
+		// charged may exceed max(target, held) only while a shrink (or a
+		// superseded grow) awaits the engine's ack; it must never fall
+		// below either side.
+		if l.charged < l.target || l.charged < l.held {
+			t.Fatalf("lease %d undercharged: charged=%d target=%d held=%d",
+				l.id, l.charged, l.target, l.held)
+		}
+		sum += l.charged
+	}
+	if sum != b.total {
+		t.Fatalf("accounting leak: free %d + charges = %d, envelope is %d", b.free, sum, b.total)
+	}
+}
+
+func newTestBroker(t *testing.T, mem, procs, minLease int) *Broker {
+	t.Helper()
+	b, err := NewBroker(BrokerConfig{Mem: mem, Procs: procs, MinLease: minLease})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	return b
+}
+
+// TestBrokerLoneJobGetsEverything: with nothing else active a job's
+// fair share is the whole envelope.
+func TestBrokerLoneJobGetsEverything(t *testing.T) {
+	b := newTestBroker(t, 1000, 2, 10)
+	l, err := b.Acquire(context.Background(), 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Mem(); got != 800 {
+		t.Fatalf("lone job granted %d, want its full ask 800", got)
+	}
+	checkInvariant(t, b)
+	l.Release()
+	if s := b.Stats(); s.FreeMem != 1000 || len(s.Running) != 0 {
+		t.Fatalf("after release: free=%d running=%d, want 1000/0", s.FreeMem, len(s.Running))
+	}
+}
+
+// TestBrokerBackpressureAndFIFO: arrivals beyond the envelope queue in
+// order and admit as capacity frees.
+func TestBrokerBackpressureAndFIFO(t *testing.T) {
+	b := newTestBroker(t, 1000, 2, 10)
+	first, err := b.Acquire(context.Background(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	acquire := func(id, want int) *Lease {
+		l, err := b.Acquire(context.Background(), want)
+		if err != nil {
+			t.Errorf("job %d: %v", id, err)
+			return nil
+		}
+		return l
+	}
+	wg.Add(2)
+	var second, third *Lease
+	go func() { defer wg.Done(); second = acquire(2, 400) }()
+	time.Sleep(20 * time.Millisecond) // establish arrival order
+	go func() { defer wg.Done(); third = acquire(3, 400) }()
+	time.Sleep(20 * time.Millisecond)
+
+	if s := b.Stats(); s.Queued != 2 {
+		t.Fatalf("queued=%d, want 2 (backpressure)", s.Queued)
+	}
+	// The queued arrivals must have shrunk the running job's target
+	// toward the fair share; its memory frees when it acks via Mem.
+	if s := b.Stats(); s.Running[0].Target >= 1000 {
+		t.Fatalf("running target %d not shrunk with 2 queued", s.Running[0].Target)
+	}
+	got := first.Mem() // ack the shrink at a "level boundary"
+	if got >= 1000 {
+		t.Fatalf("ack kept the full grant: %d", got)
+	}
+	wg.Wait()
+	// Broker-assigned lease ids are admission-ordered: FIFO means the
+	// earlier arrival was admitted first.
+	if second.ID() >= third.ID() {
+		t.Fatalf("admission ids %d,%d: earlier arrival admitted later (not FIFO)",
+			second.ID(), third.ID())
+	}
+	checkInvariant(t, b)
+	first.Release()
+	second.Release()
+	third.Release()
+	checkInvariant(t, b)
+}
+
+// TestBrokerGrowAfterRelease: when the queue empties, running jobs
+// grow back toward their ask.
+func TestBrokerGrowAfterRelease(t *testing.T) {
+	b := newTestBroker(t, 1000, 2, 10)
+	a, err := b.Acquire(context.Background(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *Lease)
+	go func() {
+		l, err := b.Acquire(context.Background(), 600)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- l
+	}()
+	for b.Stats().Queued == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	a.Mem() // ack the shrink; admits the second job
+	second := <-done
+	a.Release()
+	// With the queue empty and capacity free, the survivor's target
+	// must grow back toward its full ask.
+	if s := b.Stats(); len(s.Running) != 1 || s.Running[0].Target != 600 {
+		t.Fatalf("survivor target %+v, want regrowth to 600", s.Running)
+	}
+	if got := second.Mem(); got != 600 {
+		t.Fatalf("survivor acked %d, want 600", got)
+	}
+	checkInvariant(t, b)
+	second.Release()
+}
+
+// TestBrokerShrinkThenGrowBeforeAck: a shrink the engine never
+// acknowledged, undone by a grow when the queue empties, must not
+// inflate the lease's charge — regrowth into still-charged headroom is
+// free, and the envelope stays fully usable.
+func TestBrokerShrinkThenGrowBeforeAck(t *testing.T) {
+	b := newTestBroker(t, 150, 1, 10)
+	a, err := b.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Mem() // held = 100, free = 50
+	// A second arrival shrinks a's target; it cancels before a acks.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { _, err := b.Acquire(ctx, 150); errc <- err }()
+	for b.Stats().Queued == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if tgt := b.Stats().Running[0].Target; tgt >= 100 {
+		t.Fatalf("target %d not shrunk by the queued arrival", tgt)
+	}
+	cancel()
+	<-errc
+	// The queue is empty again, so rebalance grew a back toward its ask
+	// — into its own still-charged headroom, at no cost to free.
+	checkInvariant(t, b)
+	s := b.Stats()
+	if s.Running[0].Target != 100 {
+		t.Fatalf("target %d after regrowth, want 100", s.Running[0].Target)
+	}
+	if s.FreeMem != 50 {
+		t.Fatalf("free %d after shrink+regrow, want the untouched 50", s.FreeMem)
+	}
+	if got := a.Mem(); got != 100 {
+		t.Fatalf("ack after regrowth: %d, want 100", got)
+	}
+	a.Release()
+	if s := b.Stats(); s.FreeMem != 150 {
+		t.Fatalf("envelope not whole after release: free=%d", s.FreeMem)
+	}
+}
+
+// TestBrokerAcquireCancel: a canceled wait leaves no charge behind and
+// unblocks nothing else.
+func TestBrokerAcquireCancel(t *testing.T) {
+	b := newTestBroker(t, 100, 1, 10)
+	hold, err := b.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Acquire(ctx, 50)
+		errc <- err
+	}()
+	for b.Stats().Queued == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("canceled Acquire returned %v", err)
+	}
+	hold.Release()
+	if s := b.Stats(); s.FreeMem != 100 || s.Queued != 0 {
+		t.Fatalf("after cancel+release: free=%d queued=%d, want 100/0", s.FreeMem, s.Queued)
+	}
+	checkInvariant(t, b)
+}
+
+// TestBrokerLeaseCancelFlag: Cancel closes the revocation channel and
+// marks the lease; memory comes back only on Release.
+func TestBrokerLeaseCancelFlag(t *testing.T) {
+	b := newTestBroker(t, 100, 1, 10)
+	l, err := b.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Cancel()
+	l.Cancel() // idempotent
+	select {
+	case <-l.Canceled():
+	default:
+		t.Fatal("Canceled channel not closed after Cancel")
+	}
+	if s := b.Stats(); s.FreeMem != 0 {
+		t.Fatalf("cancel alone reclaimed memory: free=%d", s.FreeMem)
+	}
+	l.Release()
+	if s := b.Stats(); s.FreeMem != 100 {
+		t.Fatalf("release after cancel: free=%d, want 100", s.FreeMem)
+	}
+}
+
+// TestBrokerLeaseStress is the -race stress of the lease lifecycle:
+// many goroutines acquire, repeatedly ack grow/shrink at simulated
+// level boundaries, sometimes cancel, and release, while the
+// accounting invariant is checked throughout and must come back to a
+// fully free envelope.
+func TestBrokerLeaseStress(t *testing.T) {
+	const (
+		total   = 1 << 16
+		jobs    = 24
+		rounds  = 8
+		workers = 6
+	)
+	b := newTestBroker(t, total, 4, total/64)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(int64(i)))
+			l, err := b.Acquire(context.Background(), 1+rng.Intn(total))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				if g := l.Mem(); g < 1 {
+					t.Errorf("job %d: non-positive grant %d", i, g)
+				}
+				if r == rounds/2 && i%5 == 0 {
+					l.Cancel()
+				}
+				time.Sleep(time.Duration(rng.Intn(300)) * time.Microsecond)
+			}
+			l.Release()
+			l.Release() // idempotent under race too
+		}(i)
+	}
+	stop := make(chan struct{})
+	var inv sync.WaitGroup
+	inv.Add(1)
+	go func() { // concurrent invariant checker
+		defer inv.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			checkInvariant(t, b)
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	inv.Wait()
+	if s := b.Stats(); s.FreeMem != total || len(s.Running) != 0 || s.Queued != 0 {
+		t.Fatalf("envelope not whole after stress: %+v", s)
+	}
+}
+
+// TestBrokerProcsSplit: leased pools split the machine width and never
+// report more workers than the broker owns.
+func TestBrokerProcsSplit(t *testing.T) {
+	b := newTestBroker(t, 1000, 4, 10)
+	var leases []*Lease
+	for i := 0; i < 6; i++ {
+		l, err := b.Acquire(context.Background(), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Procs() < 1 || l.Procs() > 4 {
+			t.Fatalf("lease %d procs=%d outside [1,4]", i, l.Procs())
+		}
+		if l.Pool().Procs() != l.Procs() {
+			t.Fatalf("pool width %d != leased procs %d", l.Pool().Procs(), l.Procs())
+		}
+		leases = append(leases, l)
+	}
+	if leases[0].Procs() <= leases[5].Procs() && leases[0].Procs() == 4 {
+		t.Fatalf("later arrivals under load should not out-width the first: %d vs %d",
+			leases[0].Procs(), leases[5].Procs())
+	}
+	for _, l := range leases {
+		l.Release()
+	}
+	checkInvariant(t, b)
+}
+
+// TestBrokerValidation rejects non-positive envelopes.
+func TestBrokerValidation(t *testing.T) {
+	if _, err := NewBroker(BrokerConfig{Mem: 0}); err == nil {
+		t.Fatal("zero-memory broker accepted")
+	}
+	if _, err := NewBroker(BrokerConfig{Mem: -5}); err == nil {
+		t.Fatal("negative-memory broker accepted")
+	}
+}
+
+// TestBrokerManyConcurrentSmallJobs floods the broker with more jobs
+// than fit and checks everyone eventually runs — no starvation, no
+// leak — while total admissions stay bounded by the envelope.
+func TestBrokerManyConcurrentSmallJobs(t *testing.T) {
+	const total = 4096
+	b := newTestBroker(t, total, 2, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l, err := b.Acquire(context.Background(), 512+i*16)
+			if err != nil {
+				t.Errorf("job %d: %v", i, err)
+				return
+			}
+			l.Mem()
+			time.Sleep(time.Millisecond)
+			l.Mem()
+			l.Release()
+		}(i)
+	}
+	wg.Wait()
+	if s := b.Stats(); s.FreeMem != total {
+		t.Fatalf("free=%d after all jobs, want %d", s.FreeMem, total)
+	}
+}

@@ -1,0 +1,414 @@
+package serve
+
+// The HTTP job engine: admission, model selection, and streaming IO
+// for one sort job per request.
+//
+//	POST /sort        body: one decimal uint64 key per line (chunked ok)
+//	                  query: model=auto|ext|native (default auto)
+//	                         mem=<records> (budget hint; default derived)
+//	  → 200, body: the sorted keys one per line
+//	    headers: X-Asymsortd-Job, X-Asymsortd-Model, X-Asymsortd-Mem
+//	GET  /stats       → JSON: broker snapshot + per-job ledgers
+//	GET  /healthz     → 200 "ok"
+//
+// A job's life: the body is staged to a binary record file (payload =
+// line index, the repository-wide unique-pair convention), which fixes
+// n; the job then Acquires a lease (queueing under backpressure), and
+// the model is picked from n versus the granted budget — native
+// in-RAM when 2n records fit the grant (slice + sort scratch), the
+// extmem external engine otherwise, with Mem = the grant, the broker's
+// split pool, its shared IO queue, and the lease itself wired into
+// extmem.Config so the broker can rebalance or cancel the job while
+// it runs. Client disconnects cancel the lease; the engine aborts at
+// the next block boundary and removes its spill files, and the other
+// jobs' byte-identical outputs are unaffected (the fault-injection
+// tests pin this).
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"asymsort/internal/extmem"
+	"asymsort/internal/rt"
+	"asymsort/internal/seq"
+)
+
+// ServerConfig parameterizes the job engine.
+type ServerConfig struct {
+	// Broker is the machine envelope jobs lease from. Required.
+	Broker *Broker
+	// Block is the device block size in records for ext jobs (the
+	// model's B; default 64).
+	Block int
+	// Omega is the device write/read cost ratio consulted by the
+	// Appendix A rule when K == 0 (default 8).
+	Omega float64
+	// K is the ext engine's read multiplier (0 = choose from Omega).
+	K int
+	// TmpDir is where job staging and spill files live; each job gets
+	// its own subdirectory, removed when the job ends. Empty means
+	// os.TempDir().
+	TmpDir string
+}
+
+// maxRetainedJobs bounds the /stats history: the daemon serves
+// unbounded traffic, so finished jobs are evicted oldest-first beyond
+// this many entries (running jobs are never evicted).
+const maxRetainedJobs = 4096
+
+// Server is the HTTP job engine.
+type Server struct {
+	cfg    ServerConfig
+	mu     sync.Mutex
+	jobs   map[int]*JobStats
+	order  []int // job ids in creation order, for oldest-first eviction
+	nextID int
+}
+
+// JobStats is one job's ledger, served on /stats.
+type JobStats struct {
+	ID    int    `json:"id"`
+	State string `json:"state"` // staging|queued|running|done|failed|canceled
+	Model string `json:"model,omitempty"`
+	N     int    `json:"n"`
+	// MemGrant is the admission-time grant in records — the ext job's
+	// M, which fixes its merge plan and write ledger.
+	MemGrant int `json:"mem_grant,omitempty"`
+	Procs    int `json:"procs,omitempty"`
+	// Reads/Writes are the ext engine's measured block-IO ledger;
+	// PlanWrites is the simulated AEM machine's write count for the
+	// same (n, M, B, k), so Writes == PlanWrites is the served
+	// extension of the repository's engine-vs-simulator identity.
+	Reads      uint64 `json:"reads,omitempty"`
+	Writes     uint64 `json:"writes,omitempty"`
+	PlanWrites uint64 `json:"plan_writes,omitempty"`
+	Levels     int    `json:"levels,omitempty"`
+	K          int    `json:"k,omitempty"`
+	QueueMS    int64  `json:"queue_ms"`
+	SortMS     int64  `json:"sort_ms"`
+	TotalMS    int64  `json:"total_ms"`
+	Err        string `json:"err,omitempty"`
+}
+
+// NewServer builds a job engine over the broker.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Broker == nil {
+		return nil, fmt.Errorf("serve: server needs a broker")
+	}
+	if cfg.Block < 1 {
+		cfg.Block = 64
+	}
+	if cfg.Omega <= 0 {
+		cfg.Omega = 8
+	}
+	if cfg.TmpDir == "" {
+		cfg.TmpDir = os.TempDir()
+	}
+	if min := cfg.Broker.Stats().MinLease; min < cfg.Block {
+		return nil, fmt.Errorf("serve: broker MinLease %d records is below one %d-record block — no grant could run the ext engine", min, cfg.Block)
+	}
+	return &Server{cfg: cfg, jobs: make(map[int]*JobStats)}, nil
+}
+
+// Handler returns the service mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sort", s.handleSort)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// statsSnapshot is the /stats payload.
+type statsSnapshot struct {
+	Broker BrokerStats `json:"broker"`
+	Jobs   []JobStats  `json:"jobs"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	snap := statsSnapshot{Broker: s.cfg.Broker.Stats()}
+	for _, j := range s.jobs {
+		snap.Jobs = append(snap.Jobs, *j)
+	}
+	s.mu.Unlock()
+	sort.Slice(snap.Jobs, func(a, b int) bool { return snap.Jobs[a].ID < snap.Jobs[b].ID })
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap)
+}
+
+// newJob registers a job record and returns it with its id assigned,
+// evicting the oldest finished jobs beyond the retention cap.
+func (s *Server) newJob() *JobStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := &JobStats{ID: s.nextID, State: "staging"}
+	s.nextID++
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	for i := 0; len(s.jobs) > maxRetainedJobs && i < len(s.order); {
+		id := s.order[i]
+		old, ok := s.jobs[id]
+		if ok && (old.State == "staging" || old.State == "queued" || old.State == "running") {
+			i++ // never evict a live job
+			continue
+		}
+		delete(s.jobs, id)
+		s.order = append(s.order[:i], s.order[i+1:]...)
+	}
+	return j
+}
+
+// setJob mutates a job record under the lock.
+func (s *Server) setJob(j *JobStats, f func(*JobStats)) {
+	s.mu.Lock()
+	f(j)
+	s.mu.Unlock()
+}
+
+func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
+	j := s.newJob()
+	start := time.Now()
+	err := s.runJob(r.Context(), j, w, r)
+	s.setJob(j, func(j *JobStats) {
+		j.TotalMS = time.Since(start).Milliseconds()
+		if err != nil {
+			if j.State != "canceled" {
+				j.State = "failed"
+			}
+			j.Err = err.Error()
+		} else {
+			j.State = "done"
+		}
+	})
+}
+
+// httpError is an error with a status code; errors before the first
+// body byte surface as proper HTTP statuses.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// runJob executes one sort end to end. Any error return before output
+// streaming starts is translated to an HTTP error status; once the
+// first sorted byte is out, errors abort the chunked body so the
+// client's own order/count verification fails.
+func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter, r *http.Request) error {
+	fail := func(code int, format string, args ...any) error {
+		e := &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+		http.Error(w, e.msg, e.code)
+		return e
+	}
+
+	// Per-job scratch dir: staging files, the binary output, and the
+	// ext engine's spill files all live (and die) here.
+	dir, err := os.MkdirTemp(s.cfg.TmpDir, fmt.Sprintf("asymsortd-job%d-", j.ID))
+	if err != nil {
+		return fail(http.StatusInternalServerError, "job %d: %v", j.ID, err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Stage the request body, fixing n.
+	staged := filepath.Join(dir, "in.bin")
+	n, err := stageKeys(r.Body, staged)
+	if err != nil {
+		return fail(http.StatusBadRequest, "job %d: %v", j.ID, err)
+	}
+	s.setJob(j, func(j *JobStats) { j.N = n; j.State = "queued" })
+
+	// Admission: ask for enough to sort in RAM (2n: slice plus merge
+	// scratch), floored so tiny jobs still get a workable ext budget,
+	// clamped by the broker to the envelope. A mem=<records> query
+	// overrides the hint.
+	want := 2 * n
+	if q := r.URL.Query().Get("mem"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			return fail(http.StatusBadRequest, "job %d: bad mem=%q", j.ID, q)
+		}
+		want = v
+	}
+	if floor := 16 * s.cfg.Block; want < floor {
+		want = floor
+	}
+	queued := time.Now()
+	lease, err := s.cfg.Broker.Acquire(ctx, want)
+	if err != nil {
+		s.setJob(j, func(j *JobStats) { j.State = "canceled" })
+		return fail(http.StatusServiceUnavailable, "job %d: admission: %v", j.ID, err)
+	}
+	defer lease.Release()
+	// A client disconnect revokes the lease; the engine aborts at the
+	// next block boundary.
+	stopWatch := context.AfterFunc(ctx, lease.Cancel)
+	defer stopWatch()
+
+	grant := lease.Mem()
+	model := r.URL.Query().Get("model")
+	if model == "" || model == "auto" {
+		if 2*n <= grant {
+			model = "native"
+		} else {
+			model = "ext"
+		}
+	}
+	s.setJob(j, func(j *JobStats) {
+		j.QueueMS = time.Since(queued).Milliseconds()
+		j.State = "running"
+		j.Model = model
+		j.MemGrant = grant
+		j.Procs = lease.Procs()
+	})
+
+	sortStart := time.Now()
+	outBin := filepath.Join(dir, "out.bin")
+	switch model {
+	case "native":
+		if 2*n > grant {
+			return fail(http.StatusInsufficientStorage,
+				"job %d: native needs %d records resident, grant is %d", j.ID, 2*n, grant)
+		}
+		if err := sortNative(lease, staged, outBin, n); err != nil {
+			return fail(http.StatusInternalServerError, "job %d: %v", j.ID, err)
+		}
+	case "ext":
+		rep, err := extmem.Sort(extmem.Config{
+			Mem: grant, Block: s.cfg.Block, K: s.cfg.K, Omega: s.cfg.Omega,
+			TmpDir: dir, Pool: lease.Pool(), IOQ: s.cfg.Broker.IOQ(), Lease: lease,
+		}, staged, outBin)
+		if err != nil {
+			if ctx.Err() != nil {
+				s.setJob(j, func(j *JobStats) { j.State = "canceled" })
+				return fmt.Errorf("job %d: %w", j.ID, err) // client is gone; no body to write
+			}
+			return fail(http.StatusInternalServerError, "job %d: %v", j.ID, err)
+		}
+		s.setJob(j, func(j *JobStats) {
+			j.Reads = rep.Total.Reads
+			j.Writes = rep.Total.Writes
+			j.PlanWrites = rep.PlanWrites
+			j.Levels = rep.Levels
+			j.K = rep.K
+		})
+	default:
+		return fail(http.StatusBadRequest, "job %d: unknown model %q", j.ID, model)
+	}
+	s.setJob(j, func(j *JobStats) { j.SortMS = time.Since(sortStart).Milliseconds() })
+
+	// Stream the sorted keys out.
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Asymsortd-Job", strconv.Itoa(j.ID))
+	w.Header().Set("X-Asymsortd-Model", model)
+	w.Header().Set("X-Asymsortd-Mem", strconv.Itoa(grant))
+	if err := streamKeys(outBin, w); err != nil {
+		return fmt.Errorf("job %d: streaming output: %w", j.ID, err)
+	}
+	return nil
+}
+
+// stageChunk is the record granularity of staging and output streams.
+const stageChunk = 1 << 14
+
+// stageKeys parses one decimal uint64 key per line into a binary
+// record file (payload = line index — the unique-pair convention every
+// engine relies on) and returns the record count.
+func stageKeys(r io.Reader, dst string) (int, error) {
+	bf, err := extmem.CreateBlockFile(dst, 1, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer bf.Close()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	batch := make([]seq.Record, 0, stageChunk)
+	off, line := 0, 0
+	flush := func() error {
+		if err := bf.WriteAt(off, batch); err != nil {
+			return err
+		}
+		off += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	for sc.Scan() {
+		txt := sc.Text()
+		line++
+		if txt == "" {
+			continue
+		}
+		key, err := strconv.ParseUint(txt, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("input line %d: %v", line, err)
+		}
+		batch = append(batch, seq.Record{Key: key, Val: uint64(off + len(batch))})
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+	return off, bf.Close()
+}
+
+// sortNative sorts the staged file in RAM on the leased pool. Resident
+// memory is the n-record slice plus SortRecords' n-record merge
+// scratch — the 2n the admission check guaranteed fits the grant.
+func sortNative(l *Lease, inPath, outPath string, n int) error {
+	recs, err := extmem.ReadRecordsFile(inPath)
+	if err != nil {
+		return err
+	}
+	rt.SortRecords(l.Pool(), recs)
+	return extmem.WriteRecordsFile(outPath, recs)
+}
+
+// streamKeys writes the sorted binary file's keys as text.
+func streamKeys(binPath string, w io.Writer) error {
+	bf, err := extmem.OpenBlockFile(binPath, 1, nil)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	bw := bufio.NewWriterSize(w, 1<<20)
+	buf := make([]seq.Record, stageChunk)
+	var line []byte
+	for off := 0; off < bf.Len(); off += len(buf) {
+		if rem := bf.Len() - off; rem < len(buf) {
+			buf = buf[:rem]
+		}
+		if err := bf.ReadAt(off, buf); err != nil {
+			return err
+		}
+		for _, rec := range buf {
+			line = strconv.AppendUint(line[:0], rec.Key, 10)
+			line = append(line, '\n')
+			if _, err := bw.Write(line); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

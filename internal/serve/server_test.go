@@ -1,0 +1,391 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"slices"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testService spins up a full broker + job engine on an httptest
+// server with a private tmp dir.
+type testService struct {
+	b   *Broker
+	srv *Server
+	ts  *httptest.Server
+	tmp string
+}
+
+func newTestService(t *testing.T, mem, procs, block int) *testService {
+	t.Helper()
+	b, err := NewBroker(BrokerConfig{Mem: mem, Procs: procs, MinLease: 16 * block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	srv, err := NewServer(ServerConfig{Broker: b, Block: block, Omega: 8, TmpDir: tmp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		b.Close()
+	})
+	return &testService{b: b, srv: srv, ts: ts, tmp: tmp}
+}
+
+// keysText renders keys one per line; sortedText is its sorted form —
+// the byte-identical text a solo `asymsort -model ext` run of the same
+// input produces (output text is a pure function of the key multiset).
+func keysText(keys []uint64) string {
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%d\n", k)
+	}
+	return sb.String()
+}
+
+func sortedText(keys []uint64) string {
+	s := slices.Clone(keys)
+	slices.Sort(s)
+	return keysText(s)
+}
+
+// postSort posts keys and returns status, body, and response headers.
+func (s *testService) postSort(t *testing.T, ctx context.Context, query, body string) (int, string, http.Header) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, "POST", s.ts.URL+"/sort"+query, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(out), resp.Header
+}
+
+// stats fetches and decodes /stats.
+func (s *testService) stats(t *testing.T) statsSnapshot {
+	t.Helper()
+	resp, err := http.Get(s.ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap statsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// genKeys is a deterministic key generator for the tests.
+func genKeys(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() >> 1
+	}
+	return keys
+}
+
+// TestServeNativeJob: a job whose doubled size fits the envelope runs
+// in RAM and comes back sorted.
+func TestServeNativeJob(t *testing.T) {
+	s := newTestService(t, 1<<16, 2, 64)
+	keys := genKeys(5000, 1)
+	code, body, hdr := s.postSort(t, context.Background(), "", keysText(keys))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if hdr.Get("X-Asymsortd-Model") != "native" {
+		t.Fatalf("model %q, want native", hdr.Get("X-Asymsortd-Model"))
+	}
+	if body != sortedText(keys) {
+		t.Fatal("response is not the sorted key text")
+	}
+	snap := s.stats(t)
+	if len(snap.Jobs) != 1 || snap.Jobs[0].State != "done" || snap.Jobs[0].N != 5000 {
+		t.Fatalf("stats: %+v", snap.Jobs)
+	}
+}
+
+// TestServeExtJobLedger: a job larger than its grant runs on the ext
+// engine, returns the identical sorted text, and reports a measured
+// write ledger equal to the simulated AEM plan on /stats.
+func TestServeExtJobLedger(t *testing.T) {
+	s := newTestService(t, 1<<14, 2, 64) // 16384-record envelope
+	keys := genKeys(60000, 2)            // needs 120000 resident → ext
+	code, body, hdr := s.postSort(t, context.Background(), "", keysText(keys))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if hdr.Get("X-Asymsortd-Model") != "ext" {
+		t.Fatalf("model %q, want ext", hdr.Get("X-Asymsortd-Model"))
+	}
+	if body != sortedText(keys) {
+		t.Fatal("response is not the sorted key text")
+	}
+	j := s.stats(t).Jobs[0]
+	if j.Writes == 0 || j.Writes != j.PlanWrites {
+		t.Fatalf("served write ledger %d != simulated plan %d", j.Writes, j.PlanWrites)
+	}
+	if j.MemGrant > 1<<14 {
+		t.Fatalf("grant %d exceeds the envelope", j.MemGrant)
+	}
+}
+
+// TestServeConcurrentExtJobsShareEnvelope is the in-process version of
+// the acceptance smoke: concurrent forced-ext jobs under one shared
+// envelope must all return byte-identical output to solo runs, keep
+// their per-job ledgers equal to the simulated plan, and leave the
+// broker's envelope whole and the job dirs removed.
+func TestServeConcurrentExtJobsShareEnvelope(t *testing.T) {
+	const jobs = 8
+	s := newTestService(t, 1<<16, 4, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			keys := genKeys(20000+i*1111, int64(i+10))
+			code, body, _ := s.postSort(t, context.Background(), "?model=ext", keysText(keys))
+			if code != http.StatusOK {
+				t.Errorf("job %d: status %d: %.200s", i, code, body)
+				return
+			}
+			if body != sortedText(keys) {
+				t.Errorf("job %d: output diverges from the solo run", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := s.stats(t)
+	if len(snap.Jobs) != jobs {
+		t.Fatalf("%d jobs recorded, want %d", len(snap.Jobs), jobs)
+	}
+	for _, j := range snap.Jobs {
+		if j.State != "done" {
+			t.Errorf("job %d state %q: %s", j.ID, j.State, j.Err)
+		}
+		if j.Model != "ext" || j.Writes != j.PlanWrites || j.Writes == 0 {
+			t.Errorf("job %d: model=%s writes=%d plan=%d", j.ID, j.Model, j.Writes, j.PlanWrites)
+		}
+		if j.MemGrant > snap.Broker.TotalMem {
+			t.Errorf("job %d: grant %d exceeds envelope %d", j.ID, j.MemGrant, snap.Broker.TotalMem)
+		}
+	}
+	if snap.Broker.FreeMem != snap.Broker.TotalMem || len(snap.Broker.Running) != 0 {
+		t.Fatalf("envelope not whole after jobs: %+v", snap.Broker)
+	}
+	assertNoJobDirs(t, s.tmp)
+}
+
+// assertNoJobDirs asserts every per-job scratch dir (staging, output,
+// spill) was removed.
+func assertNoJobDirs(t *testing.T, tmp string) {
+	t.Helper()
+	entries, err := os.ReadDir(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "asymsortd-job") {
+			t.Fatalf("job scratch dir %s left behind", e.Name())
+		}
+	}
+}
+
+// TestServeKillMidMergeReclaimsLease is the fault-injection test of the
+// service path: a client kills a big ext job mid-merge; the broker must
+// reclaim its lease (envelope whole again), the job's spill/staging
+// dir must vanish, and concurrent in-flight jobs must finish
+// byte-identical to solo runs.
+func TestServeKillMidMergeReclaimsLease(t *testing.T) {
+	s := newTestService(t, 1<<14, 2, 64)
+
+	// Deterministic mid-merge kill: the victim (the broker's first
+	// lease, id 0) is revoked at its second Mem acknowledgement — the
+	// first merge-level boundary, after all its runs are formed and
+	// spilled but before the merge completes — via the client context,
+	// exactly the disconnect path production takes.
+	vctx, vcancel := context.WithCancel(context.Background())
+	defer vcancel()
+	s.b.mu.Lock()
+	s.b.testOnAck = func(l *Lease, ack int) {
+		if l.ID() == 0 && ack == 2 {
+			vcancel()
+		}
+	}
+	s.b.mu.Unlock()
+
+	victimKeys := genKeys(400000, 99)
+	victimErr := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequestWithContext(vctx, "POST", s.ts.URL+"/sort?model=ext", strings.NewReader(keysText(victimKeys)))
+		if err != nil {
+			victimErr <- err
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			err = fmt.Errorf("victim request finished with status %d before the kill", resp.StatusCode)
+		}
+		victimErr <- err
+	}()
+
+	// Two bystanders join once the victim's job exists.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap := s.stats(t)
+		if len(snap.Jobs) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim job never registered")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			keys := genKeys(30000, int64(200+i))
+			code, body, _ := s.postSort(t, context.Background(), "?model=ext", keysText(keys))
+			if code != http.StatusOK {
+				t.Errorf("bystander %d: status %d: %.200s", i, code, body)
+				return
+			}
+			if body != sortedText(keys) {
+				t.Errorf("bystander %d: output diverges from the solo run", i)
+			}
+		}(i)
+	}
+
+	if err := <-victimErr; err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("victim client saw %v, want a canceled request", err)
+	}
+	wg.Wait()
+
+	// The broker must reclaim the victim's lease once its engine aborts.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		snap := s.stats(t)
+		if snap.Broker.FreeMem == snap.Broker.TotalMem && len(snap.Broker.Running) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lease never reclaimed: %+v", snap.Broker)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The victim's state records the cancellation, and every job dir —
+	// including the victim's spill files — is gone.
+	snap := s.stats(t)
+	if snap.Jobs[0].State != "canceled" {
+		t.Fatalf("victim state %q (err %q), want canceled", snap.Jobs[0].State, snap.Jobs[0].Err)
+	}
+	for _, j := range snap.Jobs[1:] {
+		if j.State != "done" || j.Writes != j.PlanWrites {
+			t.Errorf("bystander job %d: state=%s writes=%d plan=%d", j.ID, j.State, j.Writes, j.PlanWrites)
+		}
+	}
+	assertNoJobDirs(t, s.tmp)
+}
+
+// TestServeQueueBackpressure: more jobs than the envelope admits must
+// queue and then all complete; /stats exposes the queue while it holds.
+func TestServeQueueBackpressure(t *testing.T) {
+	s := newTestService(t, 1<<13, 1, 64)
+	const jobs = 6
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			keys := genKeys(20000, int64(300+i))
+			code, body, _ := s.postSort(t, context.Background(), "?model=ext", keysText(keys))
+			if code != http.StatusOK {
+				t.Errorf("job %d: status %d", i, code)
+				return
+			}
+			if body != sortedText(keys) {
+				t.Errorf("job %d: bad output", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := s.stats(t)
+	for _, j := range snap.Jobs {
+		if j.State != "done" {
+			t.Errorf("job %d: %s (%s)", j.ID, j.State, j.Err)
+		}
+	}
+	if snap.Broker.FreeMem != snap.Broker.TotalMem {
+		t.Fatalf("envelope not whole: %+v", snap.Broker)
+	}
+}
+
+// TestServeJobRetention: the /stats history is bounded — finished jobs
+// beyond the cap are evicted oldest-first, live jobs never.
+func TestServeJobRetention(t *testing.T) {
+	s := newTestService(t, 1<<13, 1, 64)
+	live := s.srv.newJob() // stays "staging" — must survive any eviction
+	for i := 0; i < maxRetainedJobs+50; i++ {
+		j := s.srv.newJob()
+		s.srv.setJob(j, func(j *JobStats) { j.State = "done" })
+	}
+	s.srv.mu.Lock()
+	defer s.srv.mu.Unlock()
+	if len(s.srv.jobs) > maxRetainedJobs+1 {
+		t.Fatalf("%d jobs retained, cap is %d", len(s.srv.jobs), maxRetainedJobs)
+	}
+	if _, ok := s.srv.jobs[live.ID]; !ok {
+		t.Fatal("live job was evicted")
+	}
+	if _, ok := s.srv.jobs[1]; ok {
+		t.Fatal("oldest finished job survived past the cap")
+	}
+}
+
+// TestServeBadRequests: malformed keys and bad params surface as HTTP
+// errors, not hung jobs or leaked leases.
+func TestServeBadRequests(t *testing.T) {
+	s := newTestService(t, 1<<13, 1, 64)
+	if code, _, _ := s.postSort(t, context.Background(), "", "12\nnot-a-number\n"); code != http.StatusBadRequest {
+		t.Fatalf("malformed key: status %d, want 400", code)
+	}
+	if code, _, _ := s.postSort(t, context.Background(), "?mem=-4", "1\n2\n"); code != http.StatusBadRequest {
+		t.Fatalf("bad mem param: status %d, want 400", code)
+	}
+	if code, _, _ := s.postSort(t, context.Background(), "?model=quantum", "1\n2\n"); code != http.StatusBadRequest {
+		t.Fatalf("unknown model: status %d, want 400", code)
+	}
+	// Forced native beyond the envelope must refuse, not OOM.
+	big := keysText(genKeys(20000, 7))
+	if code, _, _ := s.postSort(t, context.Background(), "?model=native", big); code != http.StatusInsufficientStorage {
+		t.Fatalf("oversized native: status %d, want 507", code)
+	}
+	if s.stats(t).Broker.FreeMem != 1<<13 {
+		t.Fatal("failed requests leaked lease memory")
+	}
+}

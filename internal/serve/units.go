@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSize parses "8MB", "512KB", "1GB", "64" (bytes) — binary units,
+// case-insensitive, optional B suffix. It is the one size parser every
+// byte-budget flag in the repository's commands goes through.
+func ParseSize(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "GB"), strings.HasSuffix(t, "G"):
+		mult = 1 << 30
+		t = strings.TrimSuffix(strings.TrimSuffix(t, "B"), "G")
+	case strings.HasSuffix(t, "MB"), strings.HasSuffix(t, "M"):
+		mult = 1 << 20
+		t = strings.TrimSuffix(strings.TrimSuffix(t, "B"), "M")
+	case strings.HasSuffix(t, "KB"), strings.HasSuffix(t, "K"):
+		mult = 1 << 10
+		t = strings.TrimSuffix(strings.TrimSuffix(t, "B"), "K")
+	default:
+		t = strings.TrimSuffix(t, "B")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("cannot parse size %q", s)
+	}
+	return v * mult, nil
+}
+
+// FmtBytes renders a byte count humanly.
+func FmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
