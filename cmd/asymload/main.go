@@ -8,11 +8,20 @@
 // simulated AEM plan's), and prints a throughput/latency table,
 // recordable as BENCH-style JSON rows via -json.
 //
+// -wire picks the dialect each job speaks: text (newline-decimal keys,
+// the default), binary (internal/wire record frames both ways), or
+// mixed (jobs alternate by id — the negotiation stress mode). The key
+// mix, the checksum construction, and the -save dumps are identical
+// across dialects, so a text run and a binary run with the same seed
+// are directly diffable — and a per-wire-mode p50/p99 latency table is
+// printed (and recorded under -json) whenever jobs ran.
+//
 // Usage:
 //
 //	asymload -addr http://127.0.0.1:8077 -jobs 8 -concurrency 8 -seed 1
 //	asymload -jobs 8 -concurrency 1           # the serialized baseline
 //	asymload -jobs 8 -model ext -save outdir  # dump job inputs/outputs
+//	asymload -jobs 8 -wire binary             # record frames both ways
 //
 // The same seed with -concurrency 1 runs the identical job mix one at
 // a time — the serialized baseline a shared-envelope speedup is
@@ -36,6 +45,8 @@ import (
 	"time"
 
 	"asymsort/internal/exp"
+	"asymsort/internal/seq"
+	"asymsort/internal/wire"
 	"asymsort/internal/xrand"
 )
 
@@ -43,10 +54,18 @@ var shapeNames = []string{"uniform", "sorted", "reversed", "dups", "equal"}
 
 // jobSpec is one job of the deterministic mix.
 type jobSpec struct {
-	id    int
-	n     int
-	shape int
-	seed  uint64
+	id     int
+	n      int
+	shape  int
+	seed   uint64
+	binary bool // speak the wire record-frame dialect both ways
+}
+
+func (sp jobSpec) wireName() string {
+	if sp.binary {
+		return "binary"
+	}
+	return "text"
 }
 
 // jobResult is what one finished job measured.
@@ -73,18 +92,26 @@ func main() {
 		jobMem  = flag.Int("jobmem", 0, "per-job budget hint in records, forwarded as /sort?mem= (0 = server default)")
 		save    = flag.String("save", "", "directory to dump each job's input/output text (for solo-run diffing)")
 		jsonOut = flag.String("json", "", "record the tables as JSON rows (exp.Recorder format)")
+		wireFmt = flag.String("wire", "text", "job dialect: text | binary (record frames) | mixed (alternate by job id)")
 	)
 	flag.Parse()
-	if err := run(*addr, *jobs, *conc, *seed, *minN, *maxN, *shapes, *spacing, *model, *jobMem, *save, *jsonOut); err != nil {
+	if err := run(*addr, *jobs, *conc, *seed, *minN, *maxN, *shapes, *spacing, *model, *jobMem, *save, *jsonOut, *wireFmt); err != nil {
 		fmt.Fprintf(os.Stderr, "asymload: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, jobs, conc int, seed uint64, minN, maxN int, shapeList string,
-	spacing time.Duration, model string, jobMem int, save, jsonOut string) error {
+	spacing time.Duration, model string, jobMem int, save, jsonOut, wireMode string) error {
 	if jobs < 1 || minN < 1 || maxN < minN {
 		return fmt.Errorf("need -jobs >= 1 and 1 <= -minn <= -maxn")
+	}
+	switch wireMode {
+	case "":
+		wireMode = "text"
+	case "text", "binary", "mixed":
+	default:
+		return fmt.Errorf("bad -wire %q (text | binary | mixed)", wireMode)
 	}
 	if conc <= 0 {
 		conc = jobs
@@ -105,15 +132,16 @@ func run(addr string, jobs, conc int, seed uint64, minN, maxN int, shapeList str
 	specs := make([]jobSpec, jobs)
 	for i := range specs {
 		specs[i] = jobSpec{
-			id:    i,
-			n:     minN + int(rng.Next()%uint64(maxN-minN+1)),
-			shape: pool[rng.Next()%uint64(len(pool))],
-			seed:  rng.Next(),
+			id:     i,
+			n:      minN + int(rng.Next()%uint64(maxN-minN+1)),
+			shape:  pool[rng.Next()%uint64(len(pool))],
+			seed:   rng.Next(),
+			binary: wireMode == "binary" || (wireMode == "mixed" && i%2 == 1),
 		}
 	}
 
-	fmt.Printf("asymload: %d jobs (%d..%d records) against %s, concurrency %d, spacing %v, seed %d\n",
-		jobs, minN, maxN, addr, conc, spacing, seed)
+	fmt.Printf("asymload: %d jobs (%d..%d records) against %s, concurrency %d, spacing %v, seed %d, wire %s\n",
+		jobs, minN, maxN, addr, conc, spacing, seed, wireMode)
 
 	results := make([]jobResult, jobs)
 	var wg sync.WaitGroup
@@ -141,6 +169,7 @@ func run(addr string, jobs, conc int, seed uint64, minN, maxN int, shapeList str
 	}
 	failures := renderJobTable(os.Stdout, rec, results)
 	totalRecs := renderSummary(os.Stdout, rec, results, makespan, conc)
+	renderWireTable(os.Stdout, rec, results)
 
 	// Cross-check the daemon's ledgers: every ext job's measured block
 	// writes must equal its simulated AEM plan.
@@ -266,6 +295,46 @@ func runJob(addr, model string, jobMem int, save string, sp jobSpec) jobResult {
 		bw := bufio.NewWriterSize(pw, 1<<20)
 		r := xrand.New(sp.seed)
 		var line []byte
+		if sp.binary {
+			// Frame dialect: the same keys, packed as records with the
+			// index as payload — exactly the pairing the server's text
+			// stager assigns, so the two dialects sort identical record
+			// multisets. The -save dump stays text either way: dumps from
+			// a text run and a binary run of the same seed diff clean.
+			fw, err := wire.NewWriter(bw, int64(sp.n))
+			if err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+			batch := make([]seq.Record, 0, 1<<13)
+			for i := 0; i < sp.n; i++ {
+				key := genKey(sp, r, i)
+				inSum.add(key)
+				if saveIn != nil {
+					line = strconv.AppendUint(line[:0], key, 10)
+					line = append(line, '\n')
+					saveIn.Write(line)
+				}
+				batch = append(batch, seq.Record{Key: key, Val: uint64(i)})
+				if len(batch) == cap(batch) {
+					if err := fw.WriteRecords(batch); err != nil {
+						pw.CloseWithError(err)
+						return
+					}
+					batch = batch[:0]
+				}
+			}
+			if err := fw.WriteRecords(batch); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+			if err := fw.Close(); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+			pw.CloseWithError(bw.Flush())
+			return
+		}
 		for i := 0; i < sp.n; i++ {
 			key := genKey(sp, r, i)
 			inSum.add(key)
@@ -286,8 +355,12 @@ func runJob(addr, model string, jobMem int, save string, sp jobSpec) jobResult {
 	if jobMem > 0 {
 		query += "&mem=" + strconv.Itoa(jobMem)
 	}
+	contentType := "text/plain"
+	if sp.binary {
+		contentType = wire.ContentType
+	}
 	start := time.Now()
-	resp, err := http.Post(addr+query, "text/plain", pr)
+	resp, err := http.Post(addr+query, contentType, pr)
 	if err != nil {
 		res.err = err
 		return res
@@ -315,33 +388,71 @@ func runJob(addr, model string, jobMem int, save string, sp jobSpec) jobResult {
 		saveOut = bufio.NewWriterSize(f, 1<<20)
 		defer saveOut.Flush()
 	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var prev uint64
 	first := true
-	for sc.Scan() {
-		if first {
-			res.ttfb = time.Since(start)
+	var line []byte
+	if sp.binary {
+		if got := resp.Header.Get("X-Asymsortd-Wire"); got != "binary" {
+			res.err = fmt.Errorf("asked for a binary response, server answered wire %q", got)
+			return res
 		}
-		key, err := strconv.ParseUint(sc.Text(), 10, 64)
+		fr, err := wire.NewReader(bufio.NewReaderSize(resp.Body, 1<<20))
 		if err != nil {
-			res.err = fmt.Errorf("response line %d: %v", outSum.n+1, err)
+			res.err = err
 			return res
 		}
-		if !first && key < prev {
-			res.err = fmt.Errorf("response not sorted at record %d: %d after %d", outSum.n, key, prev)
+		res.ttfb = time.Since(start) // the header just arrived
+		buf := make([]seq.Record, 1<<13)
+		for {
+			m, rerr := fr.ReadRecords(buf)
+			for _, rec := range buf[:m] {
+				if !first && rec.Key < prev {
+					res.err = fmt.Errorf("response not sorted at record %d: %d after %d", outSum.n, rec.Key, prev)
+					return res
+				}
+				prev, first = rec.Key, false
+				outSum.add(rec.Key)
+				if saveOut != nil {
+					line = strconv.AppendUint(line[:0], rec.Key, 10)
+					line = append(line, '\n')
+					saveOut.Write(line)
+				}
+			}
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				res.err = rerr
+				return res
+			}
+		}
+	} else {
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			if first {
+				res.ttfb = time.Since(start)
+			}
+			key, err := strconv.ParseUint(sc.Text(), 10, 64)
+			if err != nil {
+				res.err = fmt.Errorf("response line %d: %v", outSum.n+1, err)
+				return res
+			}
+			if !first && key < prev {
+				res.err = fmt.Errorf("response not sorted at record %d: %d after %d", outSum.n, key, prev)
+				return res
+			}
+			prev, first = key, false
+			outSum.add(key)
+			if saveOut != nil {
+				saveOut.Write(sc.Bytes())
+				saveOut.WriteByte('\n')
+			}
+		}
+		if err := sc.Err(); err != nil {
+			res.err = err
 			return res
 		}
-		prev, first = key, false
-		outSum.add(key)
-		if saveOut != nil {
-			saveOut.Write(sc.Bytes())
-			saveOut.WriteByte('\n')
-		}
-	}
-	if err := sc.Err(); err != nil {
-		res.err = err
-		return res
 	}
 	res.wall = time.Since(start)
 	// The generator has necessarily finished (the server only responds
@@ -357,7 +468,7 @@ func runJob(addr, model string, jobMem int, save string, sp jobSpec) jobResult {
 // renderJobTable prints the per-job table and returns the failure
 // count.
 func renderJobTable(w io.Writer, rec *exp.Recorder, results []jobResult) int {
-	header := []string{"job", "shape", "n", "model", "memRecs", "wall ms", "ttfb ms", "Mrec/s", "status"}
+	header := []string{"job", "shape", "n", "wire", "model", "memRecs", "wall ms", "ttfb ms", "Mrec/s", "status"}
 	var rows [][]string
 	failures := 0
 	for _, r := range results {
@@ -372,7 +483,7 @@ func renderJobTable(w io.Writer, rec *exp.Recorder, results []jobResult) int {
 		}
 		rows = append(rows, []string{
 			strconv.Itoa(r.spec.id), shapeNames[r.spec.shape], strconv.Itoa(r.spec.n),
-			r.model, strconv.Itoa(r.memRecs),
+			r.spec.wireName(), r.model, strconv.Itoa(r.memRecs),
 			strconv.FormatInt(r.wall.Milliseconds(), 10),
 			strconv.FormatInt(r.ttfb.Milliseconds(), 10),
 			rate, status,
@@ -415,6 +526,66 @@ func renderSummary(w io.Writer, rec *exp.Recorder, results []jobResult, makespan
 		rec.Record("load", "asymsortd job mix", header, rows)
 	}
 	return totalRecs
+}
+
+// renderWireTable prints per-wire-mode latency quantiles — the
+// text-vs-binary comparison the frame dialect exists for. Under -json
+// the rows land in the recording, so the BENCH artifact carries the
+// per-dialect p50/p99 for benchdiff.
+func renderWireTable(w io.Writer, rec *exp.Recorder, results []jobResult) {
+	var order []string
+	byMode := map[string][]jobResult{}
+	for _, r := range results {
+		if r.err != nil {
+			continue
+		}
+		m := r.spec.wireName()
+		if _, ok := byMode[m]; !ok {
+			order = append(order, m)
+		}
+		byMode[m] = append(byMode[m], r)
+	}
+	header := []string{"wire", "jobs", "records", "p50 wall ms", "p99 wall ms", "p50 ttfb ms", "p99 ttfb ms"}
+	var rows [][]string
+	for _, m := range order {
+		rs := byMode[m]
+		walls := make([]time.Duration, len(rs))
+		ttfbs := make([]time.Duration, len(rs))
+		recs := 0
+		for i, r := range rs {
+			walls[i], ttfbs[i] = r.wall, r.ttfb
+			recs += r.spec.n
+		}
+		sort.Slice(walls, func(a, b int) bool { return walls[a] < walls[b] })
+		sort.Slice(ttfbs, func(a, b int) bool { return ttfbs[a] < ttfbs[b] })
+		rows = append(rows, []string{
+			m, strconv.Itoa(len(rs)), strconv.Itoa(recs),
+			strconv.FormatInt(pct(walls, 50).Milliseconds(), 10),
+			strconv.FormatInt(pct(walls, 99).Milliseconds(), 10),
+			strconv.FormatInt(pct(ttfbs, 50).Milliseconds(), 10),
+			strconv.FormatInt(pct(ttfbs, 99).Milliseconds(), 10),
+		})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintln(w)
+	writeTable(w, header, rows)
+	if rec != nil {
+		rec.Record("load-wire", "per-wire-mode latency", header, rows)
+	}
+}
+
+// pct is the nearest-rank percentile of an ascending-sorted sample.
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted)+99)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
 }
 
 func writeTable(w io.Writer, header []string, rows [][]string) {

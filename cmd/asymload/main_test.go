@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"asymsort/internal/serve"
+)
+
+// newTestService stands up an in-process asymsortd: real broker, real
+// handler, loopback HTTP.
+func newTestService(t *testing.T) *httptest.Server {
+	t.Helper()
+	broker, err := serve.NewBroker(serve.BrokerConfig{Mem: 1 << 16, Procs: 2, MinLease: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.NewServer(serve.ServerConfig{Broker: broker, Block: 64, Omega: 8, TmpDir: t.TempDir()})
+	if err != nil {
+		broker.Close()
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		broker.Close()
+	})
+	return ts
+}
+
+// TestWireDifferential runs the identical seeded job mix against fresh
+// services in every wire mode — text, binary, and mixed — serialized so
+// server job ids line up with the mix. run itself verifies each
+// response (order, count, multiset checksum) and the write-ledger
+// identity; on top of that the -save dumps must be byte-identical
+// across modes (the dialect may not change what gets sorted) and the
+// per-job /stats ledgers of the text and binary runs must match
+// exactly: same measured block writes, same simulated plan.
+func TestWireDifferential(t *testing.T) {
+	const seed, jobs = 7, 6
+	saves := map[string]string{}
+	ledgers := map[string]statsPayload{}
+	for _, mode := range []string{"text", "binary", "mixed"} {
+		ts := newTestService(t)
+		save := filepath.Join(t.TempDir(), mode)
+		if err := run(ts.URL, jobs, 1, seed, 2000, 12000, "uniform,dups,sorted,reversed", 0,
+			"ext", 0, save, "", mode); err != nil {
+			t.Fatalf("%s run: %v", mode, err)
+		}
+		saves[mode] = save
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap statsPayload
+		err = decodeJSON(resp.Body, &snap)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ledgers[mode] = snap
+	}
+
+	for _, mode := range []string{"binary", "mixed"} {
+		for i := 0; i < jobs; i++ {
+			for _, kind := range []string{"in", "out"} {
+				name := fmt.Sprintf("job-%d-%s.txt", i, kind)
+				want, err := os.ReadFile(filepath.Join(saves["text"], name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := os.ReadFile(filepath.Join(saves[mode], name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s dump %s differs from the text run's", mode, name)
+				}
+			}
+		}
+	}
+
+	txt, bin := ledgers["text"], ledgers["binary"]
+	if len(txt.Jobs) != jobs || len(bin.Jobs) != jobs {
+		t.Fatalf("stats cover %d and %d jobs, want %d", len(txt.Jobs), len(bin.Jobs), jobs)
+	}
+	byID := func(snap statsPayload, id int) (writes, plan uint64) {
+		for _, j := range snap.Jobs {
+			if j.ID == id {
+				return j.Writes, j.PlanWrites
+			}
+		}
+		t.Fatalf("job %d missing from /stats", id)
+		return 0, 0
+	}
+	for i := 0; i < jobs; i++ {
+		tw, tp := byID(txt, i)
+		bw, bp := byID(bin, i)
+		if tw == 0 || tp == 0 {
+			t.Fatalf("job %d: text ledger is empty (writes=%d plan=%d)", i, tw, tp)
+		}
+		if tw != bw || tp != bp {
+			t.Fatalf("job %d: text ledger writes=%d plan=%d, binary writes=%d plan=%d",
+				i, tw, tp, bw, bp)
+		}
+		if tw != tp {
+			t.Fatalf("job %d: measured writes %d != plan writes %d", i, tw, tp)
+		}
+	}
+}
+
+// TestWireModeAssignment pins the mixed-mode alternation rule: even job
+// ids speak text, odd ids speak the frame dialect.
+func TestWireModeAssignment(t *testing.T) {
+	for _, tc := range []struct {
+		mode string
+		id   int
+		want bool
+	}{
+		{"text", 0, false}, {"text", 1, false},
+		{"binary", 0, true}, {"binary", 1, true},
+		{"mixed", 0, false}, {"mixed", 1, true}, {"mixed", 2, false}, {"mixed", 3, true},
+	} {
+		got := tc.mode == "binary" || (tc.mode == "mixed" && tc.id%2 == 1)
+		if got != tc.want {
+			t.Fatalf("mode %s job %d: binary=%v, want %v", tc.mode, tc.id, got, tc.want)
+		}
+	}
+	if err := run("http://127.0.0.1:1", 1, 1, 1, 1, 1, "uniform", 0, "auto", 0, "", "", "bogus"); err == nil {
+		t.Fatal("bad -wire value was accepted")
+	}
+}

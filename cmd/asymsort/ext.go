@@ -1,15 +1,22 @@
 package main
 
 // The ext model: sort a file larger than RAM with the internal/extmem
-// engine. Text keys are staged into a binary record file (payload =
-// line index, so records are unique under seq.TotalLess as the engine
-// requires), sorted under the memory budget, and streamed back out as
-// text. Verification is streaming too — order check plus a record
-// checksum against the input — since the whole point is that nothing
-// here fits in memory.
+// engine. Under the default text dialect, keys are staged into a
+// binary record file (payload = line index, so records are unique
+// under seq.TotalLess as the engine requires), sorted under the memory
+// budget, and streamed back out as text. Under -wire binary, input and
+// output are internal/wire record frames: a chunked frame (or stdin)
+// is spooled raw into the staged file with no parse, and a contiguous
+// frame file skips staging entirely — the frame file itself is handed
+// to the engine with Config.InSkip covering the header slot, so the
+// staging write (the expensive op, charged ω in the paper's model)
+// vanishes. Verification is streaming in every dialect — order check
+// plus a record checksum against the input — since the whole point is
+// that nothing here fits in memory.
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
@@ -20,6 +27,7 @@ import (
 	"asymsort/internal/extmem"
 	"asymsort/internal/seq"
 	"asymsort/internal/serve"
+	"asymsort/internal/wire"
 	"asymsort/internal/xrand"
 )
 
@@ -27,8 +35,8 @@ import (
 // through a single error return so the staging/spill cleanup defers in
 // extRun always fire before the process exits.
 func runExt(inPath, outPath, memFlag string, blockRecs int, omega uint64, k, fanin int,
-	tmpdir string, n int, seed uint64, procs int) {
-	if err := extRun(inPath, outPath, memFlag, blockRecs, omega, k, fanin, tmpdir, n, seed, procs); err != nil {
+	tmpdir string, n int, seed uint64, procs int, wireMode string) {
+	if err := extRun(inPath, outPath, memFlag, blockRecs, omega, k, fanin, tmpdir, n, seed, procs, wireMode); err != nil {
 		fmt.Fprintf(os.Stderr, "asymsort: %v\n", err)
 		os.Exit(1)
 	}
@@ -54,7 +62,15 @@ func (c *checksum) add(r seq.Record) {
 // extRun stages, sorts, verifies, and reports; its defers remove the
 // staged record files (and an auto-created temp dir) on every path.
 func extRun(inPath, outPath, memFlag string, blockRecs int, omega uint64, k, fanin int,
-	tmpdir string, n int, seed uint64, procs int) error {
+	tmpdir string, n int, seed uint64, procs int, wireMode string) error {
+	binaryWire := false
+	switch wireMode {
+	case "", "text":
+	case "binary":
+		binaryWire = true
+	default:
+		return fmt.Errorf("bad -wire %q (text | binary)", wireMode)
+	}
 	memBytes, err := parseSize(memFlag)
 	if err != nil {
 		return fmt.Errorf("bad -mem: %v", err)
@@ -79,8 +95,27 @@ func extRun(inPath, outPath, memFlag string, blockRecs int, omega uint64, k, fan
 
 	var inSum checksum
 	var src string
+	engineIn := staged
+	inSkip := 0
 	start := time.Now()
-	if inPath != "" {
+	switch {
+	case inPath != "" && binaryWire:
+		src = inPath
+		if src == "-" {
+			src = "stdin"
+		}
+		zeroCopy, err := stageBinaryRecords(inPath, staged, &inSum)
+		if err != nil {
+			return err
+		}
+		if zeroCopy {
+			// Contiguous seekable frame: the frame file IS the staged
+			// input (header = one record slot, skipped via InSkip), so
+			// staging cost only the verification read pass, no write.
+			engineIn, inSkip = inPath, 1
+			src += " (contiguous frame, staged in place)"
+		}
+	case inPath != "":
 		src = inPath
 		if src == "-" {
 			src = "stdin"
@@ -88,7 +123,7 @@ func extRun(inPath, outPath, memFlag string, blockRecs int, omega uint64, k, fan
 		if err := stageTextKeys(inPath, staged, &inSum); err != nil {
 			return err
 		}
-	} else {
+	default:
 		src = "generated uniform workload"
 		if err := stageUniform(staged, n, seed, &inSum); err != nil {
 			return err
@@ -98,12 +133,12 @@ func extRun(inPath, outPath, memFlag string, blockRecs int, omega uint64, k, fan
 
 	cfg := extmem.Config{
 		Mem: memRecs, Block: blockRecs, K: k, Omega: float64(omega),
-		FanIn: fanin, TmpDir: tmpdir, Procs: procs,
+		FanIn: fanin, TmpDir: tmpdir, Procs: procs, InSkip: inSkip,
 	}
 	fmt.Printf("external sort: n=%d records (%s) from %s\n",
 		inSum.n, fmtBytes(int64(inSum.n)*extmem.RecordBytes), src)
 
-	rep, err := extmem.Sort(cfg, staged, sortedBin)
+	rep, err := extmem.Sort(cfg, engineIn, sortedBin)
 	if err != nil {
 		return err
 	}
@@ -135,7 +170,7 @@ func extRun(inPath, outPath, memFlag string, blockRecs int, omega uint64, k, fan
 	fmt.Printf("  sort wall: %dms\n", (rep.FormTime + rep.MergeTime).Milliseconds())
 
 	// Streaming verification: sorted order + multiset checksum.
-	outSum, err := verifySortedBinary(sortedBin, outPath)
+	outSum, err := verifySortedBinary(sortedBin, outPath, binaryWire)
 	if err != nil {
 		return err
 	}
@@ -144,7 +179,114 @@ func extRun(inPath, outPath, memFlag string, blockRecs int, omega uint64, k, fan
 	}
 	fmt.Println("  output verified: sorted, record checksum matches input")
 	if outPath != "" {
-		fmt.Printf("  wrote %d sorted keys to %s\n", outSum.n, outPath)
+		what := "sorted keys"
+		if binaryWire {
+			what = "sorted records (contiguous frame)"
+		}
+		fmt.Printf("  wrote %d %s to %s\n", outSum.n, what, outPath)
+	}
+	return nil
+}
+
+// stageBinaryRecords stages a wire frame as the engine's input. A
+// seekable contiguous frame file needs no staging write at all — the
+// header is exactly one record slot, so the frame file itself becomes
+// the engine input (InSkip=1) and this function only streams the
+// verification checksum. Chunked frames (and stdin, which cannot be
+// handed over in place) are spooled raw into dst, folding each record
+// into the checksum on the way past.
+func stageBinaryRecords(inPath, dst string, sum *checksum) (zeroCopy bool, err error) {
+	if inPath != "-" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return false, err
+		}
+		hdrRaw := make([]byte, wire.HeaderBytes)
+		_, rerr := io.ReadFull(f, hdrRaw)
+		f.Close()
+		if rerr != nil {
+			return false, fmt.Errorf("%s: reading frame header: %v", inPath, rerr)
+		}
+		hdr, err := wire.ParseHeader(hdrRaw)
+		if err != nil {
+			return false, fmt.Errorf("%s: %v", inPath, err)
+		}
+		if hdr.Contiguous {
+			return true, checksumContiguousFrame(inPath, hdr.Count, sum)
+		}
+	}
+	var r io.Reader = os.Stdin
+	if inPath != "-" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return false, err
+		}
+		defer f.Close()
+		r = f
+	}
+	fr, err := wire.NewReader(bufio.NewReaderSize(r, 1<<20))
+	if err != nil {
+		return false, err
+	}
+	out, err := os.Create(dst)
+	if err != nil {
+		return false, err
+	}
+	defer out.Close() // no-op after the explicit Close below
+	bw := bufio.NewWriterSize(out, 1<<20)
+	if _, err := fr.Spool(&recordSummer{w: bw, sum: sum}); err != nil {
+		return false, err
+	}
+	if err := bw.Flush(); err != nil {
+		return false, err
+	}
+	return false, out.Close()
+}
+
+// recordSummer folds every record that passes through it into the
+// checksum. wire.Reader.Spool always writes whole chunks of whole
+// records, so writes arrive record-aligned.
+type recordSummer struct {
+	w   io.Writer
+	sum *checksum
+}
+
+func (rs *recordSummer) Write(p []byte) (int, error) {
+	if len(p)%extmem.RecordBytes != 0 {
+		return 0, fmt.Errorf("unaligned record payload write (%d bytes)", len(p))
+	}
+	for b := p; len(b) > 0; b = b[extmem.RecordBytes:] {
+		rs.sum.add(seq.Record{
+			Key: binary.LittleEndian.Uint64(b),
+			Val: binary.LittleEndian.Uint64(b[8:]),
+		})
+	}
+	return rs.w.Write(p)
+}
+
+// checksumContiguousFrame streams the payload of a contiguous frame
+// file into the checksum — the only read the zero-copy handoff pays
+// before the engine takes the file over.
+func checksumContiguousFrame(path string, count int64, sum *checksum) error {
+	bf, err := extmem.OpenBlockFile(path, 1, nil)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	if got := int64(bf.Len() - 1); got != count {
+		return fmt.Errorf("%s: contiguous frame announces %d records but the file holds %d", path, count, got)
+	}
+	buf := make([]seq.Record, extChunk)
+	for off := 1; off < bf.Len(); off += len(buf) {
+		if rem := bf.Len() - off; rem < len(buf) {
+			buf = buf[:rem]
+		}
+		if err := bf.ReadAt(off, buf); err != nil {
+			return err
+		}
+		for _, r := range buf {
+			sum.add(r)
+		}
 	}
 	return nil
 }
@@ -229,8 +371,10 @@ func stageUniform(dst string, n int, seed uint64, sum *checksum) error {
 
 // verifySortedBinary streams the sorted binary file, checking key
 // order and accumulating the checksum; when outPath is non-empty it
-// simultaneously writes the keys as text ('-' = stdout).
-func verifySortedBinary(binPath, outPath string) (checksum, error) {
+// simultaneously writes the output ('-' = stdout) — keys as text by
+// default, or a contiguous wire frame (header + raw record bytes, no
+// per-record encode beyond the LE packing) when binaryOut is set.
+func verifySortedBinary(binPath, outPath string, binaryOut bool) (checksum, error) {
 	var sum checksum
 	bf, err := extmem.OpenBlockFile(binPath, 1, nil)
 	if err != nil {
@@ -252,12 +396,17 @@ func verifySortedBinary(binPath, outPath string) (checksum, error) {
 			w = f
 		}
 		tw = bufio.NewWriterSize(w, 1<<20)
+		if binaryOut {
+			if err := wire.WriteContiguousHeader(tw, int64(bf.Len())); err != nil {
+				return sum, err
+			}
+		}
 	}
 
 	buf := make([]seq.Record, extChunk)
 	var prev uint64
 	have := false
-	var line []byte
+	var line, raw []byte
 	for off := 0; off < bf.Len(); off += len(buf) {
 		if rem := bf.Len() - off; rem < len(buf) {
 			buf = buf[:rem]
@@ -271,12 +420,22 @@ func verifySortedBinary(binPath, outPath string) (checksum, error) {
 			}
 			prev, have = r.Key, true
 			sum.add(r)
-			if tw != nil {
+			if tw != nil && !binaryOut {
 				line = strconv.AppendUint(line[:0], r.Key, 10)
 				line = append(line, '\n')
 				if _, err := tw.Write(line); err != nil {
 					return sum, err
 				}
+			}
+		}
+		if tw != nil && binaryOut {
+			if need := len(buf) * wire.RecordBytes; cap(raw) < need {
+				raw = make([]byte, need)
+			}
+			rb := raw[:len(buf)*wire.RecordBytes]
+			wire.EncodeRecords(rb, buf)
+			if _, err := tw.Write(rb); err != nil {
+				return sum, err
 			}
 		}
 	}

@@ -21,9 +21,16 @@
 //	asymsort -model ext -in big.txt -out sorted.txt -mem 8MB
 //	asymsort -model ext -n 10000000 -mem 4MB -omega 16 -tmpdir /mnt/scratch
 //	asymsort -model ext -in big.txt -out sorted.txt -mem 8MB -procs 4
+//	asymsort -model ext -wire binary -in recs.asrf -out sorted.asrf -mem 8MB
 //
 // Native and ext input is one unsigned 64-bit key per line (payload =
-// line number); -out writes the sorted keys one per line. The ext
+// line number); -out writes the sorted keys one per line. With
+// -wire binary the ext model instead reads and writes internal/wire
+// record frames: chunked frames and stdin are spooled raw into the
+// staged file with no per-record parse, a contiguous frame file is
+// handed to the engine in place (extmem.Config.InSkip skips the
+// header slot — no staging copy at all), and -out emits a contiguous
+// frame. The ext
 // model runs the internal/extmem external-memory engine: it sorts
 // files larger than RAM under the -mem budget, spilling sorted runs to
 // -tmpdir and merging them at the fan-in the paper's Appendix A rule
@@ -79,9 +86,18 @@ func main() {
 		mem     = flag.String("mem", "64MB", "ext: primary-memory budget, e.g. 8MB, 512KB, or bytes")
 		fanin   = flag.Int("fanin", 0, "ext: merge fan-in override (0 = kM/B from the Appendix A rule)")
 		tmpdir  = flag.String("tmpdir", "", "ext: spill directory (default: a fresh dir under os.TempDir)")
+		wireFmt = flag.String("wire", "text", "ext: -in/-out dialect: text (one key per line) | binary (record frames; a contiguous frame file is handed to the engine with no staging copy)")
 	)
 	flag.Parse()
 
+	if *model != "ext" {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "wire" {
+				fmt.Fprintln(os.Stderr, "asymsort: -wire applies only to -model ext")
+				os.Exit(2)
+			}
+		})
+	}
 	if *model == "native" {
 		runNative(*algo, *n, *omega, *seed, *procs, *inPath, *outPath, *compare)
 		return
@@ -103,7 +119,7 @@ func main() {
 				os.Exit(2)
 			}
 		})
-		runExt(*inPath, *outPath, *mem, *b, *omega, extK, *fanin, *tmpdir, *n, *seed, *procs)
+		runExt(*inPath, *outPath, *mem, *b, *omega, extK, *fanin, *tmpdir, *n, *seed, *procs, *wireFmt)
 		return
 	}
 

@@ -45,11 +45,22 @@
 //     backpressure, grow/shrink rebalancing at merge-level boundaries
 //     (extmem.Config.Lease), and cancellation that reclaims spill
 //     files and grants; plus the HTTP job engine (POST /sort streams
-//     newline-delimited keys both ways, GET /stats serves per-job
-//     measured-vs-simulated write ledgers). cmd/asymsortd is the
-//     daemon; cmd/asymload the deterministic seeded load generator
-//     that drives it, verifies every response on the wire, and prints
-//     recordable throughput/latency tables
+//     newline-delimited keys or internal/wire binary record frames
+//     both ways, GET /stats serves per-job measured-vs-simulated
+//     write ledgers). cmd/asymsortd is the daemon; cmd/asymload the
+//     deterministic seeded load generator that drives it in either
+//     dialect (-wire text|binary|mixed), verifies every response on
+//     the wire, and prints recordable throughput/latency tables with
+//     per-wire-mode p50/p99 quantiles
+//   - internal/wire — the binary columnar record frame (content type
+//     application/x-asymsort-records): a 16-byte header plus
+//     length-prefixed chunks or a contiguous raw payload of 16-byte
+//     little-endian records, the zero-parse hot path of the service.
+//     The header is exactly one record slot, so a contiguous frame
+//     file doubles as a valid extmem record file and is handed to the
+//     external engine in place (extmem.Config.InSkip) with no staging
+//     copy — asymsort -model ext -wire binary reads and writes frames
+//     from files and stdin
 //   - internal/exp — the experiment harness regenerating every theorem's
 //     table (run via cmd/asymbench or the benchmarks in bench_test.go);
 //     asymbench -json records the tables as the structured rows the CI

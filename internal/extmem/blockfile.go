@@ -118,6 +118,34 @@ func (bf *BlockFile) blockSpan(off, n int) uint64 {
 	return uint64(last - first + 1)
 }
 
+// decodeRecs fills recs from their little-endian on-disk form; raw must
+// hold exactly len(recs)*RecordBytes bytes.
+func decodeRecs(recs []seq.Record, raw []byte) {
+	for i := range recs {
+		recs[i].Key = binary.LittleEndian.Uint64(raw[i*RecordBytes:])
+		recs[i].Val = binary.LittleEndian.Uint64(raw[i*RecordBytes+8:])
+	}
+}
+
+// encodeRecs renders recs into their little-endian on-disk form; raw
+// must hold exactly len(recs)*RecordBytes bytes.
+func encodeRecs(raw []byte, recs []seq.Record) {
+	for i, r := range recs {
+		binary.LittleEndian.PutUint64(raw[i*RecordBytes:], r.Key)
+		binary.LittleEndian.PutUint64(raw[i*RecordBytes+8:], r.Val)
+	}
+}
+
+// extend raises the length watermark to at least end records.
+func (bf *BlockFile) extend(end int) {
+	for {
+		cur := bf.n.Load()
+		if int64(end) <= cur || bf.n.CompareAndSwap(cur, int64(end)) {
+			return
+		}
+	}
+}
+
 // ioChunk bounds the per-syscall encode/decode scratch of one logical
 // transfer, in records: large transfers (a whole M-record run) move in
 // 64KB pieces so the scratch buffer stays negligible next to the
@@ -145,10 +173,7 @@ func (bf *BlockFile) ReadAt(off int, dst []seq.Record) error {
 			return fmt.Errorf("extmem: short read of %s at record %d (%d of %d bytes): %v",
 				bf.path, off+start, n, len(raw), err)
 		}
-		for i := range sub {
-			sub[i].Key = binary.LittleEndian.Uint64(raw[i*RecordBytes:])
-			sub[i].Val = binary.LittleEndian.Uint64(raw[i*RecordBytes+8:])
-		}
+		decodeRecs(sub, raw)
 	}
 	if bf.stats != nil {
 		bf.stats.reads.Add(bf.blockSpan(off, len(dst)))
@@ -177,21 +202,12 @@ func (bf *BlockFile) WriteAt(off int, src []seq.Record) error {
 	for start := 0; start < len(src); start += ioChunk {
 		sub := src[start:min(start+ioChunk, len(src))]
 		raw := (*sp)[:len(sub)*RecordBytes]
-		for i, r := range sub {
-			binary.LittleEndian.PutUint64(raw[i*RecordBytes:], r.Key)
-			binary.LittleEndian.PutUint64(raw[i*RecordBytes+8:], r.Val)
-		}
+		encodeRecs(raw, sub)
 		if _, err := bf.f.WriteAt(raw, int64(off+start)*RecordBytes); err != nil {
 			return fmt.Errorf("extmem: write %s: %w", bf.path, err)
 		}
 	}
-	for {
-		end := int64(off + len(src))
-		cur := bf.n.Load()
-		if end <= cur || bf.n.CompareAndSwap(cur, end) {
-			break
-		}
-	}
+	bf.extend(off + len(src))
 	if bf.stats != nil {
 		bf.stats.writes.Add(bf.blockSpan(off, len(src)))
 	}

@@ -33,8 +33,12 @@
 //   - Async IO (aio.go): a small pool of IO worker goroutines under
 //     BlockFile issues the merge readers' prefetches and the writers'
 //     write-behind flushes, overlapping block transfer with compute.
-//     The async façades issue exactly the spans their synchronous
-//     counterparts would, so overlapping never changes the ledger.
+//     Pending transfers over adjacent extents of the same file in the
+//     same direction coalesce into single vectored preadv/pwritev
+//     syscalls (vectored_linux.go). The async façades issue exactly
+//     the spans their synchronous counterparts would, and a coalesced
+//     chain charges IOStats span by span, so neither overlapping nor
+//     coalescing ever changes the ledger.
 //
 // Crucially, the merge tree the engine executes is the exact partition
 // tree AEM-MERGESORT builds for the same (n, M, B, k) — top-down,
@@ -184,6 +188,16 @@ type Config struct {
 	// Lease interface. The merge plan (and the write ledger) stays fixed
 	// at the admission-time Mem.
 	Lease Lease
+	// InSkip is how many leading records of the input file to ignore —
+	// the zero-copy handoff for inputs that carry a whole-record wire
+	// header (a contiguous internal/wire frame is a valid record file
+	// whose first 16-byte slot is the header), so a caller can hand the
+	// frame file itself to the engine instead of spooling its payload
+	// into a fresh staging copy. The plan, the report, and the write
+	// ledger are all computed on the n = Len−InSkip payload records;
+	// only the input-read offsets shift. Output and spill files never
+	// carry the skip.
+	InSkip int
 }
 
 // resolved is a validated Config with derived parameters filled in.
@@ -195,6 +209,7 @@ type resolved struct {
 	procs                int
 	ioq                  *IOQueue // shared queue; nil = engine owns one
 	lease                Lease
+	inSkip               int
 }
 
 func (c Config) resolve() (resolved, error) {
@@ -234,6 +249,10 @@ func (c Config) resolve() (resolved, error) {
 	r.procs = r.pool.Procs()
 	r.ioq = c.IOQ
 	r.lease = c.Lease
+	if c.InSkip < 0 {
+		return r, fmt.Errorf("extmem: InSkip must be >= 0, got %d", c.InSkip)
+	}
+	r.inSkip = c.InSkip
 	return r, nil
 }
 

@@ -91,9 +91,17 @@ func Sort(cfg Config, inPath, outPath string) (*Report, error) {
 	defer out.Close()
 	e.out = out
 
-	e.plan = NewPlan(in.Len(), r.mem, r.block, r.k, r.fanIn)
+	// The plan — and with it the report and the write ledger — covers
+	// the payload records after any InSkip prefix; plan offsets are
+	// payload-relative, shifted onto the input file only at its three
+	// read sites (runform.go).
+	n := in.Len() - r.inSkip
+	if n < 0 {
+		return nil, fmt.Errorf("extmem: InSkip %d exceeds input length %d records", r.inSkip, in.Len())
+	}
+	e.plan = NewPlan(n, r.mem, r.block, r.k, r.fanIn)
 	e.report = &Report{
-		N: in.Len(), Mem: r.mem, Block: r.block, K: r.k, FanIn: r.fanIn,
+		N: n, Mem: r.mem, Block: r.block, K: r.k, FanIn: r.fanIn,
 		Runs: e.plan.Runs(), Levels: e.plan.Levels(), Omega: r.omega,
 		Procs:      r.procs,
 		LevelIO:    make([]cost.Snapshot, e.plan.Levels()+1),

@@ -144,7 +144,7 @@ func (e *engine) produceLeaves(leaves []*planNode, sortCh chan<- formBatch, free
 		// uniqueness requirement).
 		if n <= e.cfg.mem {
 			buf := (<-free)[:n]
-			if err := e.in.ReadAt(nd.lo, buf); err != nil {
+			if err := e.in.ReadAt(nd.lo+e.cfg.inSkip, buf); err != nil {
 				free <- buf[:cap(buf)]
 				return err
 			}
@@ -198,7 +198,7 @@ func (e *engine) formRunSeq(nd *planNode) error {
 	}
 	if n <= e.cfg.mem {
 		buf := e.formBuf[:n]
-		if err := e.in.ReadAt(nd.lo, buf); err != nil {
+		if err := e.in.ReadAt(nd.lo+e.cfg.inSkip, buf); err != nil {
 			return err
 		}
 		rt.SortRecords(e.cfg.pool, buf)
@@ -239,7 +239,7 @@ func (e *engine) selectPass(nd *planNode, watermark seq.Record, have bool, cand 
 			c = cap(chunk)
 		}
 		chunk = chunk[:c]
-		if err := e.in.ReadAt(off, chunk); err != nil {
+		if err := e.in.ReadAt(off+e.cfg.inSkip, chunk); err != nil {
 			return cand, err
 		}
 		for _, r := range chunk {

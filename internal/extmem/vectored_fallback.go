@@ -1,0 +1,35 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package extmem
+
+import (
+	"fmt"
+	"os"
+)
+
+// Portable stand-ins for the vectored transfers: one positioned
+// pread/pwrite per iovec. Chains save per-op syscall overhead only on
+// linux; elsewhere they degrade to the same transfer sequence the
+// uncoalesced path would issue, with identical semantics and charging.
+
+func sysReadV(f *os.File, off int64, bufs [][]byte) error {
+	for _, b := range bufs {
+		n, err := f.ReadAt(b, off)
+		if n != len(b) {
+			return fmt.Errorf("extmem: short read of %s at byte %d (%d of %d bytes): %v",
+				f.Name(), off, n, len(b), err)
+		}
+		off += int64(len(b))
+	}
+	return nil
+}
+
+func sysWriteV(f *os.File, off int64, bufs [][]byte) error {
+	for _, b := range bufs {
+		if _, err := f.WriteAt(b, off); err != nil {
+			return fmt.Errorf("extmem: write %s: %w", f.Name(), err)
+		}
+		off += int64(len(b))
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+//go:build linux && (amd64 || arm64)
+
+package extmem
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// Vectored positioned IO for coalesced chains: one preadv/pwritev
+// syscall moves every iovec of a chain in a single kernel crossing.
+// Partial transfers and EINTR retry by consuming the satisfied prefix
+// and reissuing; a short read (EOF before the extent is filled) is a
+// hard error, matching BlockFile.ReadAt's short-read contract. On
+// 64-bit the kernel takes the full offset in pos_l with pos_h zero.
+
+func sysReadV(f *os.File, off int64, bufs [][]byte) error {
+	return sysVec(f, off, bufs, false)
+}
+
+func sysWriteV(f *os.File, off int64, bufs [][]byte) error {
+	return sysVec(f, off, bufs, true)
+}
+
+func sysVec(f *os.File, off int64, bufs [][]byte, write bool) error {
+	bufs = append([][]byte(nil), bufs...) // consumed below; callers keep theirs
+	rem := 0
+	for _, b := range bufs {
+		rem += len(b)
+	}
+	trap, name := uintptr(syscall.SYS_PREADV), "preadv"
+	if write {
+		trap, name = uintptr(syscall.SYS_PWRITEV), "pwritev"
+	}
+	iovs := make([]syscall.Iovec, 0, len(bufs))
+	for rem > 0 {
+		iovs = iovs[:0]
+		for _, b := range bufs {
+			if len(b) == 0 {
+				continue
+			}
+			iov := syscall.Iovec{Base: &b[0]}
+			iov.SetLen(len(b))
+			iovs = append(iovs, iov)
+		}
+		n, _, errno := syscall.Syscall6(trap, f.Fd(),
+			uintptr(unsafe.Pointer(&iovs[0])), uintptr(len(iovs)),
+			uintptr(off), 0, 0)
+		runtime.KeepAlive(bufs)
+		if errno == syscall.EINTR {
+			continue
+		}
+		if errno != 0 {
+			return fmt.Errorf("extmem: %s %s: %w", name, f.Name(), errno)
+		}
+		if n == 0 {
+			return fmt.Errorf("extmem: %s %s at byte %d: %w", name, f.Name(), off, io.ErrUnexpectedEOF)
+		}
+		off += int64(n)
+		rem -= int(n)
+		for k := int(n); k > 0; {
+			take := min(k, len(bufs[0]))
+			bufs[0] = bufs[0][take:]
+			if len(bufs[0]) == 0 {
+				bufs = bufs[1:]
+			}
+			k -= take
+		}
+	}
+	return nil
+}

@@ -3,44 +3,60 @@ package serve
 // The HTTP job engine: admission, model selection, and streaming IO
 // for one sort job per request.
 //
-//	POST /sort        body: one decimal uint64 key per line (chunked ok)
+//	POST /sort        body: one decimal uint64 key per line (chunked ok),
+//	                  or a binary record frame when Content-Type is
+//	                  application/x-asymsort-records (internal/wire)
 //	                  query: model=auto|ext|native (default auto)
 //	                         mem=<records> (budget hint; default derived)
-//	  → 200, body: the sorted keys one per line
-//	    headers: X-Asymsortd-Job, X-Asymsortd-Model, X-Asymsortd-Mem
+//	  → 200, body: the sorted keys one per line, or a binary record
+//	    frame — the response dialect mirrors the request's unless the
+//	    Accept header names one explicitly
+//	    headers: X-Asymsortd-Job, X-Asymsortd-Model, X-Asymsortd-Mem,
+//	    X-Asymsortd-Wire, and for ext jobs X-Asymsortd-Writes /
+//	    X-Asymsortd-Plan-Writes (the measured and simulated ledgers)
 //	GET  /stats       → JSON: broker snapshot + per-job ledgers
 //	GET  /healthz     → 200 "ok"
 //
-// A job's life: the body is staged to a binary record file (payload =
-// line index, the repository-wide unique-pair convention), which fixes
-// n; the job then Acquires a lease (queueing under backpressure), and
-// the model is picked from n versus the granted budget — native
-// in-RAM when 2n records fit the grant (slice + sort scratch), the
-// extmem external engine otherwise, with Mem = the grant, the broker's
-// split pool, its shared IO queue, and the lease itself wired into
-// extmem.Config so the broker can rebalance or cancel the job while
-// it runs. Client disconnects cancel the lease; the engine aborts at
-// the next block boundary and removes its spill files, and the other
-// jobs' byte-identical outputs are unaffected (the fault-injection
-// tests pin this).
+// A job's life: the body is staged to a binary record file, which
+// fixes n. The text dialect parses decimal keys (payload = line index,
+// the repository-wide unique-pair convention); the binary dialect
+// spools the frame payload straight into the staged file — no parse,
+// no re-encode, the frame payload IS the staged on-disk format — and
+// the client owns the payload words plus the unique-pair obligation
+// that comes with them. The job then Acquires a lease (queueing under
+// backpressure), and the model is picked from n versus the granted
+// budget — native in-RAM when 2n records fit the grant (slice + sort
+// scratch), the extmem external engine otherwise, with Mem = the
+// grant, the broker's split pool, its shared IO queue, and the lease
+// itself wired into extmem.Config so the broker can rebalance or
+// cancel the job while it runs. Binary responses stream the sorted
+// record file's raw bytes into frame chunks — no AppendUint pass.
+// Client disconnects cancel the lease; the engine aborts at the next
+// block boundary and removes its spill files, and the other jobs'
+// byte-identical outputs are unaffected (the fault-injection tests pin
+// this).
 
 import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"asymsort/internal/extmem"
 	"asymsort/internal/rt"
 	"asymsort/internal/seq"
+	"asymsort/internal/wire"
 )
 
 // ServerConfig parameterizes the job engine.
@@ -225,11 +241,46 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 	}
 	defer os.RemoveAll(dir)
 
+	// Negotiate the wire dialects: a binary Content-Type selects binary
+	// ingest; the response mirrors the request unless Accept names a
+	// dialect explicitly.
+	reqBinary := false
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		if mt, _, err := mime.ParseMediaType(ct); err == nil && mt == wire.ContentType {
+			reqBinary = true
+		}
+	}
+	respBinary := reqBinary
+	if acc := r.Header.Get("Accept"); acc != "" {
+		switch {
+		case strings.Contains(acc, wire.ContentType):
+			respBinary = true
+		case strings.Contains(acc, "text/plain"):
+			respBinary = false
+		}
+	}
+
 	// Stage the request body, fixing n.
 	staged := filepath.Join(dir, "in.bin")
-	n, err := stageKeys(r.Body, staged)
+	var n int
+	if reqBinary {
+		n, err = stageRecords(r.Body, staged)
+	} else {
+		n, err = stageKeys(r.Body, staged)
+	}
 	if err != nil {
-		return fail(http.StatusBadRequest, "job %d: %v", j.ID, err)
+		if ctx.Err() != nil {
+			// The client hung up mid-upload; the body read error is
+			// just the disconnect surfacing.
+			s.setJob(j, func(j *JobStats) { j.State = "canceled" })
+			return fmt.Errorf("job %d: %w", j.ID, err)
+		}
+		code := http.StatusBadRequest
+		if !errors.Is(err, wire.ErrFormat) && reqBinary {
+			// Frame was well-formed; the failure is ours (device, disk).
+			code = http.StatusInternalServerError
+		}
+		return fail(code, "job %d: %v", j.ID, err)
 	}
 	s.setJob(j, func(j *JobStats) { j.N = n; j.State = "queued" })
 
@@ -279,6 +330,7 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 
 	sortStart := time.Now()
 	outBin := filepath.Join(dir, "out.bin")
+	var ledgerWrites, ledgerPlanWrites uint64
 	switch model {
 	case "native":
 		if 2*n > grant {
@@ -300,6 +352,7 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 			}
 			return fail(http.StatusInternalServerError, "job %d: %v", j.ID, err)
 		}
+		ledgerWrites, ledgerPlanWrites = rep.Total.Writes, rep.PlanWrites
 		s.setJob(j, func(j *JobStats) {
 			j.Reads = rep.Total.Reads
 			j.Writes = rep.Total.Writes
@@ -312,12 +365,31 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 	}
 	s.setJob(j, func(j *JobStats) { j.SortMS = time.Since(sortStart).Milliseconds() })
 
-	// Stream the sorted keys out.
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	// Stream the sorted records out. Every response header is set here,
+	// before the first body byte, in both wire modes — nothing below
+	// touches w.Header() once streaming may have flushed. The ext ledger
+	// headers let clients compare measured vs planned writes without a
+	// /stats round-trip.
+	if respBinary {
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.Header().Set("X-Asymsortd-Wire", "binary")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Asymsortd-Wire", "text")
+	}
 	w.Header().Set("X-Asymsortd-Job", strconv.Itoa(j.ID))
 	w.Header().Set("X-Asymsortd-Model", model)
 	w.Header().Set("X-Asymsortd-Mem", strconv.Itoa(grant))
-	if err := streamKeys(outBin, w); err != nil {
+	if model == "ext" {
+		w.Header().Set("X-Asymsortd-Writes", strconv.FormatUint(ledgerWrites, 10))
+		w.Header().Set("X-Asymsortd-Plan-Writes", strconv.FormatUint(ledgerPlanWrites, 10))
+	}
+	if respBinary {
+		err = streamRecords(outBin, n, w)
+	} else {
+		err = streamKeys(outBin, w)
+	}
+	if err != nil {
 		return fmt.Errorf("job %d: streaming output: %w", j.ID, err)
 	}
 	return nil
@@ -325,6 +397,11 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 
 // stageChunk is the record granularity of staging and output streams.
 const stageChunk = 1 << 14
+
+// maxLineBytes caps one text-dialect input line. A line is one decimal
+// uint64 (≤ 20 digits); the cap is generous for whitespace junk while
+// keeping a garbage body from ballooning the scanner's token buffer.
+const maxLineBytes = 1 << 20
 
 // stageKeys parses one decimal uint64 key per line into a binary
 // record file (payload = line index — the unique-pair convention every
@@ -336,7 +413,7 @@ func stageKeys(r io.Reader, dst string) (int, error) {
 	}
 	defer bf.Close()
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
 	batch := make([]seq.Record, 0, stageChunk)
 	off, line := 0, 0
 	flush := func() error {
@@ -365,12 +442,40 @@ func stageKeys(r io.Reader, dst string) (int, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return 0, fmt.Errorf("input line %d: line exceeds %d bytes", line+1, maxLineBytes)
+		}
 		return 0, err
 	}
 	if err := flush(); err != nil {
 		return 0, err
 	}
 	return off, bf.Close()
+}
+
+// stageRecords spools a binary wire frame's payload straight into the
+// staged record file and returns the record count. No parse, no
+// re-encode: the frame payload is already the staged file's on-disk
+// format, so staging a binary body is a single buffered copy.
+func stageRecords(r io.Reader, dst string) (int, error) {
+	fr, err := wire.NewReader(r)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	n, err := fr.Spool(bw)
+	if err != nil {
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	return int(n), f.Close()
 }
 
 // sortNative sorts the staged file in RAM on the leased pool. Resident
@@ -409,6 +514,43 @@ func streamKeys(binPath string, w io.Writer) error {
 				return err
 			}
 		}
+	}
+	return bw.Flush()
+}
+
+// streamRecords streams the sorted record file out as a chunked binary
+// frame with its count announced: raw file bytes feed the frame's
+// chunks directly — no decode, no AppendUint pass. The Writer's count
+// check at Close turns a short or long file into a hard error instead
+// of a silently wrong frame.
+func streamRecords(binPath string, n int, w io.Writer) error {
+	f, err := os.Open(binPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fw, err := wire.NewWriter(bw, int64(n))
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, stageChunk*extmem.RecordBytes)
+	for {
+		m, err := io.ReadFull(f, buf)
+		if m > 0 {
+			if werr := fw.WriteRaw(buf[:m]); werr != nil {
+				return werr
+			}
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if err := fw.Close(); err != nil {
+		return err
 	}
 	return bw.Flush()
 }

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,6 +16,9 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"asymsort/internal/seq"
+	"asymsort/internal/wire"
 )
 
 // testService spins up a full broker + job engine on an httptest
@@ -252,15 +257,18 @@ func TestServeKillMidMergeReclaimsLease(t *testing.T) {
 		victimErr <- err
 	}()
 
-	// Two bystanders join once the victim's job exists.
+	// Two bystanders join once the victim is running — not merely
+	// registered: the victim must hold the broker's lease 0 before any
+	// bystander acquires one, or the kill hook fires on a bystander's
+	// merge boundary and cancels the victim mid-staging instead.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		snap := s.stats(t)
-		if len(snap.Jobs) > 0 {
+		if len(snap.Jobs) > 0 && snap.Jobs[0].State == "running" {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatal("victim job never registered")
+			t.Fatal("victim job never started running")
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
@@ -387,5 +395,315 @@ func TestServeBadRequests(t *testing.T) {
 	}
 	if s.stats(t).Broker.FreeMem != 1<<13 {
 		t.Fatal("failed requests leaked lease memory")
+	}
+}
+
+// --- binary wire dialect ---
+
+// postRaw posts an arbitrary body with explicit Content-Type / Accept
+// headers and returns the response with its body read.
+func (s *testService) postRaw(t *testing.T, query, contentType, accept string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("POST", s.ts.URL+"/sort"+query, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// frameOfKeys renders keys as a chunked binary frame (payload = index,
+// the unique-pair convention binary clients uphold themselves).
+func frameOfKeys(t *testing.T, keys []uint64, chunkRecs int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fw, err := wire.NewWriter(&buf, int64(len(keys)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]seq.Record, len(keys))
+	for i, k := range keys {
+		recs[i] = seq.Record{Key: k, Val: uint64(i)}
+	}
+	for len(recs) > 0 {
+		n := min(chunkRecs, len(recs))
+		if err := fw.WriteRecords(recs[:n]); err != nil {
+			t.Fatal(err)
+		}
+		recs = recs[n:]
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// decodeFrame decodes a full response frame.
+func decodeFrame(t *testing.T, raw []byte) []seq.Record {
+	t.Helper()
+	fr, err := wire.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []seq.Record
+	buf := make([]seq.Record, 1024)
+	for {
+		n, err := fr.ReadRecords(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// sortedRecsOfKeys is the engine-order expectation: records sorted by
+// (Key, Val) — what any engine model returns for the key multiset.
+func sortedRecsOfKeys(keys []uint64) []seq.Record {
+	recs := make([]seq.Record, len(keys))
+	for i, k := range keys {
+		recs[i] = seq.Record{Key: k, Val: uint64(i)}
+	}
+	slices.SortFunc(recs, func(a, b seq.Record) int {
+		if seq.TotalLess(a, b) {
+			return -1
+		}
+		if seq.TotalLess(b, a) {
+			return 1
+		}
+		return 0
+	})
+	return recs
+}
+
+// TestServeBinaryWire: a binary-framed job round-trips through both
+// models with the sorted records back in a binary frame, the wire mode
+// announced, and — for ext — the ledger headers carrying the measured
+// and simulated write counts.
+func TestServeBinaryWire(t *testing.T) {
+	s := newTestService(t, 1<<14, 2, 64)
+	for _, tc := range []struct {
+		name, query, model string
+		n                  int
+	}{
+		{"native", "", "native", 3000},
+		{"ext", "?model=ext", "ext", 30000},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			keys := genKeys(tc.n, int64(tc.n))
+			resp, body := s.postRaw(t, tc.query, wire.ContentType, "", frameOfKeys(t, keys, 777))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %.300s", resp.StatusCode, body)
+			}
+			if got := resp.Header.Get("Content-Type"); got != wire.ContentType {
+				t.Fatalf("response Content-Type %q", got)
+			}
+			if got := resp.Header.Get("X-Asymsortd-Wire"); got != "binary" {
+				t.Fatalf("X-Asymsortd-Wire %q, want binary", got)
+			}
+			if got := resp.Header.Get("X-Asymsortd-Model"); got != tc.model {
+				t.Fatalf("model %q, want %s", got, tc.model)
+			}
+			got := decodeFrame(t, body)
+			want := sortedRecsOfKeys(keys)
+			if len(got) != len(want) {
+				t.Fatalf("%d records back, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("record %d: got %v want %v", i, got[i], want[i])
+				}
+			}
+			if tc.model == "ext" {
+				w, pw := resp.Header.Get("X-Asymsortd-Writes"), resp.Header.Get("X-Asymsortd-Plan-Writes")
+				if w == "" || w == "0" || w != pw {
+					t.Fatalf("ledger headers writes=%q plan=%q, want equal and nonzero", w, pw)
+				}
+			}
+		})
+	}
+}
+
+// TestServeWireNegotiation: the response dialect mirrors the request
+// unless Accept names one — every cross pairing must hold, and the
+// sorted multiset must be identical in all four.
+func TestServeWireNegotiation(t *testing.T) {
+	s := newTestService(t, 1<<16, 2, 64)
+	keys := genKeys(2000, 77)
+	wantText := sortedText(keys)
+	wantRecs := sortedRecsOfKeys(keys)
+
+	check := func(name string, resp *http.Response, body []byte, binary bool) {
+		t.Helper()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %.300s", name, resp.StatusCode, body)
+		}
+		if binary {
+			if resp.Header.Get("X-Asymsortd-Wire") != "binary" {
+				t.Fatalf("%s: wire %q, want binary", name, resp.Header.Get("X-Asymsortd-Wire"))
+			}
+			got := decodeFrame(t, body)
+			for i := range wantRecs {
+				if got[i].Key != wantRecs[i].Key {
+					t.Fatalf("%s: key %d differs", name, i)
+				}
+			}
+		} else {
+			if resp.Header.Get("X-Asymsortd-Wire") != "text" {
+				t.Fatalf("%s: wire %q, want text", name, resp.Header.Get("X-Asymsortd-Wire"))
+			}
+			if string(body) != wantText {
+				t.Fatalf("%s: text body differs", name)
+			}
+		}
+	}
+
+	resp, body := s.postRaw(t, "", "text/plain", "", []byte(keysText(keys)))
+	check("text→text", resp, body, false)
+	resp, body = s.postRaw(t, "", "text/plain", wire.ContentType, []byte(keysText(keys)))
+	check("text→binary", resp, body, true)
+	frame := frameOfKeys(t, keys, 500)
+	resp, body = s.postRaw(t, "", wire.ContentType, "", frame)
+	check("binary→binary", resp, body, true)
+	resp, body = s.postRaw(t, "", wire.ContentType, "text/plain", frame)
+	check("binary→text", resp, body, false)
+}
+
+// TestServeBinaryFrameEdgeCases drives the frame decoder through the
+// live handler: well-formed edge shapes must 200 with the right count;
+// malformed frames must 400 fast — never hang, never 200.
+func TestServeBinaryFrameEdgeCases(t *testing.T) {
+	s := newTestService(t, 1<<16, 1, 64)
+	good := frameOfKeys(t, genKeys(1000, 5), 250)
+
+	okCases := []struct {
+		name string
+		body []byte
+		n    int
+	}{
+		{"empty body n=0", frameOfKeys(t, nil, 8), 0},
+		{"single record", frameOfKeys(t, genKeys(1, 6), 8), 1},
+		{"chunk-boundary exact", frameOfKeys(t, genKeys(1024, 7), 256), 1024},
+	}
+	for _, tc := range okCases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := s.postRaw(t, "", wire.ContentType, "", tc.body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %.300s", resp.StatusCode, body)
+			}
+			if got := decodeFrame(t, body); len(got) != tc.n {
+				t.Fatalf("%d records back, want %d", len(got), tc.n)
+			}
+		})
+	}
+
+	badCases := []struct {
+		name string
+		body []byte
+	}{
+		{"truncated header", good[:wire.HeaderBytes-4]},
+		{"truncated mid-chunk", good[:wire.HeaderBytes+4+13]},
+		{"missing terminator", good[:len(good)-4]},
+		{"version mismatch", func() []byte {
+			raw := bytes.Clone(good)
+			binary.LittleEndian.PutUint16(raw[4:6], wire.Version+1)
+			return raw
+		}()},
+		{"bad magic", func() []byte {
+			raw := bytes.Clone(good)
+			raw[0] = 'Z'
+			return raw
+		}()},
+		{"count mismatch", func() []byte {
+			raw := bytes.Clone(good)
+			binary.LittleEndian.PutUint64(raw[8:16], 999)
+			return raw
+		}()},
+	}
+	for _, tc := range badCases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := s.postRaw(t, "", wire.ContentType, "", tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d (%.300s), want 400", resp.StatusCode, body)
+			}
+		})
+	}
+	// Lease release races the 400 reaching the client; poll briefly.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.stats(t).Broker.FreeMem != 1<<16 {
+		if time.Now().After(deadline) {
+			t.Fatal("malformed frames leaked lease memory")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeHeadersSurviveLargeResponse is the header-ordering
+// regression: every X-Asymsortd-* header must be present on responses
+// well past any writer flush boundary (>1MB), in both wire modes.
+func TestServeHeadersSurviveLargeResponse(t *testing.T) {
+	s := newTestService(t, 1<<19, 2, 64)
+	keys := genKeys(100000, 11) // ~2MB text, ~1.6MB binary
+
+	resp, body := s.postRaw(t, "", "text/plain", "", []byte(keysText(keys)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("text: status %d", resp.StatusCode)
+	}
+	if len(body) <= 1<<20 {
+		t.Fatalf("text response only %d bytes; the regression needs >1MB", len(body))
+	}
+	for _, h := range []string{"X-Asymsortd-Job", "X-Asymsortd-Model", "X-Asymsortd-Mem", "X-Asymsortd-Wire"} {
+		if resp.Header.Get(h) == "" {
+			t.Errorf("text: header %s missing on a >1MB response", h)
+		}
+	}
+	if string(body) != sortedText(keys) {
+		t.Fatal("text: large response body diverges")
+	}
+
+	resp, body = s.postRaw(t, "", wire.ContentType, "", frameOfKeys(t, keys, 4096))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary: status %d", resp.StatusCode)
+	}
+	if len(body) <= 1<<20 {
+		t.Fatalf("binary response only %d bytes; the regression needs >1MB", len(body))
+	}
+	for _, h := range []string{"X-Asymsortd-Job", "X-Asymsortd-Model", "X-Asymsortd-Mem", "X-Asymsortd-Wire"} {
+		if resp.Header.Get(h) == "" {
+			t.Errorf("binary: header %s missing on a >1MB response", h)
+		}
+	}
+	if got := decodeFrame(t, body); len(got) != len(keys) {
+		t.Fatalf("binary: %d records back, want %d", len(got), len(keys))
+	}
+}
+
+// TestServeTooLongLine: a text line past the scanner cap must surface
+// as a line-numbered 400, not an opaque token-too-long error.
+func TestServeTooLongLine(t *testing.T) {
+	s := newTestService(t, 1<<13, 1, 64)
+	body := "17\n42\n" + strings.Repeat("9", maxLineBytes+16) + "\n"
+	code, msg, _ := s.postSort(t, context.Background(), "", body)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", code)
+	}
+	if !strings.Contains(msg, "line 3") {
+		t.Fatalf("error %q does not name the offending line", msg)
 	}
 }
