@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		expID    = flag.String("exp", "all", "experiment ID (E1..E14), 'native', 'ext', or 'all'")
+		expID    = flag.String("exp", "all", "experiment ID (E1..E14), 'native', 'ext', 'kernels', or 'all'")
 		quick    = flag.Bool("quick", false, "use reduced problem sizes")
 		format   = flag.String("format", "text", "output format: text or csv")
 		seed     = flag.Uint64("seed", 1, "base random seed")
@@ -41,6 +41,7 @@ func main() {
 		}
 		fmt.Printf("%-4s %s\n", "native", "Hardware backend wall-clock (rt native, not golden-stable)")
 		fmt.Printf("%-4s %s\n", "ext", "External-memory engine measured IO + wall-clock (extmem, not golden-stable)")
+		fmt.Printf("%-4s %s\n", "kernels", "Kernel registry metered writes vs classic baselines (not golden-stable)")
 		return
 	}
 	cfg := exp.Config{Quick: *quick, Seed: *seed, CSV: *format == "csv"}
@@ -56,6 +57,8 @@ func main() {
 		exp.NativeBench(os.Stdout, cfg, *procs)
 	case strings.EqualFold(*expID, "ext"):
 		exp.ExtBench(os.Stdout, cfg, *procs)
+	case strings.EqualFold(*expID, "kernels"):
+		exp.KernelsBench(os.Stdout, cfg, *procs)
 	case strings.EqualFold(*expID, "all"):
 		for _, e := range exp.All() {
 			e.Run(os.Stdout, cfg)

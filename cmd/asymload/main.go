@@ -16,12 +16,20 @@
 // are directly diffable — and a per-wire-mode p50/p99 latency table is
 // printed (and recorded under -json) whenever jobs ran.
 //
+// -kernels widens the mix beyond sort: jobs draw their kernel from the
+// listed pool (any internal/kernel registry name) and post to the
+// generic /v1/{kernel} endpoint. Non-sort jobs are verified
+// differentially — the client recomputes the kernel's in-memory
+// reference from the job's seed and compares the response record for
+// record — and their ext ledgers join the same /stats identity check.
+//
 // Usage:
 //
 //	asymload -addr http://127.0.0.1:8077 -jobs 8 -concurrency 8 -seed 1
 //	asymload -jobs 8 -concurrency 1           # the serialized baseline
 //	asymload -jobs 8 -model ext -save outdir  # dump job inputs/outputs
 //	asymload -jobs 8 -wire binary             # record frames both ways
+//	asymload -jobs 12 -kernels sort,semisort,histogram,top-k,merge-join
 //
 // The same seed with -concurrency 1 runs the identical job mix one at
 // a time — the serialized baseline a shared-envelope speedup is
@@ -58,7 +66,8 @@ type jobSpec struct {
 	n      int
 	shape  int
 	seed   uint64
-	binary bool // speak the wire record-frame dialect both ways
+	binary bool   // speak the wire record-frame dialect both ways
+	kernel string // registry kernel this job runs ("sort" = the classic path)
 }
 
 func (sp jobSpec) wireName() string {
@@ -93,16 +102,17 @@ func main() {
 		save    = flag.String("save", "", "directory to dump each job's input/output text (for solo-run diffing)")
 		jsonOut = flag.String("json", "", "record the tables as JSON rows (exp.Recorder format)")
 		wireFmt = flag.String("wire", "text", "job dialect: text | binary (record frames) | mixed (alternate by job id)")
+		kernels = flag.String("kernels", "sort", "comma-separated kernel pool the mix draws from (see internal/kernel)")
 	)
 	flag.Parse()
-	if err := run(*addr, *jobs, *conc, *seed, *minN, *maxN, *shapes, *spacing, *model, *jobMem, *save, *jsonOut, *wireFmt); err != nil {
+	if err := run(*addr, *jobs, *conc, *seed, *minN, *maxN, *shapes, *spacing, *model, *jobMem, *save, *jsonOut, *wireFmt, *kernels); err != nil {
 		fmt.Fprintf(os.Stderr, "asymload: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, jobs, conc int, seed uint64, minN, maxN int, shapeList string,
-	spacing time.Duration, model string, jobMem int, save, jsonOut, wireMode string) error {
+	spacing time.Duration, model string, jobMem int, save, jsonOut, wireMode, kernelList string) error {
 	if jobs < 1 || minN < 1 || maxN < minN {
 		return fmt.Errorf("need -jobs >= 1 and 1 <= -minn <= -maxn")
 	}
@@ -117,6 +127,13 @@ func run(addr string, jobs, conc int, seed uint64, minN, maxN int, shapeList str
 		conc = jobs
 	}
 	pool, err := shapePool(shapeList)
+	if err != nil {
+		return err
+	}
+	if kernelList == "" {
+		kernelList = "sort"
+	}
+	kpool, err := kernelPool(kernelList)
 	if err != nil {
 		return err
 	}
@@ -137,11 +154,12 @@ func run(addr string, jobs, conc int, seed uint64, minN, maxN int, shapeList str
 			shape:  pool[rng.Next()%uint64(len(pool))],
 			seed:   rng.Next(),
 			binary: wireMode == "binary" || (wireMode == "mixed" && i%2 == 1),
+			kernel: kpool[rng.Next()%uint64(len(kpool))],
 		}
 	}
 
-	fmt.Printf("asymload: %d jobs (%d..%d records) against %s, concurrency %d, spacing %v, seed %d, wire %s\n",
-		jobs, minN, maxN, addr, conc, spacing, seed, wireMode)
+	fmt.Printf("asymload: %d jobs (%d..%d records) against %s, concurrency %d, spacing %v, seed %d, wire %s, kernels %s\n",
+		jobs, minN, maxN, addr, conc, spacing, seed, wireMode, strings.Join(kpool, ","))
 
 	results := make([]jobResult, jobs)
 	var wg sync.WaitGroup
@@ -156,7 +174,11 @@ func run(addr string, jobs, conc int, seed uint64, minN, maxN int, shapeList str
 		go func(sp jobSpec) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[sp.id] = runJob(addr, model, jobMem, save, sp)
+			if sp.kernel == "sort" {
+				results[sp.id] = runJob(addr, model, jobMem, save, sp)
+			} else {
+				results[sp.id] = runKernelJob(addr, model, jobMem, save, sp)
+			}
 		}(specs[i])
 	}
 	wg.Wait()
@@ -197,7 +219,11 @@ func run(addr string, jobs, conc int, seed uint64, minN, maxN int, shapeList str
 	if failures > 0 {
 		return fmt.Errorf("%d job(s) failed verification", failures)
 	}
-	fmt.Println("all jobs verified: sorted, complete, checksums match")
+	if len(kpool) == 1 && kpool[0] == "sort" {
+		fmt.Println("all jobs verified: sorted, complete, checksums match")
+	} else {
+		fmt.Println("all jobs verified: sort streams checksum-complete, kernel responses match their references")
+	}
 	return nil
 }
 
@@ -468,7 +494,7 @@ func runJob(addr, model string, jobMem int, save string, sp jobSpec) jobResult {
 // renderJobTable prints the per-job table and returns the failure
 // count.
 func renderJobTable(w io.Writer, rec *exp.Recorder, results []jobResult) int {
-	header := []string{"job", "shape", "n", "wire", "model", "memRecs", "wall ms", "ttfb ms", "Mrec/s", "status"}
+	header := []string{"job", "kernel", "shape", "n", "wire", "model", "memRecs", "wall ms", "ttfb ms", "Mrec/s", "status"}
 	var rows [][]string
 	failures := 0
 	for _, r := range results {
@@ -482,7 +508,7 @@ func renderJobTable(w io.Writer, rec *exp.Recorder, results []jobResult) int {
 			rate = fmt.Sprintf("%.3f", float64(r.spec.n)/r.wall.Seconds()/1e6)
 		}
 		rows = append(rows, []string{
-			strconv.Itoa(r.spec.id), shapeNames[r.spec.shape], strconv.Itoa(r.spec.n),
+			strconv.Itoa(r.spec.id), r.spec.kernel, shapeNames[r.spec.shape], strconv.Itoa(r.spec.n),
 			r.spec.wireName(), r.model, strconv.Itoa(r.memRecs),
 			strconv.FormatInt(r.wall.Milliseconds(), 10),
 			strconv.FormatInt(r.ttfb.Milliseconds(), 10),
@@ -599,8 +625,14 @@ func writeTable(w io.Writer, header []string, rows [][]string) {
 
 // statsPayload mirrors the /stats JSON shape (see internal/serve).
 type statsPayload struct {
+	Kernels map[string]struct {
+		Done       int    `json:"done"`
+		Writes     uint64 `json:"writes"`
+		PlanWrites uint64 `json:"plan_writes"`
+	} `json:"kernels"`
 	Jobs []struct {
 		ID         int    `json:"id"`
+		Kernel     string `json:"kernel"`
 		State      string `json:"state"`
 		Model      string `json:"model"`
 		Writes     uint64 `json:"writes"`
@@ -609,7 +641,8 @@ type statsPayload struct {
 }
 
 // checkLedgers fetches /stats and compares every completed ext job's
-// measured write ledger to its simulated plan.
+// measured write ledger to its simulated plan — then re-checks the
+// identity on the per-kernel aggregates, which survive job eviction.
 func checkLedgers(addr string) (extJobs, mismatches int, err error) {
 	resp, err := http.Get(addr + "/stats")
 	if err != nil {
@@ -627,7 +660,15 @@ func checkLedgers(addr string) (extJobs, mismatches int, err error) {
 		extJobs++
 		if j.Writes != j.PlanWrites {
 			mismatches++
-			fmt.Printf("  job %d: measured %d block writes, simulated plan %d\n", j.ID, j.Writes, j.PlanWrites)
+			fmt.Printf("  job %d (%s): measured %d block writes, simulated plan %d\n",
+				j.ID, j.Kernel, j.Writes, j.PlanWrites)
+		}
+	}
+	for name, agg := range snap.Kernels {
+		if agg.Writes != agg.PlanWrites {
+			mismatches++
+			fmt.Printf("  kernel %s aggregate: measured %d block writes, simulated plan %d\n",
+				name, agg.Writes, agg.PlanWrites)
 		}
 	}
 	return extJobs, mismatches, nil

@@ -49,7 +49,7 @@ func TestWireDifferential(t *testing.T) {
 		ts := newTestService(t)
 		save := filepath.Join(t.TempDir(), mode)
 		if err := run(ts.URL, jobs, 1, seed, 2000, 12000, "uniform,dups,sorted,reversed", 0,
-			"ext", 0, save, "", mode); err != nil {
+			"ext", 0, save, "", mode, "sort"); err != nil {
 			t.Fatalf("%s run: %v", mode, err)
 		}
 		saves[mode] = save
@@ -131,7 +131,63 @@ func TestWireModeAssignment(t *testing.T) {
 			t.Fatalf("mode %s job %d: binary=%v, want %v", tc.mode, tc.id, got, tc.want)
 		}
 	}
-	if err := run("http://127.0.0.1:1", 1, 1, 1, 1, 1, "uniform", 0, "auto", 0, "", "", "bogus"); err == nil {
+	if err := run("http://127.0.0.1:1", 1, 1, 1, 1, 1, "uniform", 0, "auto", 0, "", "", "bogus", "sort"); err == nil {
 		t.Fatal("bad -wire value was accepted")
+	}
+	if err := run("http://127.0.0.1:1", 1, 1, 1, 1, 1, "uniform", 0, "auto", 0, "", "", "text", "sort,bogus"); err == nil {
+		t.Fatal("bad -kernels value was accepted")
+	}
+}
+
+// TestKernelMixDifferential drives a mixed-kernel workload — every
+// registry kernel in the pool — over both wire dialects against a
+// fresh service each time. run itself performs the per-kernel
+// differential verification (each non-sort response is compared record
+// for record against the kernel's in-memory reference recomputed
+// client-side) and cross-checks the /stats ledger identity, so the
+// assertion here is that the whole mix passes, that every kernel in
+// the pool actually ran, and that the per-kernel aggregates carry the
+// write identity.
+func TestKernelMixDifferential(t *testing.T) {
+	const seed, jobs = 11, 10
+	pool := "sort,semisort,histogram,top-k,merge-join"
+	for _, mode := range []string{"text", "binary"} {
+		ts := newTestService(t)
+		if err := run(ts.URL, jobs, 2, seed, 2000, 12000, "uniform,dups,sorted,reversed", 0,
+			"ext", 0, "", "", mode, pool); err != nil {
+			t.Fatalf("%s kernel mix: %v", mode, err)
+		}
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap statsPayload
+		err = decodeJSON(resp.Body, &snap)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snap.Jobs) != jobs {
+			t.Fatalf("%s: stats cover %d jobs, want %d", mode, len(snap.Jobs), jobs)
+		}
+		ranKernels := map[string]bool{}
+		for _, j := range snap.Jobs {
+			if j.State != "done" {
+				t.Fatalf("%s: job %d (%s) ended %q", mode, j.ID, j.Kernel, j.State)
+			}
+			ranKernels[j.Kernel] = true
+			if j.Writes == 0 || j.Writes != j.PlanWrites {
+				t.Fatalf("%s: job %d (%s): writes=%d plan=%d", mode, j.ID, j.Kernel, j.Writes, j.PlanWrites)
+			}
+		}
+		if len(ranKernels) < 3 {
+			t.Fatalf("%s: the seeded mix exercised only %d distinct kernels: %v", mode, len(ranKernels), ranKernels)
+		}
+		for name, agg := range snap.Kernels {
+			if agg.Done == 0 || agg.Writes != agg.PlanWrites {
+				t.Fatalf("%s: kernel %s aggregate done=%d writes=%d plan=%d",
+					mode, name, agg.Done, agg.Writes, agg.PlanWrites)
+			}
+		}
 	}
 }

@@ -87,8 +87,30 @@ func main() {
 		fanin   = flag.Int("fanin", 0, "ext: merge fan-in override (0 = kM/B from the Appendix A rule)")
 		tmpdir  = flag.String("tmpdir", "", "ext: spill directory (default: a fresh dir under os.TempDir)")
 		wireFmt = flag.String("wire", "text", "ext: -in/-out dialect: text (one key per line) | binary (record frames; a contiguous frame file is handed to the engine with no staging copy)")
+		kname   = flag.String("kernel", "sort", "kernel to run: sort | semisort | histogram | top-k | merge-join (non-sort kernels take -model co | pram | native | ext)")
+		buckets = flag.Int("buckets", 0, "histogram kernel: bucket count")
+		topk    = flag.Int("topk", 0, "top-k kernel: selection size")
+		left    = flag.Int("left", 0, "merge-join kernel: size of the left relation (the first records of the input)")
 	)
 	flag.Parse()
+
+	if *kname != "sort" {
+		// -k keeps the sims' default of 4; under ext it means "choose
+		// from ω" unless set explicitly (same rule as the sort path).
+		extK := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "k" {
+				extK = *k
+			}
+		})
+		runKernel(kernelFlags{
+			name: *kname, buckets: *buckets, topk: *topk, left: *left,
+			model: *model, n: *n, m: *m, b: *b, omega: *omega, seed: *seed,
+			procs: *procs, inPath: *inPath, outPath: *outPath,
+			mem: *mem, k: extK, tmpdir: *tmpdir,
+		})
+		return
+	}
 
 	if *model != "ext" {
 		flag.Visit(func(f *flag.Flag) {

@@ -1,8 +1,8 @@
-// Command asymsortd is the long-running sort service: it admits many
-// concurrent sort jobs over HTTP and makes them share one machine-wide
-// resource envelope — the paper's (M, B, ω) — through the budget
-// broker of internal/serve, instead of each job assuming it owns the
-// box.
+// Command asymsortd is the long-running kernel service: it admits many
+// concurrent kernel jobs (sort, semisort, histogram, top-k,
+// merge-join) over HTTP and makes them share one machine-wide resource
+// envelope — the paper's (M, B, ω) — through the budget broker of
+// internal/serve, instead of each job assuming it owns the box.
 //
 // Usage:
 //
@@ -11,11 +11,16 @@
 //
 // API (see internal/serve for the full contract):
 //
-//	POST /sort?model=auto|ext|native&mem=<records>
-//	     body: one decimal uint64 key per line → sorted keys, streamed
-//	GET  /stats    broker + per-job JSON (grants, queue, IO ledgers,
-//	               simulated-plan write counts, wall times)
-//	GET  /healthz  liveness
+//	POST /v1/{kernel}?model=auto|ext|native&mem=<records>
+//	     kernel params: buckets= (histogram), k= (top-k),
+//	     left= (merge-join); body: one decimal uint64 key per line →
+//	     result "key value" lines, streamed (binary record frames on
+//	     both legs via Content-Type/Accept)
+//	POST /sort     the sort kernel under its historical route,
+//	               byte-identical responses
+//	GET  /stats    broker + per-job + per-kernel JSON (grants, queue,
+//	               IO ledgers, simulated-plan write counts, wall times)
+//	GET  /healthz  liveness JSON: status ok|draining, uptime, leases
 //
 // -mem is the global budget shared by every job (a byte size; divided
 // by the 16-byte record footprint). Jobs queue FIFO under
@@ -33,10 +38,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"asymsort/internal/extmem"
+	"asymsort/internal/kernel"
 	"asymsort/internal/serve"
 )
 
@@ -87,7 +94,8 @@ func run(addr, memFlag string, block int, omega float64, k, procs int, tmpdir st
 	fmt.Printf("asymsortd: listening on %s\n", ln.Addr())
 	fmt.Printf("  envelope : M=%d records (%s), B=%d records, ω=%g, procs=%d, min lease %d records\n",
 		stats.TotalMem, memFlag, block, omega, stats.Procs, stats.MinLease)
-	fmt.Printf("  endpoints: POST /sort · GET /stats · GET /healthz\n")
+	fmt.Printf("  kernels  : %s\n", strings.Join(kernel.Names(), " · "))
+	fmt.Printf("  endpoints: POST /v1/{kernel} · POST /sort · GET /stats · GET /healthz\n")
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -103,6 +111,7 @@ func run(addr, memFlag string, block int, omega float64, k, procs int, tmpdir st
 		// never be closed under a still-running engine. On timeout the
 		// process exits with the queue open; the OS reclaims it.
 		fmt.Printf("asymsortd: %v — draining jobs and shutting down\n", s)
+		srv.SetDraining() // /healthz reports draining while jobs finish
 		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(sctx); err != nil {

@@ -109,24 +109,26 @@ func diffMarkdown(oldRecs, newRecs []exp.ExpRecord) string {
 	return b.String()
 }
 
-// matchTable finds the ti-th table of the experiment with the given ID,
-// provided its column set still matches cols — a reordered or reshaped
-// table must read as "no baseline", not diff against the wrong data.
+// matchTable finds the ti-th table of the experiment with the given ID.
+// The baseline's column set need not match cols exactly — a sweep that
+// grew or dropped columns between runs still joins, and deltas appear
+// on the columns the two recordings share (a baseline row simply has no
+// value under a column it never recorded, so those cells render plain).
+// The one hard requirement is the key column: rows join on cols[0], so
+// a baseline table that doesn't carry it reads as "no baseline" rather
+// than diffing against the wrong series.
 func matchTable(recs []exp.ExpRecord, id string, ti int, cols []string) *exp.TableRecord {
 	for i := range recs {
 		if recs[i].Experiment != id || ti >= len(recs[i].Tables) {
 			continue
 		}
 		tb := &recs[i].Tables[ti]
-		if len(tb.Columns) != len(cols) {
-			return nil
-		}
-		for ci, col := range cols {
-			if tb.Columns[ci] != col {
-				return nil
+		for _, col := range tb.Columns {
+			if col == cols[0] {
+				return tb
 			}
 		}
-		return tb
+		return nil
 	}
 	return nil
 }

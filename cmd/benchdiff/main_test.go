@@ -83,17 +83,60 @@ BenchmarkSpanCopy          3   300 ns/op
 	}
 }
 
-func TestDiffMarkdownReshapedTableIsNotJoined(t *testing.T) {
-	// A baseline table with different columns (a reordered or reshaped
-	// sweep) must read as "no baseline" rather than produce deltas
-	// against the wrong series.
+func TestDiffMarkdownReshapedTableJoinsSharedColumns(t *testing.T) {
+	// A baseline table whose column set differs (a sweep that grew or
+	// dropped columns between runs) still joins on the key column, and
+	// deltas appear exactly on the columns both recordings share.
 	oldRecs := []exp.ExpRecord{rec("ext", []string{"k", "reads", "wall"},
 		map[string]any{"k": float64(1), "reads": float64(9), "wall": float64(100)})}
+	newRecs := []exp.ExpRecord{rec("ext", []string{"k", "wall", "writes"},
+		map[string]any{"k": float64(1), "wall": float64(80), "writes": float64(7)})}
+	got := diffMarkdown(oldRecs, newRecs)
+	if !strings.Contains(got, "| 1 | 80 (-20.0%) | 7 |") {
+		t.Errorf("shared column lost its delta (or a baseline-free column gained one):\n%s", got)
+	}
+}
+
+func TestDiffMarkdownMissingKeyColumnIsNotJoined(t *testing.T) {
+	// A baseline table without the new table's key column cannot join
+	// rows at all: it must read as "no baseline", never diff against
+	// the wrong series.
+	oldRecs := []exp.ExpRecord{rec("ext", []string{"fanin", "wall"},
+		map[string]any{"fanin": float64(1), "wall": float64(100)})}
 	newRecs := []exp.ExpRecord{rec("ext", []string{"k", "wall"},
 		map[string]any{"k": float64(1), "wall": float64(80)})}
 	got := diffMarkdown(oldRecs, newRecs)
 	if !strings.Contains(got, "| 1 | 80 |") || strings.Contains(got, "%") {
-		t.Errorf("reshaped table must render without deltas:\n%s", got)
+		t.Errorf("keyless baseline must render without deltas:\n%s", got)
+	}
+}
+
+func TestDiffMarkdownKernelsTableAcrossColumnGrowth(t *testing.T) {
+	// The kernels sweep fixture: a baseline recorded before the table
+	// grew its cost ratio column joins the current shape on the kernel
+	// key — numeric deltas on the shared measurement columns, plain
+	// rendering for the new column and the string-valued param column,
+	// and a kernel absent from the baseline renders plain.
+	oldRecs := []exp.ExpRecord{rec("kernels",
+		[]string{"kernel", "param", "kern writes", "base writes"},
+		map[string]any{"kernel": "semisort", "param": "-", "kern writes": float64(1000), "base writes": float64(8000)},
+		map[string]any{"kernel": "top-k", "param": "k=32", "kern writes": float64(4), "base writes": float64(9000)},
+	)}
+	newRecs := []exp.ExpRecord{rec("kernels",
+		[]string{"kernel", "param", "kern writes", "base writes", "cost base/kern"},
+		map[string]any{"kernel": "semisort", "param": "-", "kern writes": float64(900), "base writes": float64(8000), "cost base/kern": float64(3.5)},
+		map[string]any{"kernel": "top-k", "param": "k=64", "kern writes": float64(8), "base writes": float64(9000), "cost base/kern": float64(41.2)},
+		map[string]any{"kernel": "merge-join", "param": "left=512", "kern writes": float64(70), "base writes": float64(160), "cost base/kern": float64(2.3)},
+	)}
+	got := diffMarkdown(oldRecs, newRecs)
+	for _, want := range []string{
+		"| semisort | - | 900 (-10.0%) | 8000 | 3.500 |",
+		"| top-k | k=64 | 8 (+100.0%) | 9000 | 41.200 |",
+		"| merge-join | left=512 | 70 | 160 | 2.300 |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("kernels fixture missing %q:\n%s", want, got)
+		}
 	}
 }
 

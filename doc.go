@@ -23,7 +23,8 @@
 //   - internal/aem — Asymmetric External Memory (block transfers, strict M)
 //   - internal/extmem — the Section 4 external sort on real files: a
 //     disk-backed engine (instrumented block IO, loser-tree k-way merge
-//     at fan-in kM/B) that sorts files larger than RAM and whose
+//     at fan-in kM/B, a streaming post-pass hook the kernel
+//     compositions ride) that sorts files larger than RAM and whose
 //     measured block-write ledger matches the simulated AEM machine's
 //     level-for-level (cmd/asymsort -model ext). With -procs P > 1 it
 //     runs the paper's P-processor machine: run formation pipelines
@@ -38,20 +39,36 @@
 //     §4 AEM mergesort/sample sort/buffer-tree heapsort, §5 cache-oblivious
 //     sort, FFT, and matrix multiplication (§3's pramsort and §5.1's
 //     cosort are rt-ported and run on both backends)
-//   - internal/serve — the sort service: a budget Broker that owns one
+//   - internal/kernel — the kernel registry: sort, semisort
+//     (reduce-by-key), histogram, top-k, and merge-join, each defined
+//     once with an rt implementation (so it runs metered or native), an
+//     external-memory composition built from extmem's phases (run
+//     formation, planned k-way merge, streaming post-pass) whose
+//     measured block-write ledger must equal its own plan, and an
+//     in-memory reference every backend is differentially verified
+//     against. cmd/asymsort -kernel runs any of them on any backend;
+//     asymbench -exp kernels measures each against its executed classic
+//     sort-based baseline; examples/kernels walks semisort and top-k
+//     through the sim and ext backends
+//   - internal/serve — the kernel service: a budget Broker that owns one
 //     machine-wide (M, P) envelope — the global memory budget in
 //     records, the shared rt.Pool worker tokens, the extmem async-IO
 //     queue — and leases per-job (Mᵢ, Pᵢ) slices with FIFO admission,
 //     backpressure, grow/shrink rebalancing at merge-level boundaries
 //     (extmem.Config.Lease), and cancellation that reclaims spill
-//     files and grants; plus the HTTP job engine (POST /sort streams
-//     newline-delimited keys or internal/wire binary record frames
-//     both ways, GET /stats serves per-job measured-vs-simulated
-//     write ledgers). cmd/asymsortd is the daemon; cmd/asymload the
-//     deterministic seeded load generator that drives it in either
-//     dialect (-wire text|binary|mixed), verifies every response on
-//     the wire, and prints recordable throughput/latency tables with
-//     per-wire-mode p50/p99 quantiles
+//     files and grants; plus the generic HTTP job engine (POST
+//     /v1/{kernel} runs any registry kernel with params in the query
+//     or headers, POST /sort is the byte-identical alias of /v1/sort,
+//     both streaming newline-delimited text or internal/wire binary
+//     record frames both ways; GET /stats serves per-job and
+//     per-kernel measured-vs-plan write ledgers, GET /healthz the
+//     drain/lease state). cmd/asymsortd is the daemon; cmd/asymload
+//     the deterministic seeded load generator that drives it in either
+//     dialect (-wire text|binary|mixed) and over any kernel pool
+//     (-kernels, with non-sort responses verified against client-side
+//     references), verifies every response on the wire, and prints
+//     recordable throughput/latency tables with per-wire-mode p50/p99
+//     quantiles
 //   - internal/wire — the binary columnar record frame (content type
 //     application/x-asymsort-records): a 16-byte header plus
 //     length-prefixed chunks or a contiguous raw payload of 16-byte

@@ -1,0 +1,240 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"asymsort/internal/cost"
+	"asymsort/internal/extmem"
+	"asymsort/internal/kernel"
+	"asymsort/internal/seq"
+)
+
+// KernelsBench runs every non-sort kernel of the internal/kernel
+// registry on real files and measures its block-IO ledger against its
+// classic sort-based baseline, executed for real in the same harness:
+//
+//	semisort    vs  k=1 sort + a separate grouped rewrite pass
+//	histogram   vs  k=1 sort + a counting pass over the sorted file
+//	top-k       vs  k=1 sort + reading and rewriting the k-prefix
+//	merge-join  vs  the same co-stream over k=1 (classical) sorts
+//
+// The kernelized column lets the Appendix A rule choose k from ω, so
+// the table shows both effects at once: the write-efficient merge tree
+// and the composition that avoids materializing what the baseline
+// writes (the sorted copy, the pre-reduction stream). Every run is
+// verified against the kernel's in-memory reference, and the
+// kernelized ledger must equal its own plan (writes == plan writes) —
+// a wrong answer or a broken identity panics rather than reporting.
+// Like ExtBench this table is not golden-stable; run it with
+// `asymbench -exp kernels`.
+func KernelsBench(w io.Writer, cfg Config, procs int) {
+	const omega = 16
+	const block = 64
+	n := 1 << 19
+	if cfg.Quick {
+		n = 1 << 15
+	}
+	mem := n / 256 // deep k=1 tree, as in ExtBench
+	buckets, topk := mem/4, mem/4
+	ruleK := extmem.ChooseK(omega, mem, block)
+	section(w, cfg, "kernels", "Kernel registry: metered writes vs classic baselines",
+		fmt.Sprintf("ext compositions on real files: n=%d, M=%d records, B=%d, ω=%d; Appendix A picks k=%d; each kernel's measured block writes vs its executed k=1 sort-based baseline, outputs differentially verified", n, mem, block, omega, ruleK))
+
+	dir, err := os.MkdirTemp("", "asymbench-kernels-")
+	if err != nil {
+		fmt.Fprintf(w, "kernels: cannot create temp dir: %v\n", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	dup := seq.FewDistinct(n, n/16, cfg.Seed)
+	uni := seq.Uniform(n, cfg.Seed+1)
+	join := seq.FewDistinct(n, n/8, cfg.Seed+2)
+	cases := []struct {
+		name  string
+		in    []seq.Record
+		p     kernel.Params
+		param string
+	}{
+		{"semisort", dup, kernel.Params{}, "-"},
+		{"histogram", uni, kernel.Params{Buckets: buckets}, fmt.Sprintf("buckets=%d", buckets)},
+		{"top-k", uni, kernel.Params{K: topk}, fmt.Sprintf("k=%d", topk)},
+		{"merge-join", join, kernel.Params{LeftN: n / 2}, fmt.Sprintf("left=%d", n/2)},
+	}
+
+	tb := newTable("kernel", "param", "k", "lv", "kern reads", "kern writes",
+		"base reads", "base writes", "writes base/kern", "cost base/kern")
+	allOK := true
+	for _, tc := range cases {
+		k, ok := kernel.Get(tc.name)
+		if !ok {
+			panic("exp: kernel " + tc.name + " not registered")
+		}
+		inPath := filepath.Join(dir, tc.name+"-in.bin")
+		if err := extmem.WriteRecordsFile(inPath, tc.in); err != nil {
+			fmt.Fprintf(w, "kernels: staging %s: %v\n", tc.name, err)
+			return
+		}
+		want := k.Ref(tc.in, tc.p)
+
+		// Kernelized: the registry composition, k chosen from ω.
+		outPath := filepath.Join(dir, tc.name+"-out.bin")
+		res, err := k.Ext(extmem.Config{
+			Mem: mem, Block: block, Omega: omega, TmpDir: dir, Procs: procs,
+		}, inPath, outPath, tc.p)
+		if err != nil {
+			fmt.Fprintf(w, "kernels: %s: %v\n", tc.name, err)
+			return
+		}
+		verifyKernelOutput(tc.name+" (kernelized)", outPath, want)
+		if res.Total.Writes != res.PlanWrites {
+			panic(fmt.Sprintf("exp: %s wrote %d blocks, plan says %d — the write identity broke",
+				tc.name, res.Total.Writes, res.PlanWrites))
+		}
+
+		base, err := classicBaseline(tc.name, dir, inPath, tc.p, mem, block, omega)
+		if err != nil {
+			fmt.Fprintf(w, "kernels: %s baseline: %v\n", tc.name, err)
+			return
+		}
+		verifyKernelOutput(tc.name+" (classic)", base.outPath, want)
+
+		chosenK, levels := "-", "-"
+		if len(res.Sorts) > 0 {
+			chosenK = fmt.Sprint(res.Sorts[0].K)
+			levels = fmt.Sprint(res.Sorts[0].Levels)
+		}
+		kCost := float64(res.Total.Cost(omega))
+		bCost := float64(base.total.Cost(omega))
+		if res.Total.Writes > base.total.Writes {
+			allOK = false
+		}
+		tb.add(tc.name, tc.param, chosenK, levels,
+			res.Total.Reads, res.Total.Writes,
+			base.total.Reads, base.total.Writes,
+			fmtRatio(base.total.Writes, res.Total.Writes),
+			fmt.Sprintf("%.2f", bCost/kCost))
+	}
+	tb.write(w, cfg)
+	verdict(w, cfg, allOK,
+		"every kernel's measured block writes ≤ its classic baseline's, with writes == plan writes per composition")
+}
+
+// baselineRun is one executed classic baseline: its summed charged
+// ledger and the output it produced (for differential verification).
+type baselineRun struct {
+	total   cost.Snapshot
+	outPath string
+}
+
+// classicBaseline executes the classic sort-based counterpart of a
+// kernel with the engine pinned to k=1 (the classical EM mergesort),
+// charging every pass to one ledger.
+func classicBaseline(name, dir, inPath string, p kernel.Params, mem, block int, omega uint64) (*baselineRun, error) {
+	sortCfg := extmem.Config{Mem: mem, Block: block, K: 1, Omega: float64(omega), TmpDir: dir, Procs: 1}
+	outPath := filepath.Join(dir, name+"-base-out.bin")
+
+	if name == "merge-join" {
+		// The same co-stream composition, classical sorts underneath.
+		k, _ := kernel.Get(name)
+		res, err := k.Ext(sortCfg, inPath, outPath, p)
+		if err != nil {
+			return nil, err
+		}
+		return &baselineRun{total: res.Total, outPath: outPath}, nil
+	}
+
+	// The other baselines all start with the full classical sort — the
+	// materialized copy the kernels exist to avoid.
+	sortedPath := filepath.Join(dir, name+"-base-sorted.bin")
+	rep, err := extmem.Sort(sortCfg, inPath, sortedPath)
+	if err != nil {
+		return nil, err
+	}
+	var st extmem.IOStats
+	sorted, err := extmem.OpenBlockFile(sortedPath, block, &st)
+	if err != nil {
+		return nil, err
+	}
+	defer sorted.Close()
+	var out []seq.Record
+	switch name {
+	case "semisort":
+		// The separate grouped rewrite pass: re-read the sorted copy,
+		// fold groups, write them.
+		var cur seq.Record
+		have := false
+		err = extmem.ScanRecords(sorted, 0, sorted.Len(), func(r seq.Record) error {
+			if have && cur.Key == r.Key {
+				cur.Val += r.Val
+				return nil
+			}
+			if have {
+				out = append(out, cur)
+			}
+			cur, have = r, true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if have {
+			out = append(out, cur)
+		}
+	case "histogram":
+		// The counting pass over the sorted copy.
+		counts := make([]uint64, p.Buckets)
+		err = extmem.ScanRecords(sorted, 0, sorted.Len(), func(r seq.Record) error {
+			counts[kernel.BucketOf(r.Key, p.Buckets)]++
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for b, c := range counts {
+			out = append(out, seq.Record{Key: uint64(b), Val: c})
+		}
+	case "top-k":
+		// Read back the k-prefix of the sorted copy and rewrite it.
+		k := p.K
+		if k > sorted.Len() {
+			k = sorted.Len()
+		}
+		out = make([]seq.Record, k)
+		if err := sorted.ReadAt(0, out); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("no classic baseline for kernel %q", name)
+	}
+	bf, err := extmem.CreateBlockFile(outPath, block, &st)
+	if err != nil {
+		return nil, err
+	}
+	defer bf.Close()
+	if err := bf.WriteAt(0, out); err != nil {
+		return nil, err
+	}
+	return &baselineRun{total: rep.Total.Add(st.Snapshot()), outPath: outPath}, nil
+}
+
+// verifyKernelOutput panics unless the run produced exactly the
+// kernel's in-memory reference — a benchmark that computes a wrong
+// answer must not report a ledger.
+func verifyKernelOutput(label, path string, want []seq.Record) {
+	got, err := extmem.ReadRecordsFile(path)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %s output unreadable: %v", label, err))
+	}
+	if len(got) != len(want) {
+		panic(fmt.Sprintf("exp: %s produced %d records, reference has %d", label, len(got), len(want)))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			panic(fmt.Sprintf("exp: %s diverges from the reference at record %d", label, i))
+		}
+	}
+}

@@ -188,6 +188,16 @@ type Config struct {
 	// Lease interface. The merge plan (and the write ledger) stays fixed
 	// at the admission-time Mem.
 	Lease Lease
+	// Post, when non-nil, is the streaming post-pass hook (see
+	// Streamer): the final sorted stream is folded through it before it
+	// reaches the output file, fusing order-dependent reductions
+	// (reduce-by-key, dedup) into the sort's last pass. The merge plan
+	// is unchanged, but the root level writes only the emitted records,
+	// and Report.PlanWrites is adjusted to the emitted output size so
+	// the measured-equals-planned identity still holds. The root's
+	// merge runs sequentially when Post is set. Nil leaves the sort
+	// path byte-identical.
+	Post Streamer
 	// InSkip is how many leading records of the input file to ignore —
 	// the zero-copy handoff for inputs that carry a whole-record wire
 	// header (a contiguous internal/wire frame is a valid record file
@@ -210,6 +220,7 @@ type resolved struct {
 	ioq                  *IOQueue // shared queue; nil = engine owns one
 	lease                Lease
 	inSkip               int
+	post                 Streamer
 }
 
 func (c Config) resolve() (resolved, error) {
@@ -253,6 +264,7 @@ func (c Config) resolve() (resolved, error) {
 		return r, fmt.Errorf("extmem: InSkip must be >= 0, got %d", c.InSkip)
 	}
 	r.inSkip = c.InSkip
+	r.post = c.Post
 	return r, nil
 }
 
@@ -279,7 +291,10 @@ func ChooseK(omega float64, mem, block int) int {
 
 // Report summarizes one external sort.
 type Report struct {
-	N     int // records sorted
+	N int // input records sorted
+	// OutN is the record count of the output file: N for a plain sort,
+	// the emitted count when a Post streamer reduced the stream.
+	OutN  int
 	Mem   int // effective memory budget in records
 	Block int // block size in records
 	K     int // read multiplier
@@ -299,6 +314,9 @@ type Report struct {
 	// simulated AEM machine's write ledger for the same (n, M, B, k) —
 	// the identity internal/integration pins — so Total.Writes ==
 	// PlanWrites is the per-job check a served sort exposes on /stats.
+	// Under a Post streamer the root level's ⌈N/B⌉ is replaced by the
+	// ⌈OutN/B⌉ blocks actually emitted, keeping the identity exact for
+	// streamed runs too.
 	PlanWrites uint64
 	// Omega echoes the configured device ratio for cost reporting.
 	Omega float64

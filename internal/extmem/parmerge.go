@@ -41,6 +41,11 @@ func (e *engine) parMergeProcs(nd *planNode) int {
 	if p <= 1 || len(nd.kids) < 2 {
 		return 1
 	}
+	if nd == e.plan.root && e.cfg.post != nil {
+		// A streamed root is a stateful fold over the whole sorted
+		// stream; the splitter-partitioned extents cannot host it.
+		return 1
+	}
 	if m := nd.len() / (2 * e.cfg.block); p > m {
 		p = m
 	}

@@ -1,0 +1,174 @@
+package kernel
+
+import (
+	"fmt"
+	"slices"
+
+	"asymsort/internal/rt"
+	"asymsort/internal/seq"
+)
+
+// The kernel definitions. Run bodies are thin: the algorithms live in
+// internal/rt (MergeSort, ReduceByKey, Histogram, TopK, MergeJoin), so
+// metered charge shapes are pinned once, in rt's charge-equality
+// tests, and every kernel here inherits them.
+
+func init() {
+	register(&Kernel{
+		Name:     "sort",
+		Doc:      "sort records by the repository's total order (AEM-MERGESORT externally)",
+		Baseline: "classical EM mergesort (k=1)",
+		Run: func(c rt.Ctx, in rt.Arr[seq.Record], _ Params) rt.Arr[seq.Record] {
+			return rt.MergeSort(c, in)
+		},
+		Ref: func(in []seq.Record, _ Params) []seq.Record {
+			out := slices.Clone(in)
+			slices.SortFunc(out, seq.TotalCompare)
+			return out
+		},
+		Ext: sortExt,
+	})
+
+	register(&Kernel{
+		Name:     "semisort",
+		Doc:      "reduce-by-key: one record per distinct key, payloads summed, keys ascending",
+		Baseline: "sort + separate grouped rewrite pass",
+		Run: func(c rt.Ctx, in rt.Arr[seq.Record], _ Params) rt.Arr[seq.Record] {
+			return rt.ReduceByKey(c, in)
+		},
+		Ref: func(in []seq.Record, _ Params) []seq.Record {
+			return RefReduceByKey(in)
+		},
+		Ext: semisortExt,
+	})
+
+	register(&Kernel{
+		Name:     "histogram",
+		Doc:      "bucket counts by key mod buckets: record i of the output is {i, count}",
+		Baseline: "sort + grouped count pass",
+		Validate: func(_ int, p Params) error {
+			if p.Buckets < 1 {
+				return fmt.Errorf("needs buckets >= 1, got %d", p.Buckets)
+			}
+			if p.Buckets > 1<<24 {
+				return fmt.Errorf("buckets %d exceeds the 2^24 cap", p.Buckets)
+			}
+			return nil
+		},
+		Run: func(c rt.Ctx, in rt.Arr[seq.Record], p Params) rt.Arr[seq.Record] {
+			counts := rt.Histogram(c, in, p.Buckets, func(r seq.Record) int {
+				return BucketOf(r.Key, p.Buckets)
+			})
+			out := rt.NewArr[seq.Record](c, p.Buckets)
+			c.ParFor(p.Buckets, func(c rt.Ctx, i int) {
+				out.Set(c, i, seq.Record{Key: uint64(i), Val: counts.Get(c, i)})
+			})
+			return out
+		},
+		Ref: func(in []seq.Record, p Params) []seq.Record {
+			counts := make([]uint64, p.Buckets)
+			for _, r := range in {
+				counts[BucketOf(r.Key, p.Buckets)]++
+			}
+			out := make([]seq.Record, p.Buckets)
+			for b, c := range counts {
+				out[b] = seq.Record{Key: uint64(b), Val: c}
+			}
+			return out
+		},
+		Ext: histogramExt,
+	})
+
+	register(&Kernel{
+		Name:     "top-k",
+		Doc:      "the k smallest records under the total order, ascending",
+		Baseline: "full sort + take the k-prefix",
+		Validate: func(_ int, p Params) error {
+			if p.K < 1 {
+				return fmt.Errorf("needs k >= 1, got %d", p.K)
+			}
+			return nil
+		},
+		Run: func(c rt.Ctx, in rt.Arr[seq.Record], p Params) rt.Arr[seq.Record] {
+			return rt.TopK(c, in, p.K)
+		},
+		Ref: func(in []seq.Record, p Params) []seq.Record {
+			out := slices.Clone(in)
+			slices.SortFunc(out, seq.TotalCompare)
+			if p.K < len(out) {
+				out = out[:p.K:p.K]
+			}
+			return out
+		},
+		Ext: topkExt,
+	})
+
+	register(&Kernel{
+		Name:     "merge-join",
+		Doc:      "equi-join the first left-n records against the rest: {key, lVal+rVal} per matching pair",
+		Baseline: "classical-k sorts + co-stream",
+		Validate: func(n int, p Params) error {
+			if p.LeftN < 0 || p.LeftN > n {
+				return fmt.Errorf("needs 0 <= left <= %d, got %d", n, p.LeftN)
+			}
+			return nil
+		},
+		Run: func(c rt.Ctx, in rt.Arr[seq.Record], p Params) rt.Arr[seq.Record] {
+			return rt.MergeJoin(c, in.Slice(0, p.LeftN), in.Slice(p.LeftN, in.Len()))
+		},
+		Ref: func(in []seq.Record, p Params) []seq.Record {
+			return RefMergeJoin(in[:p.LeftN], in[p.LeftN:])
+		},
+		Ext: mergejoinExt,
+	})
+}
+
+// RefReduceByKey is the in-memory reduce-by-key reference: sort, then
+// fold each key group.
+func RefReduceByKey(in []seq.Record) []seq.Record {
+	s := slices.Clone(in)
+	slices.SortFunc(s, seq.TotalCompare)
+	out := []seq.Record{}
+	for i := 0; i < len(s); {
+		j, sum := i, uint64(0)
+		for ; j < len(s) && s[j].Key == s[i].Key; j++ {
+			sum += s[j].Val
+		}
+		out = append(out, seq.Record{Key: s[i].Key, Val: sum})
+		i = j
+	}
+	return out
+}
+
+// RefMergeJoin is the in-memory sort-merge join reference: matches are
+// emitted in ascending key order, left-major within a key group.
+func RefMergeJoin(left, right []seq.Record) []seq.Record {
+	ls, rs := slices.Clone(left), slices.Clone(right)
+	slices.SortFunc(ls, seq.TotalCompare)
+	slices.SortFunc(rs, seq.TotalCompare)
+	out := []seq.Record{}
+	i, j := 0, 0
+	for i < len(ls) && j < len(rs) {
+		switch {
+		case ls[i].Key < rs[j].Key:
+			i++
+		case rs[j].Key < ls[i].Key:
+			j++
+		default:
+			ie, je := i, j
+			for ie < len(ls) && ls[ie].Key == ls[i].Key {
+				ie++
+			}
+			for je < len(rs) && rs[je].Key == rs[j].Key {
+				je++
+			}
+			for a := i; a < ie; a++ {
+				for b := j; b < je; b++ {
+					out = append(out, seq.Record{Key: ls[a].Key, Val: ls[a].Val + rs[b].Val})
+				}
+			}
+			i, j = ie, je
+		}
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package rt
+
+import "asymsort/internal/seq"
+
+// This file implements the non-sort kernel primitives of the kernel
+// runtime (internal/kernel): reduce-by-key, the counting/bucket
+// histogram, bounded-heap top-k, and the sort-merge join. Each is
+// written once against the Ctx/Arr surface, so the same code runs on
+// the metered simulators — where every Get/Set charges the cache and
+// work-depth meters, making the kernels' write costs directly
+// comparable to their classic sort-based baselines — and on the native
+// backend at hardware speed. kernels_test.go pins the metered charge
+// shape against explicit per-element reference programs (the spans.go
+// contract), so native fast paths can be added later without moving
+// any experiment table.
+
+// ReduceByKey returns one record per distinct key of in, in ascending
+// key order, whose payload is the group's payload sum (wrapping) — the
+// semisort/reduce-by-key kernel. It is a composition of the sort the
+// repository already has and a grouped scan: head flags, a prefix sum
+// to place the groups, and a per-head walk that folds each group. Work
+// is O(sort + n); depth adds the longest group to the sort's.
+func ReduceByKey(c Ctx, in Arr[seq.Record]) Arr[seq.Record] {
+	n := in.Len()
+	if n == 0 {
+		return NewArr[seq.Record](c, 0)
+	}
+	s := MergeSort(c, in)
+	heads := NewArr[uint64](c, n)
+	c.ParFor(n, func(c Ctx, i int) {
+		var h uint64
+		if i == 0 || s.Get(c, i-1).Key != s.Get(c, i).Key {
+			h = 1
+		}
+		heads.Set(c, i, h)
+	})
+	// After the exclusive scan, heads[i] at a head position is the
+	// number of heads strictly before i — the group's output slot.
+	groups := Scan(c, heads)
+	out := NewArr[seq.Record](c, int(groups))
+	c.ParFor(n, func(c Ctx, i int) {
+		r := s.Get(c, i)
+		if i > 0 && s.Get(c, i-1).Key == r.Key {
+			return
+		}
+		sum := r.Val
+		for j := i + 1; j < n; j++ {
+			rj := s.Get(c, j)
+			if rj.Key != r.Key {
+				break
+			}
+			sum += rj.Val
+		}
+		out.Set(c, int(heads.Get(c, i)), seq.Record{Key: r.Key, Val: sum})
+	})
+	return out
+}
+
+// Histogram counts in's records into buckets by key(r) ∈ [0, buckets),
+// returning the counts array — the counting/bucket histogram kernel.
+// One read pass over the input against a buckets-sized working set:
+// a metered run writes O(buckets + n) cells where the classic
+// sort-then-count baseline writes the whole sorted copy first. key
+// must be pure; like CountingSort's, its own reads bypass the meters —
+// the record read is charged via in.Get.
+func Histogram(c Ctx, in Arr[seq.Record], buckets int, key func(seq.Record) int) Arr[uint64] {
+	if buckets <= 0 {
+		panic("rt: Histogram needs buckets > 0")
+	}
+	counts := NewArr[uint64](c, buckets)
+	FillSpan(c, counts, 0)
+	n := in.Len()
+	for i := 0; i < n; i++ {
+		b := key(in.Get(c, i))
+		if b < 0 || b >= buckets {
+			panic("rt: Histogram key out of range")
+		}
+		counts.Set(c, b, counts.Get(c, b)+1)
+	}
+	return counts
+}
+
+// TopK returns the k smallest records of in under seq.TotalLess in
+// ascending order — the bounded-heap selection kernel. The working set
+// is one k-record max-heap: every input record costs one read plus one
+// peek at the heap root, but only records that enter the heap cost
+// writes (O(log k) per replacement), so a metered run writes
+// O(k log n) cells where the classic sort-then-take-k baseline writes
+// Θ(n) — the asymmetry the kernel exists to exploit. The survivors are
+// ordered by an in-place heapsort of the same heap (the backend sorts
+// order equal keys by the substrate's tie rule, which the scrambled
+// heap must not depend on), so the whole kernel touches exactly k
+// cells of writable memory beyond the input.
+func TopK(c Ctx, in Arr[seq.Record], k int) Arr[seq.Record] {
+	n := in.Len()
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return NewArr[seq.Record](c, 0)
+	}
+	h := NewArr[seq.Record](c, k)
+	for i := 0; i < k; i++ {
+		h.Set(c, i, in.Get(c, i))
+	}
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDownArr(c, h, i, k)
+	}
+	for i := k; i < n; i++ {
+		r := in.Get(c, i)
+		if seq.TotalLess(r, h.Get(c, 0)) {
+			h.Set(c, 0, r)
+			siftDownArr(c, h, 0, k)
+		}
+	}
+	// Heapsort the survivors in place: the max of the live prefix swaps
+	// to its final slot, so the array ends ascending under the total
+	// order.
+	for m := k - 1; m > 0; m-- {
+		top, last := h.Get(c, 0), h.Get(c, m)
+		h.Set(c, 0, last)
+		h.Set(c, m, top)
+		siftDownArr(c, h, 0, m)
+	}
+	return h
+}
+
+// siftDownArr restores the max-heap property (under seq.TotalLess)
+// below index i of h's live prefix [0, n), charging every probe and
+// swap to the meters.
+func siftDownArr(c Ctx, h Arr[seq.Record], i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		big := l
+		bigRec := h.Get(c, l)
+		if r := l + 1; r < n {
+			if rr := h.Get(c, r); seq.TotalLess(bigRec, rr) {
+				big, bigRec = r, rr
+			}
+		}
+		cur := h.Get(c, i)
+		if !seq.TotalLess(cur, bigRec) {
+			return
+		}
+		h.Set(c, i, bigRec)
+		h.Set(c, big, cur)
+		i = big
+	}
+}
+
+// MergeJoin sorts both inputs by the total record order and co-streams
+// them, emitting one record {Key, lVal + rVal} (sums wrap) for every
+// pair of records sharing a key — the sort-merge equi-join kernel.
+// Output order is ascending key, pairs left-major in sorted payload
+// order within a key group. Two co-stream passes size then fill the
+// output, so the kernel never over-allocates for skewed key overlap.
+func MergeJoin(c Ctx, left, right Arr[seq.Record]) Arr[seq.Record] {
+	ls := MergeSort(c, left)
+	rs := MergeSort(c, right)
+	total := joinStream(c, ls, rs, nil)
+	out := NewArr[seq.Record](c, total)
+	joinStream(c, ls, rs, out)
+	return out
+}
+
+// joinStream co-streams the sorted relations, writing matches into out
+// when non-nil (counting only otherwise) and returning the match count.
+func joinStream(c Ctx, ls, rs Arr[seq.Record], out Arr[seq.Record]) int {
+	nl, nr := ls.Len(), rs.Len()
+	i, j, w := 0, 0, 0
+	for i < nl && j < nr {
+		li, rj := ls.Get(c, i), rs.Get(c, j)
+		switch {
+		case li.Key < rj.Key:
+			i++
+		case rj.Key < li.Key:
+			j++
+		default:
+			ie := i + 1
+			for ie < nl && ls.Get(c, ie).Key == li.Key {
+				ie++
+			}
+			je := j + 1
+			for je < nr && rs.Get(c, je).Key == rj.Key {
+				je++
+			}
+			for a := i; a < ie; a++ {
+				la := ls.Get(c, a)
+				for b := j; b < je; b++ {
+					if out != nil {
+						out.Set(c, w, seq.Record{Key: li.Key, Val: la.Val + rs.Get(c, b).Val})
+					}
+					w++
+				}
+			}
+			i, j = ie, je
+		}
+	}
+	return w
+}

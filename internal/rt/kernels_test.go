@@ -1,0 +1,293 @@
+package rt
+
+import (
+	"slices"
+	"testing"
+
+	"asymsort/internal/co"
+	"asymsort/internal/icache"
+	"asymsort/internal/seq"
+	"asymsort/internal/wd"
+)
+
+// In-memory references the kernel primitives are checked against on
+// every backend. internal/kernel re-states these as Kernel.Ref; the
+// copies here keep package rt's tests self-contained.
+
+func refReduceByKey(in []seq.Record) []seq.Record {
+	s := slices.Clone(in)
+	slices.SortFunc(s, seq.TotalCompare)
+	out := []seq.Record{}
+	for i := 0; i < len(s); {
+		j, sum := i, uint64(0)
+		for ; j < len(s) && s[j].Key == s[i].Key; j++ {
+			sum += s[j].Val
+		}
+		out = append(out, seq.Record{Key: s[i].Key, Val: sum})
+		i = j
+	}
+	return out
+}
+
+func refHistogram(in []seq.Record, buckets int, key func(seq.Record) int) []uint64 {
+	counts := make([]uint64, buckets)
+	for _, r := range in {
+		counts[key(r)]++
+	}
+	return counts
+}
+
+func refTopK(in []seq.Record, k int) []seq.Record {
+	s := slices.Clone(in)
+	slices.SortFunc(s, seq.TotalCompare)
+	if k > len(s) {
+		k = len(s)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return s[:k]
+}
+
+func refMergeJoin(left, right []seq.Record) []seq.Record {
+	ls, rs := slices.Clone(left), slices.Clone(right)
+	slices.SortFunc(ls, seq.TotalCompare)
+	slices.SortFunc(rs, seq.TotalCompare)
+	out := []seq.Record{}
+	i, j := 0, 0
+	for i < len(ls) && j < len(rs) {
+		switch {
+		case ls[i].Key < rs[j].Key:
+			i++
+		case rs[j].Key < ls[i].Key:
+			j++
+		default:
+			ie, je := i, j
+			for ie < len(ls) && ls[ie].Key == ls[i].Key {
+				ie++
+			}
+			for je < len(rs) && rs[je].Key == rs[j].Key {
+				je++
+			}
+			for a := i; a < ie; a++ {
+				for b := j; b < je; b++ {
+					out = append(out, seq.Record{Key: ls[a].Key, Val: ls[a].Val + rs[b].Val})
+				}
+			}
+			i, j = ie, je
+		}
+	}
+	return out
+}
+
+// eachBackend runs f on a fresh instance of all three backends.
+func eachBackend(t *testing.T, f func(t *testing.T, name string, c Ctx)) {
+	t.Helper()
+	f(t, "simco", NewSimCO(co.NewCtx(icache.New(64, 64, 8, icache.PolicyRWLRU))))
+	f(t, "simwd", NewSimWD(wd.NewRoot(8)))
+	f(t, "native1", NewNative(NewPool(1), 8))
+	f(t, "native4", NewNative(NewPool(4), 8))
+}
+
+func TestReduceByKeyMatchesReference(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		in   []seq.Record
+	}{
+		{"empty", nil},
+		{"one", seq.Uniform(1, 3)},
+		{"unique", seq.Uniform(500, 7)},
+		{"dup-heavy", seq.FewDistinct(700, 9, 11)},
+		{"all-equal", seq.FewDistinct(300, 1, 5)},
+		{"sorted", seq.Sorted(200)},
+	} {
+		want := refReduceByKey(tc.in)
+		eachBackend(t, func(t *testing.T, name string, c Ctx) {
+			got := ReduceByKey(c, FromSlice(c, tc.in)).Unwrap()
+			if len(got) == 0 && len(want) == 0 {
+				return
+			}
+			if !slices.Equal(got, want) {
+				t.Errorf("%s/%s: ReduceByKey diverges from reference", tc.name, name)
+			}
+		})
+	}
+}
+
+func TestHistogramMatchesReference(t *testing.T) {
+	key := func(r seq.Record) int { return int(r.Key % 17) }
+	for _, tc := range []struct {
+		name string
+		in   []seq.Record
+	}{
+		{"empty", nil},
+		{"uniform", seq.Uniform(800, 3)},
+		{"skewed", seq.FewDistinct(600, 4, 21)},
+	} {
+		want := refHistogram(tc.in, 17, key)
+		eachBackend(t, func(t *testing.T, name string, c Ctx) {
+			got := Histogram(c, FromSlice(c, tc.in), 17, key).Unwrap()
+			if !slices.Equal(got, want) {
+				t.Errorf("%s/%s: Histogram diverges from reference", tc.name, name)
+			}
+		})
+	}
+}
+
+func TestTopKMatchesReference(t *testing.T) {
+	in := seq.Uniform(900, 13)
+	for _, k := range []int{0, 1, 2, 7, 64, 899, 900, 1500} {
+		want := refTopK(in, k)
+		eachBackend(t, func(t *testing.T, name string, c Ctx) {
+			got := TopK(c, FromSlice(c, in), k).Unwrap()
+			if len(got) == 0 && len(want) == 0 {
+				return
+			}
+			if !slices.Equal(got, want) {
+				t.Errorf("k=%d/%s: TopK diverges from reference", k, name)
+			}
+		})
+	}
+}
+
+func TestMergeJoinMatchesReference(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		left, right []seq.Record
+	}{
+		{"empty-left", nil, seq.FewDistinct(50, 5, 3)},
+		{"disjoint", seq.Sorted(40), seq.FewDistinct(40, 4, 1<<30)},
+		{"overlap", seq.FewDistinct(200, 20, 5), seq.FewDistinct(150, 20, 9)},
+		{"dup-cross", seq.FewDistinct(80, 3, 2), seq.FewDistinct(90, 3, 4)},
+	} {
+		want := refMergeJoin(tc.left, tc.right)
+		eachBackend(t, func(t *testing.T, name string, c Ctx) {
+			got := MergeJoin(c, FromSlice(c, tc.left), FromSlice(c, tc.right)).Unwrap()
+			if len(got) == 0 && len(want) == 0 {
+				return
+			}
+			if !slices.Equal(got, want) {
+				t.Errorf("%s/%s: MergeJoin diverges from reference", tc.name, name)
+			}
+		})
+	}
+}
+
+// The kernel primitives promise the spans.go contract: on the metered
+// backends they charge exactly the per-element loops written out below.
+// These programs are the authoritative charge shape — if a native fast
+// path or refactor ever changes what the sims observe, these diverge.
+
+func kernelProgram(c Ctx, in []seq.Record) {
+	a := FromSlice(c, in)
+	ReduceByKey(c, a)
+	Histogram(c, a, 13, func(r seq.Record) int { return int(r.Key % 13) })
+	TopK(c, a, 10)
+	MergeJoin(c, a.Slice(0, a.Len()/2), a.Slice(a.Len()/2, a.Len()))
+}
+
+func kernelPerElementProgram(c Ctx, in []seq.Record) {
+	a := FromSlice(c, in)
+
+	// ReduceByKey
+	n := a.Len()
+	s := MergeSort(c, a)
+	heads := NewArr[uint64](c, n)
+	c.ParFor(n, func(c Ctx, i int) {
+		var h uint64
+		if i == 0 || s.Get(c, i-1).Key != s.Get(c, i).Key {
+			h = 1
+		}
+		heads.Set(c, i, h)
+	})
+	groups := Scan(c, heads)
+	rbk := NewArr[seq.Record](c, int(groups))
+	c.ParFor(n, func(c Ctx, i int) {
+		r := s.Get(c, i)
+		if i > 0 && s.Get(c, i-1).Key == r.Key {
+			return
+		}
+		sum := r.Val
+		for j := i + 1; j < n; j++ {
+			rj := s.Get(c, j)
+			if rj.Key != r.Key {
+				break
+			}
+			sum += rj.Val
+		}
+		rbk.Set(c, int(heads.Get(c, i)), seq.Record{Key: r.Key, Val: sum})
+	})
+
+	// Histogram
+	counts := NewArr[uint64](c, 13)
+	c.ParFor(counts.Len(), func(c Ctx, i int) { counts.Set(c, i, 0) })
+	for i := 0; i < n; i++ {
+		b := int(a.Get(c, i).Key % 13)
+		counts.Set(c, b, counts.Get(c, b)+1)
+	}
+
+	// TopK (k = 10)
+	k := 10
+	h := NewArr[seq.Record](c, k)
+	for i := 0; i < k; i++ {
+		h.Set(c, i, a.Get(c, i))
+	}
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDownArr(c, h, i, k)
+	}
+	for i := k; i < n; i++ {
+		r := a.Get(c, i)
+		if seq.TotalLess(r, h.Get(c, 0)) {
+			h.Set(c, 0, r)
+			siftDownArr(c, h, 0, k)
+		}
+	}
+	for m := k - 1; m > 0; m-- {
+		top, last := h.Get(c, 0), h.Get(c, m)
+		h.Set(c, 0, last)
+		h.Set(c, m, top)
+		siftDownArr(c, h, 0, m)
+	}
+
+	// MergeJoin
+	ls := MergeSort(c, a.Slice(0, n/2))
+	rs := MergeSort(c, a.Slice(n/2, n))
+	total := joinStream(c, ls, rs, nil)
+	out := NewArr[seq.Record](c, total)
+	joinStream(c, ls, rs, out)
+}
+
+func TestKernelsChargeLikePerElementLoopsSimCO(t *testing.T) {
+	in := seq.FewDistinct(260, 23, 77)
+	mk := func() (*icache.Sim, *co.Ctx) {
+		cache := icache.New(16, 64, 8, icache.PolicyRWLRU)
+		return cache, co.NewCtx(cache)
+	}
+	cache1, c1 := mk()
+	kernelProgram(NewSimCO(c1), in)
+	cache1.Flush()
+	cache2, c2 := mk()
+	kernelPerElementProgram(NewSimCO(c2), in)
+	cache2.Flush()
+
+	if cache1.Stats() != cache2.Stats() {
+		t.Errorf("cache stats diverge: kernels %+v, per-element %+v", cache1.Stats(), cache2.Stats())
+	}
+	if c1.WD.Work() != c2.WD.Work() || c1.WD.Depth() != c2.WD.Depth() {
+		t.Errorf("work-depth diverges: kernels %+v/%d, per-element %+v/%d",
+			c1.WD.Work(), c1.WD.Depth(), c2.WD.Work(), c2.WD.Depth())
+	}
+}
+
+func TestKernelsChargeLikePerElementLoopsSimWD(t *testing.T) {
+	in := seq.FewDistinct(260, 23, 77)
+	t1 := wd.NewRoot(8)
+	kernelProgram(NewSimWD(t1), in)
+	t2 := wd.NewRoot(8)
+	kernelPerElementProgram(NewSimWD(t2), in)
+
+	if t1.Work() != t2.Work() || t1.Depth() != t2.Depth() {
+		t.Errorf("work-depth diverges: kernels %+v/%d, per-element %+v/%d",
+			t1.Work(), t1.Depth(), t2.Work(), t2.Depth())
+	}
+}

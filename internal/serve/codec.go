@@ -1,0 +1,249 @@
+package serve
+
+// The wire codec: one dialect-aware staging and streaming pipeline
+// shared by every kernel job. A codec value captures one direction's
+// negotiated dialect; stage spools a request body into the staged
+// binary record file (fixing n), and stream sends a result record file
+// back out. The binary dialect moves internal/wire frames whose
+// payload IS the staged on-disk format — no parse, no re-encode, a
+// single buffered copy each way — while the text dialect parses
+// decimal keys in (payload = line index, the repository-wide
+// unique-pair convention) and renders keys (or "key value" pairs, for
+// kernels whose payloads carry results) out.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"asymsort/internal/extmem"
+	"asymsort/internal/seq"
+	"asymsort/internal/wire"
+)
+
+// stageChunk is the record granularity of staging and output streams.
+const stageChunk = 1 << 14
+
+// maxLineBytes caps one text-dialect input line. A line is one decimal
+// uint64 (≤ 20 digits); the cap is generous for whitespace junk while
+// keeping a garbage body from ballooning the scanner's token buffer.
+const maxLineBytes = 1 << 20
+
+// codec is one direction's negotiated wire dialect.
+type codec struct {
+	// binary selects internal/wire record frames over newline-decimal
+	// text.
+	binary bool
+	// withVals makes text output render "key value" lines instead of
+	// bare keys — the dialect of every kernel whose result payloads mean
+	// something (group sums, bucket counts, join sums). Binary output
+	// always carries whole records. Ignored for staging.
+	withVals bool
+}
+
+// Name returns the dialect name announced in X-Asymsortd-Wire.
+func (c codec) Name() string {
+	if c.binary {
+		return "binary"
+	}
+	return "text"
+}
+
+// ContentType returns the response Content-Type for the dialect.
+func (c codec) ContentType() string {
+	if c.binary {
+		return wire.ContentType
+	}
+	return "text/plain; charset=utf-8"
+}
+
+// negotiate picks the request and response dialects: a binary
+// Content-Type selects binary ingest, and the response mirrors the
+// request unless the Accept header names a dialect explicitly.
+func negotiate(r *http.Request) (in, out codec) {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		if mt, _, err := mime.ParseMediaType(ct); err == nil && mt == wire.ContentType {
+			in.binary = true
+		}
+	}
+	out.binary = in.binary
+	if acc := r.Header.Get("Accept"); acc != "" {
+		switch {
+		case strings.Contains(acc, wire.ContentType):
+			out.binary = true
+		case strings.Contains(acc, "text/plain"):
+			out.binary = false
+		}
+	}
+	return in, out
+}
+
+// stage spools a request body into the staged binary record file and
+// returns the record count.
+func (c codec) stage(r io.Reader, dst string) (int, error) {
+	if c.binary {
+		return stageRecords(r, dst)
+	}
+	return stageKeys(r, dst)
+}
+
+// stream sends the result record file at path (n records) to w in the
+// codec's dialect.
+func (c codec) stream(w io.Writer, path string, n int) error {
+	if c.binary {
+		return streamRecords(path, n, w)
+	}
+	return streamText(path, w, c.withVals)
+}
+
+// stageKeys parses one decimal uint64 key per line into a binary
+// record file (payload = line index — the unique-pair convention every
+// engine relies on) and returns the record count.
+func stageKeys(r io.Reader, dst string) (int, error) {
+	bf, err := extmem.CreateBlockFile(dst, 1, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer bf.Close()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	batch := make([]seq.Record, 0, stageChunk)
+	off, line := 0, 0
+	flush := func() error {
+		if err := bf.WriteAt(off, batch); err != nil {
+			return err
+		}
+		off += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	for sc.Scan() {
+		txt := sc.Text()
+		line++
+		if txt == "" {
+			continue
+		}
+		key, err := strconv.ParseUint(txt, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("input line %d: %v", line, err)
+		}
+		batch = append(batch, seq.Record{Key: key, Val: uint64(off + len(batch))})
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return 0, fmt.Errorf("input line %d: line exceeds %d bytes", line+1, maxLineBytes)
+		}
+		return 0, err
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+	return off, bf.Close()
+}
+
+// stageRecords spools a binary wire frame's payload straight into the
+// staged record file and returns the record count. No parse, no
+// re-encode: the frame payload is already the staged file's on-disk
+// format, so staging a binary body is a single buffered copy.
+func stageRecords(r io.Reader, dst string) (int, error) {
+	fr, err := wire.NewReader(r)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	n, err := fr.Spool(bw)
+	if err != nil {
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	return int(n), f.Close()
+}
+
+// streamText writes the result binary file out as text: bare keys one
+// per line, or "key value" lines when the kernel's payloads carry
+// results.
+func streamText(binPath string, w io.Writer, withVals bool) error {
+	bf, err := extmem.OpenBlockFile(binPath, 1, nil)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	bw := bufio.NewWriterSize(w, 1<<20)
+	buf := make([]seq.Record, stageChunk)
+	var line []byte
+	for off := 0; off < bf.Len(); off += len(buf) {
+		if rem := bf.Len() - off; rem < len(buf) {
+			buf = buf[:rem]
+		}
+		if err := bf.ReadAt(off, buf); err != nil {
+			return err
+		}
+		for _, rec := range buf {
+			line = strconv.AppendUint(line[:0], rec.Key, 10)
+			if withVals {
+				line = append(line, ' ')
+				line = strconv.AppendUint(line, rec.Val, 10)
+			}
+			line = append(line, '\n')
+			if _, err := bw.Write(line); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// streamRecords streams the result record file out as a chunked binary
+// frame with its count announced: raw file bytes feed the frame's
+// chunks directly — no decode, no AppendUint pass. The Writer's count
+// check at Close turns a short or long file into a hard error instead
+// of a silently wrong frame.
+func streamRecords(binPath string, n int, w io.Writer) error {
+	f, err := os.Open(binPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fw, err := wire.NewWriter(bw, int64(n))
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, stageChunk*extmem.RecordBytes)
+	for {
+		m, err := io.ReadFull(f, buf)
+		if m > 0 {
+			if werr := fw.WriteRaw(buf[:m]); werr != nil {
+				return werr
+			}
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if err := fw.Close(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

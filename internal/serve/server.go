@@ -1,49 +1,60 @@
 package serve
 
-// The HTTP job engine: admission, model selection, and streaming IO
-// for one sort job per request.
+// The HTTP kernel job engine: admission, model selection, and
+// streaming IO for one kernel job per request. Every kernel in the
+// internal/kernel registry is served through one staging → leasing →
+// run → streaming pipeline; /sort is a byte-identical alias for the
+// sort kernel, kept for existing clients.
 //
-//	POST /sort        body: one decimal uint64 key per line (chunked ok),
+//	POST /v1/{kernel} body: one decimal uint64 key per line (chunked ok),
 //	                  or a binary record frame when Content-Type is
 //	                  application/x-asymsort-records (internal/wire)
 //	                  query: model=auto|ext|native (default auto)
 //	                         mem=<records> (budget hint; default derived)
-//	  → 200, body: the sorted keys one per line, or a binary record
-//	    frame — the response dialect mirrors the request's unless the
-//	    Accept header names one explicitly
-//	    headers: X-Asymsortd-Job, X-Asymsortd-Model, X-Asymsortd-Mem,
-//	    X-Asymsortd-Wire, and for ext jobs X-Asymsortd-Writes /
-//	    X-Asymsortd-Plan-Writes (the measured and simulated ledgers)
-//	GET  /stats       → JSON: broker snapshot + per-job ledgers
-//	GET  /healthz     → 200 "ok"
+//	                         kernel params: buckets= (histogram),
+//	                         k= (top-k), left= (merge-join; the first
+//	                         left records of the body are the left
+//	                         relation) — each also accepted as an
+//	                         X-Asymsortd-{Buckets,K,Left} header
+//	  → 200, body: the result records as "key value" lines ("key" alone
+//	    for sort), or a binary record frame — the response dialect
+//	    mirrors the request's unless the Accept header names one
+//	    explicitly
+//	    headers: X-Asymsortd-Job, X-Asymsortd-Kernel, X-Asymsortd-Out,
+//	    X-Asymsortd-Model, X-Asymsortd-Mem, X-Asymsortd-Wire, and for
+//	    ext jobs X-Asymsortd-Writes / X-Asymsortd-Plan-Writes (the
+//	    measured and simulated ledgers)
+//	POST /sort        the sort kernel under its historical route:
+//	    responses are byte-identical to the pre-registry daemon (text
+//	    output is bare keys; no X-Asymsortd-Kernel / X-Asymsortd-Out
+//	    headers)
+//	GET  /stats       → JSON: broker snapshot + per-job ledgers +
+//	    per-kernel aggregate ledgers (aggregates survive job eviction)
+//	GET  /healthz     → JSON: status (ok|draining), uptime, live leases
 //
-// A job's life: the body is staged to a binary record file, which
-// fixes n. The text dialect parses decimal keys (payload = line index,
-// the repository-wide unique-pair convention); the binary dialect
-// spools the frame payload straight into the staged file — no parse,
-// no re-encode, the frame payload IS the staged on-disk format — and
-// the client owns the payload words plus the unique-pair obligation
-// that comes with them. The job then Acquires a lease (queueing under
-// backpressure), and the model is picked from n versus the granted
-// budget — native in-RAM when 2n records fit the grant (slice + sort
-// scratch), the extmem external engine otherwise, with Mem = the
+// Unknown kernels and paths get a JSON 404; known paths with the wrong
+// method get a JSON 405 with an Allow header.
+//
+// A job's life: the body is staged through the wire codec (codec.go)
+// to a binary record file, which fixes n, and kernel params are
+// validated against n before any admission. The job then Acquires a
+// lease (queueing under backpressure), and the model is picked from n
+// versus the granted budget — native in-RAM when 2n records fit the
+// grant, the external-memory composition otherwise, with Mem = the
 // grant, the broker's split pool, its shared IO queue, and the lease
 // itself wired into extmem.Config so the broker can rebalance or
-// cancel the job while it runs. Binary responses stream the sorted
-// record file's raw bytes into frame chunks — no AppendUint pass.
-// Client disconnects cancel the lease; the engine aborts at the next
-// block boundary and removes its spill files, and the other jobs'
-// byte-identical outputs are unaffected (the fault-injection tests pin
-// this).
+// cancel the job while it runs. Ext jobs carry the kernel's write-plan
+// identity out in headers: X-Asymsortd-Writes == X-Asymsortd-Plan-Writes
+// for every kernel, not just sort. Client disconnects cancel the
+// lease; the engine aborts at the next block boundary and removes its
+// spill files, and the other jobs' byte-identical outputs are
+// unaffected (the fault-injection tests pin this).
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"mime"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -51,11 +62,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"asymsort/internal/extmem"
+	"asymsort/internal/kernel"
 	"asymsort/internal/rt"
-	"asymsort/internal/seq"
 	"asymsort/internal/wire"
 )
 
@@ -79,32 +91,39 @@ type ServerConfig struct {
 
 // maxRetainedJobs bounds the /stats history: the daemon serves
 // unbounded traffic, so finished jobs are evicted oldest-first beyond
-// this many entries (running jobs are never evicted).
+// this many entries (running jobs are never evicted). Per-kernel
+// aggregates are folded at completion, so eviction loses no ledger.
 const maxRetainedJobs = 4096
 
 // Server is the HTTP job engine.
 type Server struct {
-	cfg    ServerConfig
-	mu     sync.Mutex
-	jobs   map[int]*JobStats
-	order  []int // job ids in creation order, for oldest-first eviction
-	nextID int
+	cfg      ServerConfig
+	start    time.Time
+	draining atomic.Bool
+	mu       sync.Mutex
+	jobs     map[int]*JobStats
+	agg      map[string]*KernelLedger
+	order    []int // job ids in creation order, for oldest-first eviction
+	nextID   int
 }
 
 // JobStats is one job's ledger, served on /stats.
 type JobStats struct {
-	ID    int    `json:"id"`
-	State string `json:"state"` // staging|queued|running|done|failed|canceled
-	Model string `json:"model,omitempty"`
-	N     int    `json:"n"`
+	ID     int    `json:"id"`
+	Kernel string `json:"kernel"`
+	State  string `json:"state"` // staging|queued|running|done|failed|canceled
+	Model  string `json:"model,omitempty"`
+	N      int    `json:"n"`
+	OutN   int    `json:"out_n,omitempty"`
 	// MemGrant is the admission-time grant in records — the ext job's
 	// M, which fixes its merge plan and write ledger.
 	MemGrant int `json:"mem_grant,omitempty"`
 	Procs    int `json:"procs,omitempty"`
-	// Reads/Writes are the ext engine's measured block-IO ledger;
-	// PlanWrites is the simulated AEM machine's write count for the
-	// same (n, M, B, k), so Writes == PlanWrites is the served
-	// extension of the repository's engine-vs-simulator identity.
+	// Reads/Writes are the ext composition's measured block-IO ledger;
+	// PlanWrites is its predicted block-write count for the same
+	// (n, M, B, k) — Writes == PlanWrites is the served extension of
+	// the repository's engine-vs-simulator identity, now held
+	// per kernel.
 	Reads      uint64 `json:"reads,omitempty"`
 	Writes     uint64 `json:"writes,omitempty"`
 	PlanWrites uint64 `json:"plan_writes,omitempty"`
@@ -114,6 +133,19 @@ type JobStats struct {
 	SortMS     int64  `json:"sort_ms"`
 	TotalMS    int64  `json:"total_ms"`
 	Err        string `json:"err,omitempty"`
+}
+
+// KernelLedger aggregates finished jobs per kernel; it is folded at
+// job completion, so /stats keeps whole-lifetime per-kernel ledgers
+// even after individual jobs are evicted.
+type KernelLedger struct {
+	Jobs       int    `json:"jobs"`
+	Done       int    `json:"done"`
+	Failed     int    `json:"failed"`
+	Canceled   int    `json:"canceled"`
+	Reads      uint64 `json:"reads"`
+	Writes     uint64 `json:"writes"`
+	PlanWrites uint64 `json:"plan_writes"`
 }
 
 // NewServer builds a job engine over the broker.
@@ -133,29 +165,67 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if min := cfg.Broker.Stats().MinLease; min < cfg.Block {
 		return nil, fmt.Errorf("serve: broker MinLease %d records is below one %d-record block — no grant could run the ext engine", min, cfg.Block)
 	}
-	return &Server{cfg: cfg, jobs: make(map[int]*JobStats)}, nil
+	return &Server{
+		cfg: cfg, start: time.Now(),
+		jobs: make(map[int]*JobStats), agg: make(map[string]*KernelLedger),
+	}, nil
 }
+
+// SetDraining flips /healthz to "draining" — called by the daemon when
+// it stops accepting connections and waits out running jobs, so load
+// balancers and probes see the shutdown before the listener closes.
+func (s *Server) SetDraining() { s.draining.Store(true) }
 
 // Handler returns the service mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /sort", s.handleSort)
+	mux.HandleFunc("POST /sort", func(w http.ResponseWriter, r *http.Request) {
+		s.handleKernel(w, r, "sort", true)
+	})
+	mux.HandleFunc("POST /v1/{kernel}", func(w http.ResponseWriter, r *http.Request) {
+		s.handleKernel(w, r, r.PathValue("kernel"), false)
+	})
 	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Known paths, wrong method → 405 with Allow; everything else → 404.
+	mux.HandleFunc("/sort", methodNotAllowed("POST"))
+	mux.HandleFunc("/v1/{kernel}", methodNotAllowed("POST"))
+	mux.HandleFunc("/stats", methodNotAllowed("GET"))
+	mux.HandleFunc("/healthz", methodNotAllowed("GET"))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		jsonError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
 	})
 	return mux
 }
 
+// jsonError writes a JSON error body with the given status.
+func jsonError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// methodNotAllowed rejects with a JSON 405 naming the allowed method.
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		jsonError(w, http.StatusMethodNotAllowed, "%s not allowed on %s (use %s)", r.Method, r.URL.Path, allow)
+	}
+}
+
 // statsSnapshot is the /stats payload.
 type statsSnapshot struct {
-	Broker BrokerStats `json:"broker"`
-	Jobs   []JobStats  `json:"jobs"`
+	Broker  BrokerStats             `json:"broker"`
+	Kernels map[string]KernelLedger `json:"kernels"`
+	Jobs    []JobStats              `json:"jobs"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	snap := statsSnapshot{Broker: s.cfg.Broker.Stats()}
+	snap := statsSnapshot{Broker: s.cfg.Broker.Stats(), Kernels: make(map[string]KernelLedger, len(s.agg))}
+	for name, a := range s.agg {
+		snap.Kernels[name] = *a
+	}
 	for _, j := range s.jobs {
 		snap.Jobs = append(snap.Jobs, *j)
 	}
@@ -167,12 +237,35 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(snap)
 }
 
+// healthSnapshot is the /healthz payload.
+type healthSnapshot struct {
+	Status     string `json:"status"` // ok|draining
+	UptimeMS   int64  `json:"uptime_ms"`
+	LiveLeases int    `json:"live_leases"`
+	Queued     int    `json:"queued"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	bs := s.cfg.Broker.Stats()
+	h := healthSnapshot{
+		Status:     "ok",
+		UptimeMS:   time.Since(s.start).Milliseconds(),
+		LiveLeases: len(bs.Running),
+		Queued:     bs.Queued,
+	}
+	if s.draining.Load() {
+		h.Status = "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
+}
+
 // newJob registers a job record and returns it with its id assigned,
 // evicting the oldest finished jobs beyond the retention cap.
-func (s *Server) newJob() *JobStats {
+func (s *Server) newJob(kernelName string) *JobStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j := &JobStats{ID: s.nextID, State: "staging"}
+	j := &JobStats{ID: s.nextID, Kernel: kernelName, State: "staging"}
 	s.nextID++
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
@@ -196,21 +289,46 @@ func (s *Server) setJob(j *JobStats, f func(*JobStats)) {
 	s.mu.Unlock()
 }
 
-func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
-	j := s.newJob()
+// handleKernel runs one job of the named kernel. alias marks the
+// historical /sort route, whose responses stay byte-identical to the
+// pre-registry daemon (no kernel/out headers, bare-key text output).
+func (s *Server) handleKernel(w http.ResponseWriter, r *http.Request, name string, alias bool) {
+	k, ok := kernel.Get(name)
+	if !ok {
+		jsonError(w, http.StatusNotFound, "unknown kernel %q (kernels: %s)", name, strings.Join(kernel.Names(), ", "))
+		return
+	}
+	j := s.newJob(k.Name)
 	start := time.Now()
-	err := s.runJob(r.Context(), j, w, r)
-	s.setJob(j, func(j *JobStats) {
-		j.TotalMS = time.Since(start).Milliseconds()
-		if err != nil {
-			if j.State != "canceled" {
-				j.State = "failed"
-			}
-			j.Err = err.Error()
-		} else {
-			j.State = "done"
+	err := s.runJob(r.Context(), j, w, r, k, alias)
+	s.mu.Lock()
+	j.TotalMS = time.Since(start).Milliseconds()
+	if err != nil {
+		if j.State != "canceled" {
+			j.State = "failed"
 		}
-	})
+		j.Err = err.Error()
+	} else {
+		j.State = "done"
+	}
+	a := s.agg[j.Kernel]
+	if a == nil {
+		a = &KernelLedger{}
+		s.agg[j.Kernel] = a
+	}
+	a.Jobs++
+	switch j.State {
+	case "done":
+		a.Done++
+	case "canceled":
+		a.Canceled++
+	default:
+		a.Failed++
+	}
+	a.Reads += j.Reads
+	a.Writes += j.Writes
+	a.PlanWrites += j.PlanWrites
+	s.mu.Unlock()
 }
 
 // httpError is an error with a status code; errors before the first
@@ -222,52 +340,68 @@ type httpError struct {
 
 func (e *httpError) Error() string { return e.msg }
 
-// runJob executes one sort end to end. Any error return before output
-// streaming starts is translated to an HTTP error status; once the
-// first sorted byte is out, errors abort the chunked body so the
+// kernelParams extracts the kernel parameters from the query (or the
+// matching X-Asymsortd-* header when the query is silent).
+func kernelParams(r *http.Request) (kernel.Params, error) {
+	var p kernel.Params
+	q := r.URL.Query()
+	for _, f := range []struct {
+		query, header string
+		dst           *int
+	}{
+		{"buckets", "X-Asymsortd-Buckets", &p.Buckets},
+		{"k", "X-Asymsortd-K", &p.K},
+		{"left", "X-Asymsortd-Left", &p.LeftN},
+	} {
+		v := q.Get(f.query)
+		if v == "" {
+			v = r.Header.Get(f.header)
+		}
+		if v == "" {
+			continue
+		}
+		i, err := strconv.Atoi(v)
+		if err != nil || i < 0 {
+			return p, fmt.Errorf("bad %s=%q", f.query, v)
+		}
+		*f.dst = i
+	}
+	return p, nil
+}
+
+// runJob executes one kernel job end to end. Any error return before
+// output streaming starts is translated to an HTTP error status; once
+// the first result byte is out, errors abort the chunked body so the
 // client's own order/count verification fails.
-func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter, r *http.Request) error {
+func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter, r *http.Request, k *kernel.Kernel, alias bool) error {
 	fail := func(code int, format string, args ...any) error {
 		e := &httpError{code: code, msg: fmt.Sprintf(format, args...)}
 		http.Error(w, e.msg, e.code)
 		return e
 	}
 
+	p, err := kernelParams(r)
+	if err != nil {
+		return fail(http.StatusBadRequest, "job %d: %v", j.ID, err)
+	}
+
 	// Per-job scratch dir: staging files, the binary output, and the
-	// ext engine's spill files all live (and die) here.
+	// ext composition's spill files all live (and die) here.
 	dir, err := os.MkdirTemp(s.cfg.TmpDir, fmt.Sprintf("asymsortd-job%d-", j.ID))
 	if err != nil {
 		return fail(http.StatusInternalServerError, "job %d: %v", j.ID, err)
 	}
 	defer os.RemoveAll(dir)
 
-	// Negotiate the wire dialects: a binary Content-Type selects binary
-	// ingest; the response mirrors the request unless Accept names a
-	// dialect explicitly.
-	reqBinary := false
-	if ct := r.Header.Get("Content-Type"); ct != "" {
-		if mt, _, err := mime.ParseMediaType(ct); err == nil && mt == wire.ContentType {
-			reqBinary = true
-		}
-	}
-	respBinary := reqBinary
-	if acc := r.Header.Get("Accept"); acc != "" {
-		switch {
-		case strings.Contains(acc, wire.ContentType):
-			respBinary = true
-		case strings.Contains(acc, "text/plain"):
-			respBinary = false
-		}
-	}
+	inCodec, outCodec := negotiate(r)
+	// Non-sort kernels' payloads carry results (group sums, counts,
+	// join sums), so their text dialect renders "key value" lines; the
+	// sort kernel keeps the historical bare-key lines.
+	outCodec.withVals = k.Name != "sort"
 
 	// Stage the request body, fixing n.
 	staged := filepath.Join(dir, "in.bin")
-	var n int
-	if reqBinary {
-		n, err = stageRecords(r.Body, staged)
-	} else {
-		n, err = stageKeys(r.Body, staged)
-	}
+	n, err := inCodec.stage(r.Body, staged)
 	if err != nil {
 		if ctx.Err() != nil {
 			// The client hung up mid-upload; the body read error is
@@ -276,18 +410,21 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 			return fmt.Errorf("job %d: %w", j.ID, err)
 		}
 		code := http.StatusBadRequest
-		if !errors.Is(err, wire.ErrFormat) && reqBinary {
+		if !errors.Is(err, wire.ErrFormat) && inCodec.binary {
 			// Frame was well-formed; the failure is ours (device, disk).
 			code = http.StatusInternalServerError
 		}
 		return fail(code, "job %d: %v", j.ID, err)
 	}
+	if err := k.Check(n, p); err != nil {
+		return fail(http.StatusBadRequest, "job %d: %v", j.ID, err)
+	}
 	s.setJob(j, func(j *JobStats) { j.N = n; j.State = "queued" })
 
-	// Admission: ask for enough to sort in RAM (2n: slice plus merge
-	// scratch), floored so tiny jobs still get a workable ext budget,
-	// clamped by the broker to the envelope. A mem=<records> query
-	// overrides the hint.
+	// Admission: ask for enough to run in RAM (2n: slice plus working
+	// copy/scratch), floored so tiny jobs still get a workable ext
+	// budget, clamped by the broker to the envelope. A mem=<records>
+	// query overrides the hint.
 	want := 2 * n
 	if q := r.URL.Query().Get("mem"); q != "" {
 		v, err := strconv.Atoi(q)
@@ -328,8 +465,9 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 		j.Procs = lease.Procs()
 	})
 
-	sortStart := time.Now()
+	runStart := time.Now()
 	outBin := filepath.Join(dir, "out.bin")
+	outN := n
 	var ledgerWrites, ledgerPlanWrites uint64
 	switch model {
 	case "native":
@@ -337,220 +475,84 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 			return fail(http.StatusInsufficientStorage,
 				"job %d: native needs %d records resident, grant is %d", j.ID, 2*n, grant)
 		}
-		if err := sortNative(lease, staged, outBin, n); err != nil {
+		outN, err = runNative(lease, k, p, staged, outBin, s.cfg.Omega)
+		if err != nil {
 			return fail(http.StatusInternalServerError, "job %d: %v", j.ID, err)
 		}
 	case "ext":
-		rep, err := extmem.Sort(extmem.Config{
+		res, err := k.Ext(extmem.Config{
 			Mem: grant, Block: s.cfg.Block, K: s.cfg.K, Omega: s.cfg.Omega,
 			TmpDir: dir, Pool: lease.Pool(), IOQ: s.cfg.Broker.IOQ(), Lease: lease,
-		}, staged, outBin)
+		}, staged, outBin, p)
 		if err != nil {
 			if ctx.Err() != nil {
 				s.setJob(j, func(j *JobStats) { j.State = "canceled" })
 				return fmt.Errorf("job %d: %w", j.ID, err) // client is gone; no body to write
 			}
+			if errors.Is(err, kernel.ErrBudget) {
+				return fail(http.StatusInsufficientStorage, "job %d: %v", j.ID, err)
+			}
 			return fail(http.StatusInternalServerError, "job %d: %v", j.ID, err)
 		}
-		ledgerWrites, ledgerPlanWrites = rep.Total.Writes, rep.PlanWrites
+		outN = res.OutN
+		ledgerWrites, ledgerPlanWrites = res.Total.Writes, res.PlanWrites
 		s.setJob(j, func(j *JobStats) {
-			j.Reads = rep.Total.Reads
-			j.Writes = rep.Total.Writes
-			j.PlanWrites = rep.PlanWrites
-			j.Levels = rep.Levels
-			j.K = rep.K
+			j.Reads = res.Total.Reads
+			j.Writes = res.Total.Writes
+			j.PlanWrites = res.PlanWrites
+			if len(res.Sorts) > 0 {
+				j.Levels = res.Sorts[0].Levels
+				j.K = res.Sorts[0].K
+			}
 		})
 	default:
 		return fail(http.StatusBadRequest, "job %d: unknown model %q", j.ID, model)
 	}
-	s.setJob(j, func(j *JobStats) { j.SortMS = time.Since(sortStart).Milliseconds() })
+	s.setJob(j, func(j *JobStats) {
+		j.SortMS = time.Since(runStart).Milliseconds()
+		j.OutN = outN
+	})
 
-	// Stream the sorted records out. Every response header is set here,
+	// Stream the result records out. Every response header is set here,
 	// before the first body byte, in both wire modes — nothing below
 	// touches w.Header() once streaming may have flushed. The ext ledger
 	// headers let clients compare measured vs planned writes without a
-	// /stats round-trip.
-	if respBinary {
-		w.Header().Set("Content-Type", wire.ContentType)
-		w.Header().Set("X-Asymsortd-Wire", "binary")
-	} else {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Header().Set("X-Asymsortd-Wire", "text")
-	}
+	// /stats round-trip. The /sort alias omits the kernel/out headers so
+	// its responses stay byte-identical to the pre-registry daemon.
+	w.Header().Set("Content-Type", outCodec.ContentType())
+	w.Header().Set("X-Asymsortd-Wire", outCodec.Name())
 	w.Header().Set("X-Asymsortd-Job", strconv.Itoa(j.ID))
+	if !alias {
+		w.Header().Set("X-Asymsortd-Kernel", k.Name)
+		w.Header().Set("X-Asymsortd-Out", strconv.Itoa(outN))
+	}
 	w.Header().Set("X-Asymsortd-Model", model)
 	w.Header().Set("X-Asymsortd-Mem", strconv.Itoa(grant))
 	if model == "ext" {
 		w.Header().Set("X-Asymsortd-Writes", strconv.FormatUint(ledgerWrites, 10))
 		w.Header().Set("X-Asymsortd-Plan-Writes", strconv.FormatUint(ledgerPlanWrites, 10))
 	}
-	if respBinary {
-		err = streamRecords(outBin, n, w)
-	} else {
-		err = streamKeys(outBin, w)
-	}
-	if err != nil {
+	if err := outCodec.stream(w, outBin, outN); err != nil {
 		return fmt.Errorf("job %d: streaming output: %w", j.ID, err)
 	}
 	return nil
 }
 
-// stageChunk is the record granularity of staging and output streams.
-const stageChunk = 1 << 14
-
-// maxLineBytes caps one text-dialect input line. A line is one decimal
-// uint64 (≤ 20 digits); the cap is generous for whitespace junk while
-// keeping a garbage body from ballooning the scanner's token buffer.
-const maxLineBytes = 1 << 20
-
-// stageKeys parses one decimal uint64 key per line into a binary
-// record file (payload = line index — the unique-pair convention every
-// engine relies on) and returns the record count.
-func stageKeys(r io.Reader, dst string) (int, error) {
-	bf, err := extmem.CreateBlockFile(dst, 1, nil)
-	if err != nil {
-		return 0, err
-	}
-	defer bf.Close()
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
-	batch := make([]seq.Record, 0, stageChunk)
-	off, line := 0, 0
-	flush := func() error {
-		if err := bf.WriteAt(off, batch); err != nil {
-			return err
-		}
-		off += len(batch)
-		batch = batch[:0]
-		return nil
-	}
-	for sc.Scan() {
-		txt := sc.Text()
-		line++
-		if txt == "" {
-			continue
-		}
-		key, err := strconv.ParseUint(txt, 10, 64)
-		if err != nil {
-			return 0, fmt.Errorf("input line %d: %v", line, err)
-		}
-		batch = append(batch, seq.Record{Key: key, Val: uint64(off + len(batch))})
-		if len(batch) == cap(batch) {
-			if err := flush(); err != nil {
-				return 0, err
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
-		if errors.Is(err, bufio.ErrTooLong) {
-			return 0, fmt.Errorf("input line %d: line exceeds %d bytes", line+1, maxLineBytes)
-		}
-		return 0, err
-	}
-	if err := flush(); err != nil {
-		return 0, err
-	}
-	return off, bf.Close()
-}
-
-// stageRecords spools a binary wire frame's payload straight into the
-// staged record file and returns the record count. No parse, no
-// re-encode: the frame payload is already the staged file's on-disk
-// format, so staging a binary body is a single buffered copy.
-func stageRecords(r io.Reader, dst string) (int, error) {
-	fr, err := wire.NewReader(r)
-	if err != nil {
-		return 0, err
-	}
-	f, err := os.Create(dst)
-	if err != nil {
-		return 0, err
-	}
-	defer f.Close()
-	bw := bufio.NewWriterSize(f, 1<<20)
-	n, err := fr.Spool(bw)
-	if err != nil {
-		return 0, err
-	}
-	if err := bw.Flush(); err != nil {
-		return 0, err
-	}
-	return int(n), f.Close()
-}
-
-// sortNative sorts the staged file in RAM on the leased pool. Resident
-// memory is the n-record slice plus SortRecords' n-record merge
-// scratch — the 2n the admission check guaranteed fits the grant.
-func sortNative(l *Lease, inPath, outPath string, n int) error {
+// runNative runs the kernel in RAM on the leased pool and returns the
+// result count. The sort kernel takes the in-place fast path (the
+// n-record slice plus SortRecords' n-record merge scratch — the 2n the
+// admission check guaranteed); other kernels run their registry
+// composition on the native backend.
+func runNative(l *Lease, k *kernel.Kernel, p kernel.Params, inPath, outPath string, omega float64) (int, error) {
 	recs, err := extmem.ReadRecordsFile(inPath)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	rt.SortRecords(l.Pool(), recs)
-	return extmem.WriteRecordsFile(outPath, recs)
-}
-
-// streamKeys writes the sorted binary file's keys as text.
-func streamKeys(binPath string, w io.Writer) error {
-	bf, err := extmem.OpenBlockFile(binPath, 1, nil)
-	if err != nil {
-		return err
+	if k.Name == "sort" {
+		rt.SortRecords(l.Pool(), recs)
+		return len(recs), extmem.WriteRecordsFile(outPath, recs)
 	}
-	defer bf.Close()
-	bw := bufio.NewWriterSize(w, 1<<20)
-	buf := make([]seq.Record, stageChunk)
-	var line []byte
-	for off := 0; off < bf.Len(); off += len(buf) {
-		if rem := bf.Len() - off; rem < len(buf) {
-			buf = buf[:rem]
-		}
-		if err := bf.ReadAt(off, buf); err != nil {
-			return err
-		}
-		for _, rec := range buf {
-			line = strconv.AppendUint(line[:0], rec.Key, 10)
-			line = append(line, '\n')
-			if _, err := bw.Write(line); err != nil {
-				return err
-			}
-		}
-	}
-	return bw.Flush()
-}
-
-// streamRecords streams the sorted record file out as a chunked binary
-// frame with its count announced: raw file bytes feed the frame's
-// chunks directly — no decode, no AppendUint pass. The Writer's count
-// check at Close turns a short or long file into a hard error instead
-// of a silently wrong frame.
-func streamRecords(binPath string, n int, w io.Writer) error {
-	f, err := os.Open(binPath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	bw := bufio.NewWriterSize(w, 1<<20)
-	fw, err := wire.NewWriter(bw, int64(n))
-	if err != nil {
-		return err
-	}
-	buf := make([]byte, stageChunk*extmem.RecordBytes)
-	for {
-		m, err := io.ReadFull(f, buf)
-		if m > 0 {
-			if werr := fw.WriteRaw(buf[:m]); werr != nil {
-				return werr
-			}
-		}
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
-	}
-	if err := fw.Close(); err != nil {
-		return err
-	}
-	return bw.Flush()
+	c := rt.NewNative(l.Pool(), uint64(omega))
+	out := k.Run(c, rt.WrapSlice(c, recs), p).Unwrap()
+	return len(out), extmem.WriteRecordsFile(outPath, out)
 }

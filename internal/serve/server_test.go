@@ -357,9 +357,9 @@ func TestServeQueueBackpressure(t *testing.T) {
 // beyond the cap are evicted oldest-first, live jobs never.
 func TestServeJobRetention(t *testing.T) {
 	s := newTestService(t, 1<<13, 1, 64)
-	live := s.srv.newJob() // stays "staging" — must survive any eviction
+	live := s.srv.newJob("sort") // stays "staging" — must survive any eviction
 	for i := 0; i < maxRetainedJobs+50; i++ {
-		j := s.srv.newJob()
+		j := s.srv.newJob("sort")
 		s.srv.setJob(j, func(j *JobStats) { j.State = "done" })
 	}
 	s.srv.mu.Lock()

@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"asymsort/internal/seq"
+)
+
+// fuzzFrame renders a chunked frame without a testing.T, for seeding.
+func fuzzFrame(recs []seq.Record, count int64, chunkRecs int) []byte {
+	var buf bytes.Buffer
+	fw, err := NewWriter(&buf, count)
+	if err != nil {
+		panic(err)
+	}
+	for len(recs) > 0 {
+		n := min(chunkRecs, len(recs))
+		if err := fw.WriteRecords(recs[:n]); err != nil {
+			panic(err)
+		}
+		recs = recs[n:]
+	}
+	fw.Close()
+	return buf.Bytes()
+}
+
+// FuzzWireReader throws arbitrary bytes at the frame decoder and holds
+// it to its contract: every outcome is either a clean decode or an
+// ErrFormat-wrapped rejection (a bytes.Reader never fails, so any
+// other error class is a bug), it never hangs, and it never produces
+// more records than the input bytes could carry. On every accepted
+// input the two decode paths must agree — Spool's raw payload is
+// exactly the decoded records re-encoded — and the frame must be
+// stable through decode → encode → decode.
+func FuzzWireReader(f *testing.F) {
+	recs := seq.Uniform(300, 9)
+	f.Add(fuzzFrame(nil, 0, 8))
+	f.Add(fuzzFrame(recs[:1], 1, 1))
+	f.Add(fuzzFrame(recs, 300, 32))
+	f.Add(fuzzFrame(recs, CountUnknown, 17))
+	var contig bytes.Buffer
+	if err := WriteContiguousHeader(&contig, int64(len(recs))); err != nil {
+		f.Fatal(err)
+	}
+	raw := make([]byte, len(recs)*RecordBytes)
+	EncodeRecords(raw, recs)
+	contig.Write(raw)
+	f.Add(contig.Bytes())
+	good := fuzzFrame(recs, 300, 32)
+	f.Add(good[:HeaderBytes-3])                // truncated header
+	f.Add(good[:HeaderBytes+4+11])             // truncated mid-chunk
+	f.Add(good[:len(good)-4])                  // missing terminator
+	f.Add(append([]byte("XSRF"), good[4:]...)) // bad magic
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("bounding the per-input work")
+		}
+		fr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrFormat) {
+				t.Fatalf("NewReader: error %v does not wrap ErrFormat", err)
+			}
+			return
+		}
+		var out []seq.Record
+		buf := make([]seq.Record, 99) // deliberately misaligned with every chunk size
+		for {
+			n, rerr := fr.ReadRecords(buf)
+			out = append(out, buf[:n]...)
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				if !errors.Is(rerr, ErrFormat) {
+					t.Fatalf("ReadRecords: error %v does not wrap ErrFormat", rerr)
+				}
+				return
+			}
+		}
+		if len(out)*RecordBytes > len(data) {
+			t.Fatalf("decoded %d records (%d payload bytes) out of only %d input bytes",
+				len(out), len(out)*RecordBytes, len(data))
+		}
+
+		// The zero-copy path must accept the same frame and spool
+		// exactly the decoded records' bytes.
+		fr2, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("NewReader rejected on the second pass: %v", err)
+		}
+		var spooled bytes.Buffer
+		sn, serr := fr2.Spool(&spooled)
+		if serr != nil {
+			t.Fatalf("ReadRecords accepted the frame, Spool rejected it: %v", serr)
+		}
+		if sn != int64(len(out)) {
+			t.Fatalf("Spool counted %d records, ReadRecords decoded %d", sn, len(out))
+		}
+		wantRaw := make([]byte, len(out)*RecordBytes)
+		EncodeRecords(wantRaw, out)
+		if !bytes.Equal(spooled.Bytes(), wantRaw) {
+			t.Fatal("spooled payload differs from the decoded records re-encoded")
+		}
+
+		// Decode → encode → decode is a fixed point.
+		var re bytes.Buffer
+		fw, err := NewWriter(&re, int64(len(out)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.WriteRecords(out); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		fr3, err := NewReader(bytes.NewReader(re.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		again := 0
+		for {
+			n, rerr := fr3.ReadRecords(buf)
+			for i := 0; i < n; i++ {
+				if buf[i] != out[again+i] {
+					t.Fatalf("record %d changed across decode→encode→decode", again+i)
+				}
+			}
+			again += n
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				t.Fatalf("re-encoded frame broke mid-decode: %v", rerr)
+			}
+		}
+		if again != len(out) {
+			t.Fatalf("re-decode produced %d records, want %d", again, len(out))
+		}
+	})
+}
