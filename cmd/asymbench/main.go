@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"asymsort/internal/exp"
+	"asymsort/internal/obs"
 )
 
 func main() {
@@ -32,9 +33,14 @@ func main() {
 		procs    = flag.Int("procs", 0, "native/ext benchmark workers (0 = GOMAXPROCS)")
 		jsonPath = flag.String("json", "", "also write every rendered table's rows as JSON to this file")
 		list     = flag.Bool("list", false, "list experiments and exit")
+		version  = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(obs.ReadBuildInfo())
+		return
+	}
 	if *list {
 		for _, e := range exp.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)

@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"asymsort/internal/exp"
+	"asymsort/internal/obs"
 	"asymsort/internal/seq"
 	"asymsort/internal/wire"
 	"asymsort/internal/xrand"
@@ -103,16 +104,23 @@ func main() {
 		jsonOut = flag.String("json", "", "record the tables as JSON rows (exp.Recorder format)")
 		wireFmt = flag.String("wire", "text", "job dialect: text | binary (record frames) | mixed (alternate by job id)")
 		kernels = flag.String("kernels", "sort", "comma-separated kernel pool the mix draws from (see internal/kernel)")
+		metrics = flag.Bool("metrics", false, "scrape /metrics before and after the run and verify the counter deltas and post-drain gauges")
+		version = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
-	if err := run(*addr, *jobs, *conc, *seed, *minN, *maxN, *shapes, *spacing, *model, *jobMem, *save, *jsonOut, *wireFmt, *kernels); err != nil {
+	if *version {
+		fmt.Println(obs.ReadBuildInfo())
+		return
+	}
+	if err := run(*addr, *jobs, *conc, *seed, *minN, *maxN, *shapes, *spacing, *model, *jobMem, *save, *jsonOut, *wireFmt, *kernels, *metrics); err != nil {
 		fmt.Fprintf(os.Stderr, "asymload: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, jobs, conc int, seed uint64, minN, maxN int, shapeList string,
-	spacing time.Duration, model string, jobMem int, save, jsonOut, wireMode, kernelList string) error {
+	spacing time.Duration, model string, jobMem int, save, jsonOut, wireMode, kernelList string,
+	metricsCheck bool) error {
 	if jobs < 1 || minN < 1 || maxN < minN {
 		return fmt.Errorf("need -jobs >= 1 and 1 <= -minn <= -maxn")
 	}
@@ -161,6 +169,17 @@ func run(addr string, jobs, conc int, seed uint64, minN, maxN int, shapeList str
 	fmt.Printf("asymload: %d jobs (%d..%d records) against %s, concurrency %d, spacing %v, seed %d, wire %s, kernels %s\n",
 		jobs, minN, maxN, addr, conc, spacing, seed, wireMode, strings.Join(kpool, ","))
 
+	// -metrics baseline: snapshot the daemon's counters before any of our
+	// jobs land, so the post-run diff isolates exactly this mix even
+	// against a daemon that has already served other load.
+	var before *obs.Snapshot
+	if metricsCheck {
+		var err error
+		if before, err = scrapeMetrics(addr); err != nil {
+			return fmt.Errorf("scraping /metrics before the run: %v", err)
+		}
+	}
+
 	results := make([]jobResult, jobs)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, conc)
@@ -204,6 +223,18 @@ func run(addr string, jobs, conc int, seed uint64, minN, maxN int, shapeList str
 		fmt.Printf("ledger identity: %d of %d ext jobs DIVERGE from the simulated AEM plan\n", mismatches, extJobs)
 	} else {
 		fmt.Printf("ledger identity: OK (%d ext jobs, measured block writes == simulated AEM plan)\n", extJobs)
+	}
+
+	// -metrics invariants: the job counter must have moved by exactly the
+	// number of jobs this run drove, and the envelope gauges must drain
+	// back to zero once the last response has been consumed.
+	if metricsCheck {
+		if err := checkMetrics(addr, before, jobs); err != nil {
+			failures++
+			fmt.Printf("metrics invariants: FAIL: %v\n", err)
+		} else {
+			fmt.Printf("metrics invariants: OK (jobs_total +%d, queue/grant/lease gauges drained to zero)\n", jobs)
+		}
 	}
 
 	if rec != nil {
@@ -676,4 +707,59 @@ func checkLedgers(addr string) (extJobs, mismatches int, err error) {
 
 func decodeJSON(r io.Reader, v any) error {
 	return json.NewDecoder(r).Decode(v)
+}
+
+// scrapeMetrics fetches and parses the daemon's Prometheus exposition.
+// Parsing through internal/obs's strict reader means every -metrics run
+// also re-validates the exposition syntax end to end.
+func scrapeMetrics(addr string) (*obs.Snapshot, error) {
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics returned status %d", resp.StatusCode)
+	}
+	return obs.ParseProm(resp.Body)
+}
+
+// checkMetrics enforces the load generator's two observability
+// invariants against a before/after scrape pair:
+//
+//  1. asymsortd_jobs_total moved by exactly the number of jobs this run
+//     drove — no job may finish uncounted, none counted twice;
+//  2. after the drain, the envelope gauges (admission queue depth, live
+//     leases, live granted bytes) are back to zero.
+//
+// The gauges are polled briefly: a job's lease is released when its
+// handler returns, a hair after the client sees the response body end.
+func checkMetrics(addr string, before *obs.Snapshot, jobs int) error {
+	deadline := time.Now().Add(5 * time.Second)
+	gauges := []string{"asymsortd_queue_depth", "asymsortd_leases", "asymsortd_grant_bytes"}
+	for {
+		after, err := scrapeMetrics(addr)
+		if err != nil {
+			return fmt.Errorf("scraping /metrics after the run: %v", err)
+		}
+		stuck := ""
+		if delta := after.Sum("asymsortd_jobs_total") - before.Sum("asymsortd_jobs_total"); delta != float64(jobs) {
+			stuck = fmt.Sprintf("asymsortd_jobs_total moved by %g, ran %d jobs", delta, jobs)
+		}
+		for _, g := range gauges {
+			if stuck != "" {
+				break
+			}
+			if v := after.Sum(g); v != 0 {
+				stuck = fmt.Sprintf("%s = %g after drain (want 0)", g, v)
+			}
+		}
+		if stuck == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s", stuck)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }

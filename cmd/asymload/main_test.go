@@ -49,7 +49,7 @@ func TestWireDifferential(t *testing.T) {
 		ts := newTestService(t)
 		save := filepath.Join(t.TempDir(), mode)
 		if err := run(ts.URL, jobs, 1, seed, 2000, 12000, "uniform,dups,sorted,reversed", 0,
-			"ext", 0, save, "", mode, "sort"); err != nil {
+			"ext", 0, save, "", mode, "sort", true); err != nil {
 			t.Fatalf("%s run: %v", mode, err)
 		}
 		saves[mode] = save
@@ -131,10 +131,10 @@ func TestWireModeAssignment(t *testing.T) {
 			t.Fatalf("mode %s job %d: binary=%v, want %v", tc.mode, tc.id, got, tc.want)
 		}
 	}
-	if err := run("http://127.0.0.1:1", 1, 1, 1, 1, 1, "uniform", 0, "auto", 0, "", "", "bogus", "sort"); err == nil {
+	if err := run("http://127.0.0.1:1", 1, 1, 1, 1, 1, "uniform", 0, "auto", 0, "", "", "bogus", "sort", false); err == nil {
 		t.Fatal("bad -wire value was accepted")
 	}
-	if err := run("http://127.0.0.1:1", 1, 1, 1, 1, 1, "uniform", 0, "auto", 0, "", "", "text", "sort,bogus"); err == nil {
+	if err := run("http://127.0.0.1:1", 1, 1, 1, 1, 1, "uniform", 0, "auto", 0, "", "", "text", "sort,bogus", false); err == nil {
 		t.Fatal("bad -kernels value was accepted")
 	}
 }
@@ -154,7 +154,7 @@ func TestKernelMixDifferential(t *testing.T) {
 	for _, mode := range []string{"text", "binary"} {
 		ts := newTestService(t)
 		if err := run(ts.URL, jobs, 2, seed, 2000, 12000, "uniform,dups,sorted,reversed", 0,
-			"ext", 0, "", "", mode, pool); err != nil {
+			"ext", 0, "", "", mode, pool, true); err != nil {
 			t.Fatalf("%s kernel mix: %v", mode, err)
 		}
 		resp, err := http.Get(ts.URL + "/stats")

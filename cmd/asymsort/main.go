@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
@@ -64,6 +65,7 @@ import (
 	"asymsort/internal/cost"
 	"asymsort/internal/exp"
 	"asymsort/internal/icache"
+	"asymsort/internal/obs"
 	"asymsort/internal/rt"
 	"asymsort/internal/seq"
 	"asymsort/internal/wd"
@@ -91,8 +93,33 @@ func main() {
 		buckets = flag.Int("buckets", 0, "histogram kernel: bucket count")
 		topk    = flag.Int("topk", 0, "top-k kernel: selection size")
 		left    = flag.Int("left", 0, "merge-join kernel: size of the left relation (the first records of the input)")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of this run (one job, flags to finish) to the given file")
+		version = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.ReadBuildInfo())
+		return
+	}
+	// The profile-around-one-job hook: the whole run — staging, the
+	// sort/kernel itself, verification, output — lands in one pprof
+	// profile, the offline twin of asymsortd's -debug-addr listener.
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asymsort: bad -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "asymsort: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("  cpu profile written to %s\n", *cpuprof)
+		}()
+	}
 
 	if *kname != "sort" {
 		// -k keeps the sims' default of 4; under ext it means "choose

@@ -8,6 +8,7 @@
 //
 //	asymsortd -addr :8077 -mem 8MB -b 64 -omega 16
 //	asymsortd -addr 127.0.0.1:0 -mem 64MB -procs 4 -tmpdir /mnt/scratch
+//	asymsortd -addr :8077 -trace-dir /tmp/traces -debug-addr 127.0.0.1:6060
 //
 // API (see internal/serve for the full contract):
 //
@@ -19,8 +20,12 @@
 //	POST /sort     the sort kernel under its historical route,
 //	               byte-identical responses
 //	GET  /stats    broker + per-job + per-kernel JSON (grants, queue,
-//	               IO ledgers, simulated-plan write counts, wall times)
-//	GET  /healthz  liveness JSON: status ok|draining, uptime, leases
+//	               IO ledgers, simulated-plan write counts, wall times,
+//	               live jobs' current phase)
+//	GET  /healthz  liveness JSON: status ok|draining, uptime, leases,
+//	               build info (module version, vcs revision)
+//	GET  /metrics  Prometheus text exposition: jobs, queue, grants,
+//	               pool/ioq occupancy, block IO by level, HTTP traffic
 //
 // -mem is the global budget shared by every job (a byte size; divided
 // by the 16-byte record footprint). Jobs queue FIFO under
@@ -28,6 +33,11 @@
 // changes, and a disconnected client cancels its job — the engine
 // aborts and its spill files are removed. cmd/asymload is the matching
 // deterministic load generator.
+//
+// Observability: -trace-dir exports every job's span tree as JSONL and
+// Chrome trace-event JSON (open the latter at https://ui.perfetto.dev);
+// -debug-addr serves net/http/pprof on a second listener, kept off the
+// service port so profiling is opt-in and never exposed with the API.
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -44,41 +55,59 @@ import (
 
 	"asymsort/internal/extmem"
 	"asymsort/internal/kernel"
+	"asymsort/internal/obs"
 	"asymsort/internal/serve"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:8077", "listen address (host:port; :0 picks a free port)")
-		mem    = flag.String("mem", "64MB", "global memory budget shared by all jobs, e.g. 8MB")
-		block  = flag.Int("b", 64, "device block size in records (the model's B)")
-		omega  = flag.Float64("omega", 8, "device write/read cost ratio ω (picks k when -k 0)")
-		k      = flag.Int("k", 0, "ext read multiplier (0 = choose from ω, Appendix A)")
-		procs  = flag.Int("procs", 0, "machine worker count shared by all jobs (0 = GOMAXPROCS)")
-		tmpdir = flag.String("tmpdir", "", "job staging/spill directory (default os.TempDir)")
+		addr      = flag.String("addr", "127.0.0.1:8077", "listen address (host:port; :0 picks a free port)")
+		mem       = flag.String("mem", "64MB", "global memory budget shared by all jobs, e.g. 8MB")
+		block     = flag.Int("b", 64, "device block size in records (the model's B)")
+		omega     = flag.Float64("omega", 8, "device write/read cost ratio ω (picks k when -k 0)")
+		k         = flag.Int("k", 0, "ext read multiplier (0 = choose from ω, Appendix A)")
+		procs     = flag.Int("procs", 0, "machine worker count shared by all jobs (0 = GOMAXPROCS)")
+		tmpdir    = flag.String("tmpdir", "", "job staging/spill directory (default os.TempDir)")
+		traceDir  = flag.String("trace-dir", "", "export each job's trace there as JSONL + Chrome trace-event JSON (empty = tracing off)")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this extra listener (empty = pprof off)")
+		version   = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
-	if err := run(*addr, *mem, *block, *omega, *k, *procs, *tmpdir); err != nil {
+	if *version {
+		fmt.Println(obs.ReadBuildInfo())
+		return
+	}
+	if err := run(*addr, *mem, *block, *omega, *k, *procs, *tmpdir, *traceDir, *debugAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "asymsortd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, memFlag string, block int, omega float64, k, procs int, tmpdir string) error {
+func run(addr, memFlag string, block int, omega float64, k, procs int, tmpdir, traceDir, debugAddr string) error {
 	memBytes, err := serve.ParseSize(memFlag)
 	if err != nil {
 		return fmt.Errorf("bad -mem: %v", err)
 	}
 	memRecs := int(memBytes / extmem.RecordBytes)
 
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o777); err != nil {
+			return fmt.Errorf("bad -trace-dir: %v", err)
+		}
+	}
+
+	// One registry for the whole process: the broker's envelope gauges
+	// and the job engine's job/IO/HTTP metrics share the /metrics scrape.
+	reg := obs.NewRegistry()
 	broker, err := serve.NewBroker(serve.BrokerConfig{
-		Mem: memRecs, Procs: procs, MinLease: 16 * block,
+		Mem: memRecs, Procs: procs, MinLease: 16 * block, Metrics: reg,
 	})
 	if err != nil {
 		return err
 	}
 	srv, err := serve.NewServer(serve.ServerConfig{
 		Broker: broker, Block: block, Omega: omega, K: k, TmpDir: tmpdir,
+		Metrics: reg, TraceDir: traceDir,
 	})
 	if err != nil {
 		broker.Close()
@@ -95,7 +124,25 @@ func run(addr, memFlag string, block int, omega float64, k, procs int, tmpdir st
 	fmt.Printf("  envelope : M=%d records (%s), B=%d records, ω=%g, procs=%d, min lease %d records\n",
 		stats.TotalMem, memFlag, block, omega, stats.Procs, stats.MinLease)
 	fmt.Printf("  kernels  : %s\n", strings.Join(kernel.Names(), " · "))
-	fmt.Printf("  endpoints: POST /v1/{kernel} · POST /sort · GET /stats · GET /healthz\n")
+	fmt.Printf("  endpoints: POST /v1/{kernel} · POST /sort · GET /stats · GET /healthz · GET /metrics\n")
+	if traceDir != "" {
+		fmt.Printf("  tracing  : per-job JSONL + Chrome traces in %s\n", traceDir)
+	}
+
+	// pprof rides on its own listener (DefaultServeMux carries the
+	// net/http/pprof registrations), so the profiling surface is only
+	// reachable where -debug-addr points — typically loopback.
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			ln.Close()
+			broker.Close()
+			return fmt.Errorf("bad -debug-addr: %v", err)
+		}
+		fmt.Printf("  pprof    : http://%s/debug/pprof/\n", dln.Addr())
+		go http.Serve(dln, nil)
+		defer dln.Close()
+	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)

@@ -1,0 +1,131 @@
+// Command promcheck validates a saved Prometheus text exposition — a
+// /metrics scrape captured to a file — and asserts simple invariants on
+// it. It is the CI-side half of the observability contract: the smoke
+// workflow scrapes asymsortd mid-load and again after the drain, and
+// promcheck turns those files into pass/fail gates instead of artifacts
+// nobody reads.
+//
+// Usage:
+//
+//	promcheck METRICS.txt
+//	promcheck -zero asymsortd_queue_depth,asymsortd_leases METRICS.txt
+//	promcheck -nonzero asymsortd_jobs_total -min asymsortd_jobs_total=8 METRICS.txt
+//	cat METRICS.txt | promcheck -
+//
+// With no assertion flags it still parses the file through the strict
+// reader in internal/obs (TYPE-before-sample ordering, label syntax,
+// histogram suffix resolution), so a bare run is an exposition-validity
+// check. -zero and -nonzero take comma-separated metric names and
+// assert the sum across each name's series; -min takes name=value
+// pairs and asserts sum >= value. Exit status 1 on any failure, with
+// one line per violated assertion on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"asymsort/internal/obs"
+)
+
+func main() {
+	var (
+		zero    = flag.String("zero", "", "comma-separated metrics whose series must sum to zero")
+		nonzero = flag.String("nonzero", "", "comma-separated metrics whose series must sum to non-zero")
+		min     = flag.String("min", "", "comma-separated name=value pairs: each metric's series sum must be >= value")
+		version = flag.Bool("version", false, "print build info and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(obs.ReadBuildInfo())
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: promcheck [-zero m1,m2] [-nonzero m1,m2] [-min m1=v1,m2=v2] <exposition-file | ->")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *zero, *nonzero, *min); err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, zero, nonzero, min string) error {
+	in := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	snap, err := obs.ParseProm(in)
+	if err != nil {
+		return fmt.Errorf("invalid exposition: %v", err)
+	}
+
+	var violations []string
+	have := func(name string) bool {
+		for _, n := range snap.Names() {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, name := range splitList(zero) {
+		if !have(name) {
+			violations = append(violations, fmt.Sprintf("-zero %s: metric not in exposition", name))
+		} else if v := snap.Sum(name); v != 0 {
+			violations = append(violations, fmt.Sprintf("-zero %s: sum is %g", name, v))
+		}
+	}
+	for _, name := range splitList(nonzero) {
+		if !have(name) {
+			violations = append(violations, fmt.Sprintf("-nonzero %s: metric not in exposition", name))
+		} else if snap.Sum(name) == 0 {
+			violations = append(violations, fmt.Sprintf("-nonzero %s: sum is 0", name))
+		}
+	}
+	for _, pair := range splitList(min) {
+		name, valStr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("bad -min entry %q (want name=value)", pair)
+		}
+		want, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return fmt.Errorf("bad -min value in %q: %v", pair, err)
+		}
+		if !have(name) {
+			violations = append(violations, fmt.Sprintf("-min %s: metric not in exposition", name))
+		} else if v := snap.Sum(name); v < want {
+			violations = append(violations, fmt.Sprintf("-min %s: sum %g < %g", name, v, want))
+		}
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		return fmt.Errorf("%d assertion(s) failed on %s", len(violations), path)
+	}
+	fmt.Printf("promcheck: %s ok (%d samples, %d metrics)\n", path, len(snap.Samples), len(snap.Names()))
+	return nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -200,6 +200,14 @@ func (q *IOQueue) submitFunc(f func()) {
 	q.submit(&ioOp{fn: f})
 }
 
+// Depth reports the number of queued ops across all pending chains — a
+// point-in-time reading for the serve layer's ioq-depth gauge.
+func (q *IOQueue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pending
+}
+
 // tryMerge appends op to a pending chain whose extent ends exactly
 // where op begins, same file, same direction. Called with q.mu held.
 // Write merging is disabled while fault injection is armed — the hook

@@ -76,6 +76,7 @@ import (
 	"time"
 
 	"asymsort/internal/cost"
+	"asymsort/internal/obs"
 	"asymsort/internal/rt"
 )
 
@@ -198,6 +199,14 @@ type Config struct {
 	// merge runs sequentially when Post is set. Nil leaves the sort
 	// path byte-identical.
 	Post Streamer
+	// Span, when non-nil, is the parent trace span the engine hangs its
+	// phase spans under: one "form" span for run formation (with per-pass
+	// child spans) and one "merge" span per merge level, each carrying its
+	// level's read/write ledger delta and fan-in as attributes. Purely
+	// observational — the same phase-boundary seam as Lease, so the plan
+	// and the write ledger are untouched. Nil (the default) records
+	// nothing; obs spans are nil-safe, so the engine never branches on it.
+	Span *obs.Span
 	// InSkip is how many leading records of the input file to ignore —
 	// the zero-copy handoff for inputs that carry a whole-record wire
 	// header (a contiguous internal/wire frame is a valid record file
@@ -221,6 +230,7 @@ type resolved struct {
 	lease                Lease
 	inSkip               int
 	post                 Streamer
+	span                 *obs.Span
 }
 
 func (c Config) resolve() (resolved, error) {
@@ -265,6 +275,7 @@ func (c Config) resolve() (resolved, error) {
 	}
 	r.inSkip = c.InSkip
 	r.post = c.Post
+	r.span = c.Span
 	return r, nil
 }
 

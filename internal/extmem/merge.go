@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"asymsort/internal/cost"
+	"asymsort/internal/obs"
 	"asymsort/internal/seq"
 )
 
@@ -37,6 +38,10 @@ type engine struct {
 	// readers and write-behind buffers carve instead of allocating.
 	parArena [][]seq.Record
 	report   *Report
+	// formSpan is the live formation-phase trace span while run
+	// formation executes; selection passes hang their per-pass child
+	// spans under it. Nil (no tracing) is fine — spans are nil-safe.
+	formSpan *obs.Span
 }
 
 // grantMem returns the grant the next phase's buffers carve from:
@@ -157,18 +162,23 @@ func (e *engine) run() error {
 		// Single-run plan: the root is a leaf, so formation and the
 		// post-pass fuse (stream.go).
 		base := e.stats.Snapshot()
+		e.formSpan = e.cfg.span.Child("form")
 		start := time.Now()
 		err := e.formRootStreamed(e.plan.root)
 		e.report.FormTime += time.Since(start)
 		e.addLevel(0, base)
+		e.formSpan.Set(obs.Attr{Key: "post", Val: 1})
+		e.endFormSpan(base)
 		return err
 	}
 	if len(leaves) > 0 {
 		base := e.stats.Snapshot()
+		e.formSpan = e.cfg.span.Child("form")
 		start := time.Now()
 		err := e.formLeaves(leaves)
 		e.report.FormTime += time.Since(start)
 		e.addLevel(0, base)
+		e.endFormSpan(base)
 		if err != nil {
 			return err
 		}
@@ -177,24 +187,70 @@ func (e *engine) run() error {
 		// The level boundary is where a broker rebalance lands: re-read
 		// the lease's grant and carve this level's buffers from it.
 		e.levelMem = e.grantMem()
-		base := e.stats.Snapshot()
-		start := time.Now()
-		for _, nd := range byLevel[lvl] {
-			if err := e.canceled(); err != nil {
-				e.report.MergeTime += time.Since(start)
-				return err
-			}
-			if err := e.mergeNode(nd); err != nil {
-				e.report.MergeTime += time.Since(start)
-				return err
-			}
-			// The children's block indexes were consumed by this merge.
-			for _, kid := range nd.kids {
-				kid.index = nil
-			}
+		if err := e.mergeLevel(lvl, byLevel[lvl]); err != nil {
+			return err
 		}
+	}
+	return nil
+}
+
+// endFormSpan closes the formation-phase span with the level-0 ledger
+// delta as attributes.
+func (e *engine) endFormSpan(base cost.Snapshot) {
+	sp := e.formSpan
+	e.formSpan = nil
+	d := e.stats.Snapshot().Sub(base)
+	sp.Set(
+		obs.Attr{Key: "level", Val: 0},
+		obs.Attr{Key: "runs", Val: int64(e.plan.Runs())},
+		obs.Attr{Key: "reads", Val: int64(d.Reads)},
+		obs.Attr{Key: "writes", Val: int64(d.Writes)},
+	)
+	sp.End()
+}
+
+// mergeLevel merges every node of one level, bracketed by a "merge"
+// trace span that carries the level's read/write ledger delta and
+// fan-in as attributes — the per-level breakdown the /stats and trace
+// exports surface. The span is observational only; the ledger is still
+// charged through addLevel exactly as before.
+func (e *engine) mergeLevel(lvl int, nodes []*planNode) (err error) {
+	base := e.stats.Snapshot()
+	sp := e.cfg.span.Child("merge")
+	start := time.Now()
+	defer func() {
 		e.report.MergeTime += time.Since(start)
 		e.addLevel(lvl, base)
+		d := e.stats.Snapshot().Sub(base)
+		fanIn := 0
+		for _, nd := range nodes {
+			if f := len(nd.kids); f > fanIn {
+				fanIn = f
+			}
+		}
+		sp.Set(
+			obs.Attr{Key: "level", Val: int64(lvl)},
+			obs.Attr{Key: "nodes", Val: int64(len(nodes))},
+			obs.Attr{Key: "fanin", Val: int64(fanIn)},
+			obs.Attr{Key: "reads", Val: int64(d.Reads)},
+			obs.Attr{Key: "writes", Val: int64(d.Writes)},
+		)
+		if lvl == e.plan.Levels() && e.cfg.post != nil {
+			sp.Set(obs.Attr{Key: "post", Val: 1})
+		}
+		sp.End()
+	}()
+	for _, nd := range nodes {
+		if err := e.canceled(); err != nil {
+			return err
+		}
+		if err := e.mergeNode(nd); err != nil {
+			return err
+		}
+		// The children's block indexes were consumed by this merge.
+		for _, kid := range nd.kids {
+			kid.index = nil
+		}
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"asymsort/internal/obs"
 	"asymsort/internal/rt"
 	"asymsort/internal/seq"
 )
@@ -35,6 +36,20 @@ import (
 // records (clamped to a block minimum). Like the simulator's load
 // block, it rides in the slack beyond M.
 const formChunk = 1 << 13
+
+// passSpan opens one selection-pass trace span under the formation
+// span. The caller closes it with endPass once the pass's record count
+// is known. Nil-safe like all span plumbing.
+func (e *engine) passSpan(nd *planNode, off int) *obs.Span {
+	sp := e.formSpan.Child("pass")
+	sp.Set(obs.Attr{Key: "leaf", Val: int64(nd.lo)}, obs.Attr{Key: "off", Val: int64(off)})
+	return sp
+}
+
+func endPass(sp *obs.Span, recs int) {
+	sp.Set(obs.Attr{Key: "recs", Val: int64(recs)})
+	sp.End()
+}
 
 // formLeaves forms every leaf run of the plan, in plan order.
 func (e *engine) formLeaves(leaves []*planNode) error {
@@ -143,11 +158,14 @@ func (e *engine) produceLeaves(leaves []*planNode, sortCh chan<- formBatch, free
 		// read pass, one sort, one write, no watermark (and hence no
 		// uniqueness requirement).
 		if n <= e.cfg.mem {
+			sp := e.passSpan(nd, nd.lo)
 			buf := (<-free)[:n]
 			if err := e.in.ReadAt(nd.lo+e.cfg.inSkip, buf); err != nil {
 				free <- buf[:cap(buf)]
+				endPass(sp, 0)
 				return err
 			}
+			endPass(sp, n)
 			sortCh <- formBatch{nd: nd, dst: dst, off: nd.lo, buf: buf}
 			continue
 		}
@@ -157,7 +175,9 @@ func (e *engine) produceLeaves(leaves []*planNode, sortCh chan<- formBatch, free
 			if failed.Load() {
 				return nil
 			}
+			sp := e.passSpan(nd, outOff)
 			cand, err := e.selectPass(nd, watermark, have, (<-free)[:0])
+			endPass(sp, len(cand))
 			if err != nil {
 				free <- cand[:cap(cand)]
 				return err
@@ -197,6 +217,8 @@ func (e *engine) formRunSeq(nd *planNode) error {
 		return err
 	}
 	if n <= e.cfg.mem {
+		sp := e.passSpan(nd, nd.lo)
+		defer endPass(sp, n)
 		buf := e.formBuf[:n]
 		if err := e.in.ReadAt(nd.lo+e.cfg.inSkip, buf); err != nil {
 			return err
@@ -207,15 +229,20 @@ func (e *engine) formRunSeq(nd *planNode) error {
 	var watermark seq.Record
 	have := false
 	for outOff := nd.lo; outOff < nd.hi; {
+		sp := e.passSpan(nd, outOff)
 		cand, err := e.selectPass(nd, watermark, have, e.formBuf[:0])
 		if err != nil {
+			endPass(sp, len(cand))
 			return err
 		}
 		if len(cand) == 0 {
+			endPass(sp, 0)
 			return noProgressErr(nd, outOff)
 		}
 		rt.SortRecords(e.cfg.pool, cand)
-		if err := dst.WriteAt(outOff, cand); err != nil {
+		err = dst.WriteAt(outOff, cand)
+		endPass(sp, len(cand))
+		if err != nil {
 			return err
 		}
 		outOff += len(cand)

@@ -107,33 +107,42 @@ func (e *engine) formRootStreamed(nd *planNode) error {
 		}
 		n := nd.len()
 		if n <= e.cfg.mem {
+			sp := e.passSpan(nd, nd.lo)
 			buf := e.formBuf[:n]
 			if err := e.in.ReadAt(nd.lo+e.cfg.inSkip, buf); err != nil {
+				endPass(sp, 0)
 				return err
 			}
 			rt.SortRecords(e.cfg.pool, buf)
 			for _, r := range buf {
 				if err := post.Push(r, w.add); err != nil {
+					endPass(sp, n)
 					return err
 				}
 			}
+			endPass(sp, n)
 		} else {
 			var watermark seq.Record
 			have := false
 			for outOff := nd.lo; outOff < nd.hi; {
+				sp := e.passSpan(nd, outOff)
 				cand, err := e.selectPass(nd, watermark, have, e.formBuf[:0])
 				if err != nil {
+					endPass(sp, len(cand))
 					return err
 				}
 				if len(cand) == 0 {
+					endPass(sp, 0)
 					return noProgressErr(nd, outOff)
 				}
 				rt.SortRecords(e.cfg.pool, cand)
 				for _, r := range cand {
 					if err := post.Push(r, w.add); err != nil {
+						endPass(sp, len(cand))
 						return err
 					}
 				}
+				endPass(sp, len(cand))
 				outOff += len(cand)
 				watermark, have = cand[len(cand)-1], true
 			}

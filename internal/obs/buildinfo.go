@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo summarizes how the running binary was built, for /healthz and
+// the -version flags on every command.
+type BuildInfo struct {
+	Module   string `json:"module"`
+	Version  string `json:"version"`
+	Revision string `json:"revision,omitempty"`
+	Modified bool   `json:"modified,omitempty"`
+	Go       string `json:"go"`
+}
+
+// ReadBuildInfo extracts module version and VCS revision from the binary's
+// embedded build info. Fields degrade to "(devel)"/empty when built outside
+// a module or without VCS stamping (e.g. `go test`).
+func ReadBuildInfo() BuildInfo {
+	bi := BuildInfo{Version: "(devel)", Go: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.Module = info.Main.Path
+	if info.Main.Version != "" {
+		bi.Version = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.modified":
+			bi.Modified = s.Value == "true"
+		}
+	}
+	return bi
+}
+
+// String renders the one-line form printed by -version flags.
+func (b BuildInfo) String() string {
+	rev := b.Revision
+	if rev == "" {
+		rev = "unknown"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Modified {
+		rev += "+dirty"
+	}
+	return fmt.Sprintf("%s %s (rev %s, %s)", b.Module, b.Version, rev, b.Go)
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le semantics: an observation equal
+// to a bound lands in that bound's bucket (le is inclusive), and buckets are
+// cumulative in the exposition.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "test", []float64{1, 5, 10}).With()
+	for _, v := range []float64{0.5, 1, 1.0000001, 5, 9.99, 10, 11, math.Inf(1)} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("self-parse: %v\n%s", err, b.String())
+	}
+	want := map[string]float64{"1": 2, "5": 4, "10": 6, "+Inf": 8}
+	for le, n := range want {
+		got, ok := snap.Get("h_bucket", map[string]string{"le": le})
+		if !ok || got != n {
+			t.Errorf("bucket le=%s: got %v (ok=%v), want %v", le, got, ok, n)
+		}
+	}
+	if got, _ := snap.Get("h_count", nil); got != 8 {
+		t.Errorf("count = %v, want 8", got)
+	}
+	if got, _ := snap.Get("h_sum", nil); !math.IsInf(got, 1) {
+		t.Errorf("sum = %v, want +Inf (observed +Inf)", got)
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "test", []float64{1}).With()
+	h.Observe(0.25)
+	h.Observe(2.5)
+	if got := h.Value(); got != 2.75 {
+		t.Fatalf("sum = %v, want 2.75", got)
+	}
+	if got := h.Count(); got != 2 {
+		t.Fatalf("count = %v, want 2", got)
+	}
+}
+
+// TestConcurrentAdds hammers one counter, one gauge, and one histogram from
+// many goroutines; run under -race this is the registry's thread-safety
+// regression test, and the final values check no update was lost.
+func TestConcurrentAdds(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "test", "w").With("x")
+	g := r.Gauge("g", "test").With()
+	h := r.Histogram("h", "test", DurationBuckets).With()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Set(float64(w))
+				h.Observe(float64(i%100) / 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %v, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %v, want %d", got, workers*per)
+	}
+}
+
+// TestGoldenExposition locks the exact exposition bytes so any format
+// regression (ordering, escaping, float rendering) is caught.
+func TestGoldenExposition(t *testing.T) {
+	r := NewRegistry()
+	jobs := r.Counter("asymsortd_jobs_total", "Jobs finished.", "kernel", "outcome")
+	jobs.With("sort", "ok").Add(3)
+	jobs.With("histogram", "ok").Inc()
+	jobs.With("sort", "error").Inc()
+	r.Gauge("asymsortd_queue_depth", "Jobs waiting for admission.").With().Set(2)
+	h := r.Histogram("asymsortd_queue_wait_seconds", "Admission queue wait.", []float64{0.01, 0.1, 1})
+	h.With().Observe(0.05)
+	h.With().Observe(0.05)
+	h.With().Observe(5)
+	r.Gauge("weird", "Label with \"quotes\" and \\ slash.", "path").With(`a\b"c` + "\n").Set(1.5)
+	r.GaugeFunc("asymsortd_uptime_seconds", "Uptime.", func() float64 { return 42.25 })
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP asymsortd_jobs_total Jobs finished.
+# TYPE asymsortd_jobs_total counter
+asymsortd_jobs_total{kernel="histogram",outcome="ok"} 1
+asymsortd_jobs_total{kernel="sort",outcome="error"} 1
+asymsortd_jobs_total{kernel="sort",outcome="ok"} 3
+# HELP asymsortd_queue_depth Jobs waiting for admission.
+# TYPE asymsortd_queue_depth gauge
+asymsortd_queue_depth 2
+# HELP asymsortd_queue_wait_seconds Admission queue wait.
+# TYPE asymsortd_queue_wait_seconds histogram
+asymsortd_queue_wait_seconds_bucket{le="0.01"} 0
+asymsortd_queue_wait_seconds_bucket{le="0.1"} 2
+asymsortd_queue_wait_seconds_bucket{le="1"} 2
+asymsortd_queue_wait_seconds_bucket{le="+Inf"} 3
+asymsortd_queue_wait_seconds_sum 5.1
+asymsortd_queue_wait_seconds_count 3
+# HELP weird Label with "quotes" and \ slash.
+# TYPE weird gauge
+weird{path="a\\b\"c\n"} 1.5
+# HELP asymsortd_uptime_seconds Uptime.
+# TYPE asymsortd_uptime_seconds gauge
+asymsortd_uptime_seconds 42.25
+`
+	if got != want {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if _, err := ParseProm(strings.NewReader(got)); err != nil {
+		t.Errorf("golden output does not re-parse: %v", err)
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"no_type_decl 1\n",
+		"# TYPE x wat\nx 1\n",
+		"# TYPE x counter\nx{a=b} 1\n",
+		"# TYPE x counter\nx{a=\"b} 1\n",
+		"# TYPE x counter\nx notanumber\n",
+		"# TYPE x counter\n1bad{} 1\n",
+	}
+	for _, in := range bad {
+		if _, err := ParseProm(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseProm accepted malformed input %q", in)
+		}
+	}
+}
+
+func TestSnapshotHelpers(t *testing.T) {
+	src := `# TYPE j counter
+j{k="sort"} 2
+j{k="topk"} 3
+`
+	snap, err := ParseProm(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Sum("j"); got != 5 {
+		t.Errorf("Sum = %v, want 5", got)
+	}
+	if v, ok := snap.Get("j", map[string]string{"k": "topk"}); !ok || v != 3 {
+		t.Errorf("Get topk = %v,%v", v, ok)
+	}
+	if _, ok := snap.Get("j", map[string]string{"k": "nope"}); ok {
+		t.Error("Get matched absent label")
+	}
+	if names := snap.Names(); len(names) != 1 || names[0] != "j" {
+		t.Errorf("Names = %v", names)
+	}
+}

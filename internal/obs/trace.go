@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Trace collects the spans of one logical operation (one served job). All
+// methods are safe for concurrent use, and every method on a nil *Trace or
+// nil *Span is a no-op, so instrumented code never needs nil guards.
+type Trace struct {
+	mu     sync.Mutex
+	name   string
+	t0     time.Time // monotonic anchor; all span times are offsets from it
+	spans  []*Span
+	nextID int
+}
+
+// Attr is one span attribute. Values are int64 because everything the stack
+// attaches (record counts, levels, fan-ins, byte sizes) is integral.
+type Attr struct {
+	Key string
+	Val int64
+}
+
+// Span is one timed region (or, with zero duration and the instant flag, a
+// point event) inside a Trace.
+type Span struct {
+	tr      *Trace
+	ID      int
+	Parent  int // 0 for roots
+	Name    string
+	start   time.Time
+	mu      sync.Mutex
+	end     time.Time
+	attrs   []Attr
+	instant bool
+}
+
+// NewTrace starts a trace. The name labels the whole trace (e.g. "job-17").
+func NewTrace(name string) *Trace {
+	return &Trace{name: name, t0: time.Now()}
+}
+
+// Name returns the trace name ("" for nil).
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+func (t *Trace) newSpan(parent int, name string, instant bool) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	s := &Span{tr: t, ID: t.nextID, Parent: parent, Name: name, start: time.Now(), instant: instant}
+	if instant {
+		s.end = s.start
+	}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Root starts a top-level span.
+func (t *Trace) Root(name string) *Span { return t.newSpan(0, name, false) }
+
+// Child starts a span nested under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(s.ID, name, false)
+}
+
+// Event records an instant (zero-duration) child event with attributes.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	ev := s.tr.newSpan(s.ID, name, true)
+	ev.Set(attrs...)
+}
+
+// Set attaches attributes to the span. Later values for the same key win at
+// export time.
+func (s *Span) Set(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// End closes the span. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// snapshot is an exported view of one span with resolved times (µs offsets
+// from the trace anchor). Open spans are clamped at the snapshot instant.
+type snapshot struct {
+	ID      int
+	Parent  int
+	Name    string
+	StartUS int64
+	DurUS   int64
+	Instant bool
+	Attrs   map[string]int64
+}
+
+func (t *Trace) snapshots() []snapshot {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	out := make([]snapshot, 0, len(spans))
+	for _, s := range spans {
+		s.mu.Lock()
+		end := s.end
+		if end.IsZero() {
+			end = now
+		}
+		var attrs map[string]int64
+		if len(s.attrs) > 0 {
+			attrs = make(map[string]int64, len(s.attrs))
+			for _, a := range s.attrs {
+				attrs[a.Key] = a.Val
+			}
+		}
+		s.mu.Unlock()
+		out = append(out, snapshot{
+			ID:      s.ID,
+			Parent:  s.Parent,
+			Name:    s.Name,
+			StartUS: s.start.Sub(t.t0).Microseconds(),
+			DurUS:   end.Sub(s.start).Microseconds(),
+			Instant: s.instant,
+			Attrs:   attrs,
+		})
+	}
+	return out
+}
+
+// SpanWall returns the summed wall time of all spans with the given name
+// (useful for phase breakdowns).
+func (t *Trace) SpanWall(name string) time.Duration {
+	var tot int64
+	for _, s := range t.snapshots() {
+		if s.Name == name {
+			tot += s.DurUS
+		}
+	}
+	return time.Duration(tot) * time.Microsecond
+}
+
+func attrsJSON(attrs map[string]int64) json.RawMessage {
+	if len(attrs) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := []byte{'{'}
+	for i, k := range keys {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		kb, _ := json.Marshal(k)
+		buf = append(buf, kb...)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, attrs[k], 10)
+	}
+	buf = append(buf, '}')
+	return buf
+}
+
+// jsonlSpan is the on-disk JSONL schema, one line per span.
+type jsonlSpan struct {
+	ID      int             `json:"id"`
+	Parent  int             `json:"parent,omitempty"`
+	Name    string          `json:"name"`
+	StartUS int64           `json:"start_us"`
+	DurUS   int64           `json:"dur_us"`
+	Instant bool            `json:"instant,omitempty"`
+	Attrs   json.RawMessage `json:"attrs,omitempty"`
+}
+
+// WriteJSONL writes the trace as JSON Lines: a header object
+// {"trace":name,"spans":n} followed by one object per span.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	snaps := t.snapshots()
+	hdr, _ := json.Marshal(struct {
+		Trace string `json:"trace"`
+		Spans int    `json:"spans"`
+	}{t.name, len(snaps)})
+	if _, err := fmt.Fprintf(w, "%s\n", hdr); err != nil {
+		return err
+	}
+	for _, s := range snaps {
+		line, err := json.Marshal(jsonlSpan{
+			ID: s.ID, Parent: s.Parent, Name: s.Name,
+			StartUS: s.StartUS, DurUS: s.DurUS, Instant: s.Instant,
+			Attrs: attrsJSON(s.Attrs),
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry in the Chrome trace-event format, which Perfetto
+// and chrome://tracing both load. Complete spans use ph "X"; instants "i".
+type chromeEvent struct {
+	Name  string           `json:"name"`
+	Ph    string           `json:"ph"`
+	TS    int64            `json:"ts"`
+	Dur   *int64           `json:"dur,omitempty"`
+	PID   int              `json:"pid"`
+	TID   int              `json:"tid"`
+	Scope string           `json:"s,omitempty"`
+	Args  map[string]int64 `json:"args,omitempty"`
+}
+
+// WriteChrome writes the trace in Chrome trace-event JSON
+// ({"traceEvents":[...]}); open it at https://ui.perfetto.dev.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	snaps := t.snapshots()
+	evs := make([]chromeEvent, 0, len(snaps))
+	for _, s := range snaps {
+		ev := chromeEvent{Name: s.Name, TS: s.StartUS, PID: 1, TID: 1, Args: s.Attrs}
+		if s.Instant {
+			ev.Ph = "i"
+			ev.Scope = "t"
+		} else {
+			ev.Ph = "X"
+			d := s.DurUS
+			ev.Dur = &d
+		}
+		evs = append(evs, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		DisplayUnit string        `json:"displayTimeUnit"`
+	}{evs, "ms"})
+}
+
+// ParsedSpan is the reader-side view of one JSONL span line, used by tests
+// and by the examples/observe walkthrough.
+type ParsedSpan struct {
+	ID      int              `json:"id"`
+	Parent  int              `json:"parent"`
+	Name    string           `json:"name"`
+	StartUS int64            `json:"start_us"`
+	DurUS   int64            `json:"dur_us"`
+	Instant bool             `json:"instant"`
+	Attrs   map[string]int64 `json:"attrs"`
+}
+
+// ReadJSONL parses a trace previously written by WriteJSONL and returns the
+// trace name and its spans.
+func ReadJSONL(r io.Reader) (string, []ParsedSpan, error) {
+	dec := json.NewDecoder(r)
+	var hdr struct {
+		Trace string `json:"trace"`
+		Spans int    `json:"spans"`
+	}
+	if err := dec.Decode(&hdr); err != nil {
+		return "", nil, fmt.Errorf("trace header: %w", err)
+	}
+	spans := make([]ParsedSpan, 0, hdr.Spans)
+	for {
+		var s ParsedSpan
+		if err := dec.Decode(&s); err == io.EOF {
+			break
+		} else if err != nil {
+			return hdr.Trace, spans, fmt.Errorf("trace span %d: %w", len(spans)+1, err)
+		}
+		spans = append(spans, s)
+	}
+	if len(spans) != hdr.Spans {
+		return hdr.Trace, spans, fmt.Errorf("trace: header says %d spans, got %d", hdr.Spans, len(spans))
+	}
+	return hdr.Trace, spans, nil
+}

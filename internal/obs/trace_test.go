@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func buildTrace() *Trace {
+	tr := NewTrace("job-7")
+	root := tr.Root("job")
+	stage := root.Child("stage")
+	stage.Set(Attr{"bytes", 4096})
+	stage.End()
+	sortSp := root.Child("sort")
+	form := sortSp.Child("form")
+	form.Set(Attr{"level", 0}, Attr{"writes", 100})
+	form.Event("lease-grow", Attr{"recs", 65536})
+	form.End()
+	mrg := sortSp.Child("merge")
+	mrg.Set(Attr{"level", 1}, Attr{"writes", 100}, Attr{"fanin", 10})
+	mrg.End()
+	sortSp.End()
+	root.End()
+	return tr
+}
+
+// TestJSONLRoundTrip writes a trace as JSONL, re-parses it, and checks the
+// structure (names, parent links, attrs) survives intact.
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := buildTrace()
+	var b bytes.Buffer
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	name, spans, err := ReadJSONL(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "job-7" {
+		t.Errorf("trace name = %q", name)
+	}
+	if len(spans) != 6 {
+		t.Fatalf("got %d spans, want 6", len(spans))
+	}
+	byName := map[string]ParsedSpan{}
+	byID := map[int]ParsedSpan{}
+	for _, s := range spans {
+		byName[s.Name] = s
+		byID[s.ID] = s
+	}
+	if byName["job"].Parent != 0 {
+		t.Error("root span has a parent")
+	}
+	if byID[byName["merge"].Parent].Name != "sort" {
+		t.Error("merge span not parented under sort")
+	}
+	if byName["merge"].Attrs["writes"] != 100 || byName["merge"].Attrs["fanin"] != 10 {
+		t.Errorf("merge attrs = %v", byName["merge"].Attrs)
+	}
+	if !byName["lease-grow"].Instant {
+		t.Error("event span not marked instant")
+	}
+	if byName["lease-grow"].Attrs["recs"] != 65536 {
+		t.Errorf("event attrs = %v", byName["lease-grow"].Attrs)
+	}
+}
+
+// TestChromeValidJSON checks the Chrome trace-event export is valid JSON
+// with the fields Perfetto requires.
+func TestChromeValidJSON(t *testing.T) {
+	tr := buildTrace()
+	var b bytes.Buffer
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("got %d events, want 6", len(doc.TraceEvents))
+	}
+	var sawX, sawI bool
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			sawX = true
+			if _, ok := ev["dur"]; !ok {
+				t.Errorf("complete event %v missing dur", ev["name"])
+			}
+		case "i":
+			sawI = true
+		default:
+			t.Errorf("unexpected ph %v", ev["ph"])
+		}
+		for _, k := range []string{"name", "ts", "pid", "tid"} {
+			if _, ok := ev[k]; !ok {
+				t.Errorf("event missing %s: %v", k, ev)
+			}
+		}
+	}
+	if !sawX || !sawI {
+		t.Errorf("want both complete and instant events, sawX=%v sawI=%v", sawX, sawI)
+	}
+}
+
+// TestNilTraceNoops: every method on a nil trace/span is a safe no-op, which
+// is what lets instrumented code skip nil checks.
+func TestNilTraceNoops(t *testing.T) {
+	var tr *Trace
+	sp := tr.Root("x")
+	sp.Set(Attr{"a", 1})
+	sp.Event("e")
+	child := sp.Child("y")
+	child.End()
+	sp.End()
+	if err := tr.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChrome(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "" || tr.SpanWall("x") != 0 {
+		t.Error("nil trace leaked state")
+	}
+}
+
+func TestSpanWall(t *testing.T) {
+	tr := NewTrace("t")
+	s := tr.Root("phase")
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if w := tr.SpanWall("phase"); w < time.Millisecond {
+		t.Errorf("SpanWall = %v, want >= 1ms", w)
+	}
+	if w := tr.SpanWall("absent"); w != 0 {
+		t.Errorf("SpanWall(absent) = %v", w)
+	}
+}
+
+// TestConcurrentSpans exercises span creation/attr/end from many goroutines
+// under -race, plus a concurrent export.
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTrace("churn")
+	root := tr.Root("job")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := root.Child("pass")
+				s.Set(Attr{"i", int64(i)})
+				s.Event("tick")
+				s.End()
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			var b bytes.Buffer
+			if err := tr.WriteJSONL(&b); err != nil {
+				t.Error(err)
+			}
+			if _, _, err := ReadJSONL(strings.NewReader(b.String())); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	root.End()
+	if got := len(tr.snapshots()); got != 1+8*200*2 {
+		t.Errorf("span count = %d, want %d", got, 1+8*200*2)
+	}
+}

@@ -70,6 +70,26 @@ func NewPool(procs int) *Pool {
 // Procs returns the worker count.
 func (p *Pool) Procs() int { return p.procs }
 
+// InUse reports how many spawn tokens are currently held — the number of
+// live spawned goroutines beyond their callers. A point-in-time reading for
+// observability gauges; always 0 on a one-worker pool. On a Split pool it
+// reads the shared parent bucket, i.e. machine-wide occupancy.
+func (p *Pool) InUse() int {
+	if p.tokens == nil {
+		return 0
+	}
+	return len(p.tokens)
+}
+
+// SpawnCap returns the spawn-token bucket capacity (procs-1 on the owning
+// pool; 0 for one worker). Together with InUse it gives the occupancy ratio.
+func (p *Pool) SpawnCap() int {
+	if p.tokens == nil {
+		return 0
+	}
+	return cap(p.tokens)
+}
+
 // Split returns a pool of at most procs workers that draws its spawn
 // tokens from p's bucket instead of owning one — the lending half of a
 // machine-wide worker budget. Every spawn takes both one of the

@@ -30,7 +30,9 @@ import (
 	"sync"
 
 	"asymsort/internal/extmem"
+	"asymsort/internal/obs"
 	"asymsort/internal/rt"
+	"asymsort/internal/wire"
 )
 
 // BrokerConfig parameterizes the machine-wide envelope.
@@ -47,6 +49,11 @@ type BrokerConfig struct {
 	// an ext engine cannot run on, and the fair share never fragments
 	// below it.
 	MinLease int
+	// Metrics, when non-nil, is the registry the broker publishes its
+	// envelope gauges to: queue depth, live leases, live and cumulative
+	// grant bytes, pool token occupancy, and ioq depth. Nil wires a
+	// private throwaway registry, so the broker code is guard-free.
+	Metrics *obs.Registry
 }
 
 // Broker owns the envelope and leases slices of it.
@@ -67,6 +74,12 @@ type Broker struct {
 	// lease at an exact engine phase boundary (ack 1 is the job's
 	// pre-sort grant read; ack ℓ+1 is merge level ℓ's boundary).
 	testOnAck func(l *Lease, ack int)
+
+	// Envelope gauges, published under mu at every scheduling event.
+	mQueueDepth *obs.Series
+	mLeases     *obs.Series
+	mGrantBytes *obs.Series
+	mGrantTotal *obs.Series
 }
 
 // waiter is one queued Acquire.
@@ -96,14 +109,48 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 	if minLease > cfg.Mem {
 		minLease = cfg.Mem
 	}
-	return &Broker{
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	b := &Broker{
 		total:    cfg.Mem,
 		free:     cfg.Mem,
 		minLease: minLease,
 		procs:    procs,
 		pool:     rt.NewPool(procs),
 		ioq:      extmem.NewIOQueue(procs),
-	}, nil
+	}
+	b.mQueueDepth = reg.Gauge("asymsortd_queue_depth",
+		"Jobs waiting in the broker's FIFO admission queue.").With()
+	b.mLeases = reg.Gauge("asymsortd_leases",
+		"Memory leases currently held by running jobs.").With()
+	b.mGrantBytes = reg.Gauge("asymsortd_grant_bytes",
+		"Bytes of the memory envelope currently charged to leases.").With()
+	b.mGrantTotal = reg.Counter("asymsortd_grant_bytes_total",
+		"Cumulative bytes granted to leases (admissions plus grows).").With()
+	pool, ioq := b.pool, b.ioq
+	reg.GaugeFunc("asymsortd_pool_tokens_in_use",
+		"Spawn tokens of the shared worker pool currently held.",
+		func() float64 { return float64(pool.InUse()) })
+	reg.GaugeFunc("asymsortd_pool_tokens_cap",
+		"Spawn-token capacity of the shared worker pool (procs-1).",
+		func() float64 { return float64(pool.SpawnCap()) })
+	reg.GaugeFunc("asymsortd_ioq_depth",
+		"Async-IO operations queued on the shared IO worker pool.",
+		func() float64 { return float64(ioq.Depth()) })
+	return b, nil
+}
+
+// publish refreshes the envelope gauges. Called with mu held.
+func (b *Broker) publish() {
+	b.mQueueDepth.Set(float64(len(b.queue)))
+	b.mLeases.Set(float64(len(b.running)))
+	charged := 0
+	for _, l := range b.running {
+		charged += l.charged
+	}
+	b.mGrantBytes.Set(float64(charged) * wire.RecordBytes)
 }
 
 // Close stops the broker's shared IO workers. Callers must release
@@ -198,6 +245,7 @@ func (b *Broker) rebalance() {
 		}
 		b.queue = b.queue[1:]
 		b.free -= grant
+		b.mGrantTotal.Add(float64(grant) * wire.RecordBytes)
 		l := &Lease{
 			b: b, id: b.nextID, want: w.want,
 			target: grant, held: grant, charged: grant,
@@ -219,6 +267,7 @@ func (b *Broker) rebalance() {
 				l.target = fair
 			}
 		}
+		b.publish()
 		return
 	}
 	// Queue empty: hand capacity back to running jobs that wanted more,
@@ -239,7 +288,11 @@ func (b *Broker) rebalance() {
 		l.target += paid + extra
 		l.charged += extra
 		b.free -= extra
+		if extra > 0 {
+			b.mGrantTotal.Add(float64(extra) * wire.RecordBytes)
+		}
 	}
+	b.publish()
 }
 
 // leaseProcs is the worker width a newly admitted job gets: an even
@@ -256,8 +309,8 @@ func (b *Broker) leaseProcs() int {
 // release returns a lease's entire charge to the pool.
 func (b *Broker) release(l *Lease) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if l.released {
+		b.mu.Unlock()
 		return
 	}
 	l.released = true
@@ -267,9 +320,15 @@ func (b *Broker) release(l *Lease) {
 			break
 		}
 	}
+	reclaimed := l.charged
 	b.free += l.charged
 	l.charged = 0
 	b.rebalance()
+	ev := l.onEvent
+	b.mu.Unlock()
+	if ev != nil {
+		ev("lease-reclaim", reclaimed)
+	}
 }
 
 // BrokerStats is a point-in-time snapshot for /stats.
@@ -328,6 +387,20 @@ type Lease struct {
 	dead                        bool
 	cancel                      chan struct{}
 	once                        sync.Once
+	// onEvent, when set, observes the lease's lifecycle for tracing:
+	// kind is "lease-grow", "lease-shrink", or "lease-reclaim", recs the
+	// grant (or reclaimed charge) in records. Like testOnAck it always
+	// fires outside b.mu, so the observer may take its own locks.
+	onEvent func(kind string, recs int)
+}
+
+// SetOnEvent installs the lease's lifecycle observer (see onEvent). The
+// job engine wires it to the job's trace so broker grow/shrink/reclaim
+// decisions land on the trace timeline.
+func (l *Lease) SetOnEvent(fn func(kind string, recs int)) {
+	l.b.mu.Lock()
+	l.onEvent = fn
+	l.b.mu.Unlock()
 }
 
 // ID returns the lease's broker-assigned id.
@@ -347,6 +420,7 @@ func (l *Lease) Pool() *rt.Pool { return l.pool }
 // the returned value — and queued jobs are re-admitted immediately.
 func (l *Lease) Mem() int {
 	l.b.mu.Lock()
+	prev := l.held
 	if !l.released {
 		// The ack: the engine now holds exactly the broker's target, and
 		// any surplus charge — a shrink pending acknowledgement, or a
@@ -361,8 +435,15 @@ func (l *Lease) Mem() int {
 		}
 	}
 	l.acks++
-	held, hook, ack := l.held, l.b.testOnAck, l.acks
+	held, hook, ack, ev := l.held, l.b.testOnAck, l.acks, l.onEvent
 	l.b.mu.Unlock()
+	if ev != nil && held != prev {
+		if held > prev {
+			ev("lease-grow", held)
+		} else {
+			ev("lease-shrink", held)
+		}
+	}
 	if hook != nil {
 		hook(l, ack)
 	}

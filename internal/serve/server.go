@@ -55,6 +55,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -65,8 +66,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"asymsort/internal/cost"
 	"asymsort/internal/extmem"
 	"asymsort/internal/kernel"
+	"asymsort/internal/obs"
 	"asymsort/internal/rt"
 	"asymsort/internal/wire"
 )
@@ -87,6 +90,17 @@ type ServerConfig struct {
 	// its own subdirectory, removed when the job ends. Empty means
 	// os.TempDir().
 	TmpDir string
+	// Metrics, when non-nil, is the registry the engine publishes job,
+	// block-IO, and HTTP metrics to, and the one GET /metrics renders.
+	// Pass the same registry to the Broker so one scrape covers the
+	// whole process. Nil wires a private registry: instrumentation still
+	// runs (and /metrics still serves), it just shares nothing.
+	Metrics *obs.Registry
+	// TraceDir, when non-empty, enables per-job trace export: each job's
+	// span tree is written there as job-<id>.trace.jsonl (one span per
+	// line) and job-<id>.chrome.json (Chrome trace-event format, loadable
+	// at ui.perfetto.dev). Empty disables tracing entirely.
+	TraceDir string
 }
 
 // maxRetainedJobs bounds the /stats history: the daemon serves
@@ -99,12 +113,63 @@ const maxRetainedJobs = 4096
 type Server struct {
 	cfg      ServerConfig
 	start    time.Time
+	build    obs.BuildInfo
 	draining atomic.Bool
+	reg      *obs.Registry
+	obsm     serverMetrics
 	mu       sync.Mutex
 	jobs     map[int]*JobStats
 	agg      map[string]*KernelLedger
 	order    []int // job ids in creation order, for oldest-first eviction
 	nextID   int
+}
+
+// serverMetrics holds the engine's metric family handles, resolved once
+// at construction so the per-request path only touches series.
+type serverMetrics struct {
+	jobs      obs.Vec // {kernel,model,outcome}
+	queueWait obs.Vec // histogram, no labels
+	blkReads  obs.Vec // {level}
+	blkWrites obs.Vec // {level}
+	blkReadB  obs.Vec // {level}
+	blkWriteB obs.Vec // {level}
+	httpReqs  obs.Vec // {route,wire,code}
+	httpDur   obs.Vec // histogram {route}
+	httpReqB  obs.Vec // {route,wire}
+	httpRespB obs.Vec // {route,wire}
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	return serverMetrics{
+		jobs: reg.Counter("asymsortd_jobs_total",
+			"Jobs finished, by kernel, execution model, and outcome.",
+			"kernel", "model", "outcome"),
+		queueWait: reg.Histogram("asymsortd_queue_wait_seconds",
+			"Admission-queue wait per job.", obs.DurationBuckets),
+		blkReads: reg.Counter("asymsortd_block_reads_total",
+			"Device block reads charged by ext jobs, by engine level (form, merge1.., scan).",
+			"level"),
+		blkWrites: reg.Counter("asymsortd_block_writes_total",
+			"Device block writes charged by ext jobs, by engine level.",
+			"level"),
+		blkReadB: reg.Counter("asymsortd_block_read_bytes_total",
+			"Bytes of device block reads charged by ext jobs, by engine level.",
+			"level"),
+		blkWriteB: reg.Counter("asymsortd_block_write_bytes_total",
+			"Bytes of device block writes charged by ext jobs, by engine level.",
+			"level"),
+		httpReqs: reg.Counter("asymsortd_http_requests_total",
+			"HTTP requests served, by route, wire dialect, and status code.",
+			"route", "wire", "code"),
+		httpDur: reg.Histogram("asymsortd_http_request_seconds",
+			"HTTP request duration by route.", obs.DurationBuckets, "route"),
+		httpReqB: reg.Counter("asymsortd_http_request_bytes_total",
+			"Request body bytes read, by route and wire dialect.",
+			"route", "wire"),
+		httpRespB: reg.Counter("asymsortd_http_response_bytes_total",
+			"Response body bytes written, by route and wire dialect.",
+			"route", "wire"),
+	}
 }
 
 // JobStats is one job's ledger, served on /stats.
@@ -130,9 +195,32 @@ type JobStats struct {
 	Levels     int    `json:"levels,omitempty"`
 	K          int    `json:"k,omitempty"`
 	QueueMS    int64  `json:"queue_ms"`
-	SortMS     int64  `json:"sort_ms"`
-	TotalMS    int64  `json:"total_ms"`
-	Err        string `json:"err,omitempty"`
+	// StageMS/SortMS/StreamMS are the finished phase walls: request-body
+	// staging, the kernel run, and response stream-out. With QueueMS
+	// they are the per-job phase breakdown beside the ledgers.
+	StageMS  int64 `json:"stage_ms"`
+	SortMS   int64 `json:"sort_ms"`
+	StreamMS int64 `json:"stream_ms"`
+	TotalMS  int64 `json:"total_ms"`
+	// PhaseMS is only set on live jobs in /stats responses: elapsed wall
+	// time in the current State (for "queued" it is the live queue
+	// wait). Zero on finished jobs.
+	PhaseMS int64  `json:"phase_ms,omitempty"`
+	Err     string `json:"err,omitempty"`
+
+	// phaseStart is when the job entered its current State; unexported,
+	// so it never serializes. handleStats derives PhaseMS from it.
+	phaseStart time.Time
+}
+
+// live reports whether the job still holds resources (never evicted,
+// and its PhaseMS is computed in /stats).
+func (j *JobStats) live() bool {
+	switch j.State {
+	case "staging", "queued", "running", "streaming":
+		return true
+	}
+	return false
 }
 
 // KernelLedger aggregates finished jobs per kernel; it is folded at
@@ -165,10 +253,19 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if min := cfg.Broker.Stats().MinLease; min < cfg.Block {
 		return nil, fmt.Errorf("serve: broker MinLease %d records is below one %d-record block — no grant could run the ext engine", min, cfg.Block)
 	}
-	return &Server{
-		cfg: cfg, start: time.Now(),
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg: cfg, start: time.Now(), build: obs.ReadBuildInfo(),
+		reg: reg, obsm: newServerMetrics(reg),
 		jobs: make(map[int]*JobStats), agg: make(map[string]*KernelLedger),
-	}, nil
+	}
+	reg.GaugeFunc("asymsortd_uptime_seconds",
+		"Seconds since the job engine started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	return s, nil
 }
 
 // SetDraining flips /healthz to "draining" — called by the daemon when
@@ -187,15 +284,96 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// Known paths, wrong method → 405 with Allow; everything else → 404.
 	mux.HandleFunc("/sort", methodNotAllowed("POST"))
 	mux.HandleFunc("/v1/{kernel}", methodNotAllowed("POST"))
 	mux.HandleFunc("/stats", methodNotAllowed("GET"))
 	mux.HandleFunc("/healthz", methodNotAllowed("GET"))
+	mux.HandleFunc("/metrics", methodNotAllowed("GET"))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
 	})
-	return mux
+	return s.instrument(mux)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteProm(w)
+}
+
+// routeLabel collapses request paths to a bounded route set, so the
+// HTTP metric cardinality cannot grow with traffic.
+func routeLabel(p string) string {
+	switch {
+	case p == "/sort", p == "/stats", p == "/healthz", p == "/metrics":
+		return p
+	case strings.HasPrefix(p, "/v1/"):
+		return "/v1/{kernel}"
+	}
+	return "other"
+}
+
+// countingReader counts request-body bytes through to the handler.
+type countingReader struct {
+	rc io.ReadCloser
+	n  atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+func (c *countingReader) Close() error { return c.rc.Close() }
+
+// countingWriter counts response bytes and captures the status code.
+type countingWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+	n     int64
+}
+
+func (c *countingWriter) WriteHeader(code int) {
+	if !c.wrote {
+		c.code, c.wrote = code, true
+	}
+	c.ResponseWriter.WriteHeader(code)
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if !c.wrote {
+		c.code, c.wrote = http.StatusOK, true
+	}
+	n, err := c.ResponseWriter.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (c *countingWriter) Unwrap() http.ResponseWriter { return c.ResponseWriter }
+
+// instrument wraps the mux with the HTTP request/response metrics:
+// count, duration, and body bytes by route and wire dialect.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routeLabel(r.URL.Path)
+		start := time.Now()
+		cr := &countingReader{rc: r.Body}
+		r.Body = cr
+		cw := &countingWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(cw, r)
+		wireName := cw.Header().Get("X-Asymsortd-Wire")
+		if wireName == "" {
+			wireName = "none"
+		}
+		s.obsm.httpReqs.With(route, wireName, strconv.Itoa(cw.code)).Inc()
+		s.obsm.httpDur.With(route).Observe(time.Since(start).Seconds())
+		s.obsm.httpReqB.With(route, wireName).Add(float64(cr.n.Load()))
+		s.obsm.httpRespB.With(route, wireName).Add(float64(cw.n))
+	})
 }
 
 // jsonError writes a JSON error body with the given status.
@@ -226,8 +404,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for name, a := range s.agg {
 		snap.Kernels[name] = *a
 	}
+	now := time.Now()
 	for _, j := range s.jobs {
-		snap.Jobs = append(snap.Jobs, *j)
+		cp := *j
+		// Live jobs report elapsed wall time in their current phase; a
+		// queued job's PhaseMS is its live queue wait.
+		if cp.live() && !j.phaseStart.IsZero() {
+			cp.PhaseMS = now.Sub(j.phaseStart).Milliseconds()
+			if cp.State == "queued" {
+				cp.QueueMS = cp.PhaseMS
+			}
+		}
+		snap.Jobs = append(snap.Jobs, cp)
 	}
 	s.mu.Unlock()
 	sort.Slice(snap.Jobs, func(a, b int) bool { return snap.Jobs[a].ID < snap.Jobs[b].ID })
@@ -239,10 +427,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // healthSnapshot is the /healthz payload.
 type healthSnapshot struct {
-	Status     string `json:"status"` // ok|draining
-	UptimeMS   int64  `json:"uptime_ms"`
-	LiveLeases int    `json:"live_leases"`
-	Queued     int    `json:"queued"`
+	Status     string        `json:"status"` // ok|draining
+	UptimeMS   int64         `json:"uptime_ms"`
+	LiveLeases int           `json:"live_leases"`
+	Queued     int           `json:"queued"`
+	Build      obs.BuildInfo `json:"build"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -252,6 +441,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeMS:   time.Since(s.start).Milliseconds(),
 		LiveLeases: len(bs.Running),
 		Queued:     bs.Queued,
+		Build:      s.build,
 	}
 	if s.draining.Load() {
 		h.Status = "draining"
@@ -265,14 +455,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) newJob(kernelName string) *JobStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j := &JobStats{ID: s.nextID, Kernel: kernelName, State: "staging"}
+	j := &JobStats{ID: s.nextID, Kernel: kernelName, State: "staging", phaseStart: time.Now()}
 	s.nextID++
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	for i := 0; len(s.jobs) > maxRetainedJobs && i < len(s.order); {
 		id := s.order[i]
 		old, ok := s.jobs[id]
-		if ok && (old.State == "staging" || old.State == "queued" || old.State == "running") {
+		if ok && old.live() {
 			i++ // never evict a live job
 			continue
 		}
@@ -299,8 +489,14 @@ func (s *Server) handleKernel(w http.ResponseWriter, r *http.Request, name strin
 		return
 	}
 	j := s.newJob(k.Name)
+	var tr *obs.Trace
+	if s.cfg.TraceDir != "" {
+		tr = obs.NewTrace(fmt.Sprintf("job-%d", j.ID))
+	}
+	root := tr.Root("job")
 	start := time.Now()
-	err := s.runJob(r.Context(), j, w, r, k, alias)
+	err := s.runJob(r.Context(), j, w, r, k, alias, root)
+	root.End()
 	s.mu.Lock()
 	j.TotalMS = time.Since(start).Milliseconds()
 	if err != nil {
@@ -328,7 +524,32 @@ func (s *Server) handleKernel(w http.ResponseWriter, r *http.Request, name strin
 	a.Reads += j.Reads
 	a.Writes += j.Writes
 	a.PlanWrites += j.PlanWrites
+	kernelName, model, outcome := j.Kernel, j.Model, j.State
 	s.mu.Unlock()
+	if model == "" {
+		model = "none"
+	}
+	s.obsm.jobs.With(kernelName, model, outcome).Inc()
+	s.exportTrace(j.ID, tr)
+}
+
+// exportTrace writes the finished job's trace to TraceDir in both
+// formats. Export failures are reported on the trace files themselves
+// (a missing file is the diagnostic); they never fail the job.
+func (s *Server) exportTrace(id int, tr *obs.Trace) {
+	if tr == nil || s.cfg.TraceDir == "" {
+		return
+	}
+	writeFile := func(name string, emit func(io.Writer) error) {
+		f, err := os.Create(filepath.Join(s.cfg.TraceDir, name))
+		if err != nil {
+			return
+		}
+		emit(f)
+		f.Close()
+	}
+	writeFile(fmt.Sprintf("job-%d.trace.jsonl", id), tr.WriteJSONL)
+	writeFile(fmt.Sprintf("job-%d.chrome.json", id), tr.WriteChrome)
 }
 
 // httpError is an error with a status code; errors before the first
@@ -373,7 +594,7 @@ func kernelParams(r *http.Request) (kernel.Params, error) {
 // output streaming starts is translated to an HTTP error status; once
 // the first result byte is out, errors abort the chunked body so the
 // client's own order/count verification fails.
-func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter, r *http.Request, k *kernel.Kernel, alias bool) error {
+func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter, r *http.Request, k *kernel.Kernel, alias bool, root *obs.Span) error {
 	fail := func(code int, format string, args ...any) error {
 		e := &httpError{code: code, msg: fmt.Sprintf(format, args...)}
 		http.Error(w, e.msg, e.code)
@@ -400,8 +621,13 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 	outCodec.withVals = k.Name != "sort"
 
 	// Stage the request body, fixing n.
+	stageSp := root.Child("stage")
+	stageStart := time.Now()
 	staged := filepath.Join(dir, "in.bin")
 	n, err := inCodec.stage(r.Body, staged)
+	stageSp.Set(obs.Attr{Key: "recs", Val: int64(n)})
+	stageSp.End()
+	s.setJob(j, func(j *JobStats) { j.StageMS = time.Since(stageStart).Milliseconds() })
 	if err != nil {
 		if ctx.Err() != nil {
 			// The client hung up mid-upload; the body read error is
@@ -419,7 +645,7 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 	if err := k.Check(n, p); err != nil {
 		return fail(http.StatusBadRequest, "job %d: %v", j.ID, err)
 	}
-	s.setJob(j, func(j *JobStats) { j.N = n; j.State = "queued" })
+	s.setJob(j, func(j *JobStats) { j.N = n; j.State = "queued"; j.phaseStart = time.Now() })
 
 	// Admission: ask for enough to run in RAM (2n: slice plus working
 	// copy/scratch), floored so tiny jobs still get a workable ext
@@ -437,18 +663,29 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 		want = floor
 	}
 	queued := time.Now()
+	queueSp := root.Child("queue")
 	lease, err := s.cfg.Broker.Acquire(ctx, want)
+	queueSp.End()
+	s.obsm.queueWait.With().Observe(time.Since(queued).Seconds())
 	if err != nil {
 		s.setJob(j, func(j *JobStats) { j.State = "canceled" })
 		return fail(http.StatusServiceUnavailable, "job %d: admission: %v", j.ID, err)
 	}
 	defer lease.Release()
+	// Broker lease decisions (grow/shrink at level boundaries, the final
+	// reclaim) land on the job's trace timeline as instant events.
+	if root != nil {
+		lease.SetOnEvent(func(kind string, recs int) {
+			root.Event(kind, obs.Attr{Key: "recs", Val: int64(recs)})
+		})
+	}
 	// A client disconnect revokes the lease; the engine aborts at the
 	// next block boundary.
 	stopWatch := context.AfterFunc(ctx, lease.Cancel)
 	defer stopWatch()
 
 	grant := lease.Mem()
+	root.Event("lease-grant", obs.Attr{Key: "recs", Val: int64(grant)})
 	model := r.URL.Query().Get("model")
 	if model == "" || model == "auto" {
 		if 2*n <= grant {
@@ -460,12 +697,16 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 	s.setJob(j, func(j *JobStats) {
 		j.QueueMS = time.Since(queued).Milliseconds()
 		j.State = "running"
+		j.phaseStart = time.Now()
 		j.Model = model
 		j.MemGrant = grant
 		j.Procs = lease.Procs()
 	})
 
 	runStart := time.Now()
+	runSp := root.Child("run")
+	runSp.Set(obs.Attr{Key: "n", Val: int64(n)}, obs.Attr{Key: "grant", Val: int64(grant)})
+	defer runSp.End() // covers the error paths; success ends it below
 	outBin := filepath.Join(dir, "out.bin")
 	outN := n
 	var ledgerWrites, ledgerPlanWrites uint64
@@ -483,6 +724,7 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 		res, err := k.Ext(extmem.Config{
 			Mem: grant, Block: s.cfg.Block, K: s.cfg.K, Omega: s.cfg.Omega,
 			TmpDir: dir, Pool: lease.Pool(), IOQ: s.cfg.Broker.IOQ(), Lease: lease,
+			Span: runSp,
 		}, staged, outBin, p)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -496,6 +738,7 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 		}
 		outN = res.OutN
 		ledgerWrites, ledgerPlanWrites = res.Total.Writes, res.PlanWrites
+		s.recordBlockIO(res)
 		s.setJob(j, func(j *JobStats) {
 			j.Reads = res.Total.Reads
 			j.Writes = res.Total.Writes
@@ -508,6 +751,7 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 	default:
 		return fail(http.StatusBadRequest, "job %d: unknown model %q", j.ID, model)
 	}
+	runSp.End()
 	s.setJob(j, func(j *JobStats) {
 		j.SortMS = time.Since(runStart).Milliseconds()
 		j.OutN = outN
@@ -532,10 +776,48 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 		w.Header().Set("X-Asymsortd-Writes", strconv.FormatUint(ledgerWrites, 10))
 		w.Header().Set("X-Asymsortd-Plan-Writes", strconv.FormatUint(ledgerPlanWrites, 10))
 	}
-	if err := outCodec.stream(w, outBin, outN); err != nil {
+	s.setJob(j, func(j *JobStats) { j.State = "streaming"; j.phaseStart = time.Now() })
+	streamStart := time.Now()
+	streamSp := root.Child("stream")
+	streamSp.Set(obs.Attr{Key: "recs", Val: int64(outN)})
+	err = outCodec.stream(w, outBin, outN)
+	streamSp.End()
+	s.setJob(j, func(j *JobStats) { j.StreamMS = time.Since(streamStart).Milliseconds() })
+	if err != nil {
 		return fmt.Errorf("job %d: streaming output: %w", j.ID, err)
 	}
 	return nil
+}
+
+// recordBlockIO folds an ext job's per-level ledger into the block-IO
+// counters: level "form" is run formation, "merge<ℓ>" the merge levels,
+// and "scan" whatever the composition charged outside its sorts (the
+// scan-based kernels' one-pass reads, merge-join's co-stream).
+func (s *Server) recordBlockIO(res *kernel.ExtResult) {
+	blockBytes := float64(s.cfg.Block) * wire.RecordBytes
+	var inSorts cost.Snapshot
+	for _, rep := range res.Sorts {
+		for lvl, io := range rep.LevelIO {
+			label := "form"
+			if lvl > 0 {
+				label = "merge" + strconv.Itoa(lvl)
+			}
+			s.addBlockIO(label, io, blockBytes)
+		}
+		inSorts = inSorts.Add(rep.Total)
+	}
+	s.addBlockIO("scan", res.Total.Sub(inSorts), blockBytes)
+}
+
+func (s *Server) addBlockIO(label string, io cost.Snapshot, blockBytes float64) {
+	if io.Reads > 0 {
+		s.obsm.blkReads.With(label).Add(float64(io.Reads))
+		s.obsm.blkReadB.With(label).Add(float64(io.Reads) * blockBytes)
+	}
+	if io.Writes > 0 {
+		s.obsm.blkWrites.With(label).Add(float64(io.Writes))
+		s.obsm.blkWriteB.With(label).Add(float64(io.Writes) * blockBytes)
+	}
 }
 
 // runNative runs the kernel in RAM on the leased pool and returns the
