@@ -23,6 +23,14 @@
 // reference from the job's seed and compares the response record for
 // record — and their ext ledgers join the same /stats identity check.
 //
+// -cluster points the same mix at an asymsortd coordinator instead of
+// a solo daemon: only the sort kernel runs (the cluster front-end
+// scatters /sort alone), the wire verification is unchanged — the
+// coordinator's gather is byte-identical to a solo run, so the same
+// checksums must hold — and the solo /stats ledger check is replaced
+// by a coordinator /stats check: every job reached state "done", with
+// a shard/retry/hedge summary printed per run.
+//
 // Usage:
 //
 //	asymload -addr http://127.0.0.1:8077 -jobs 8 -concurrency 8 -seed 1
@@ -105,6 +113,7 @@ func main() {
 		wireFmt = flag.String("wire", "text", "job dialect: text | binary (record frames) | mixed (alternate by job id)")
 		kernels = flag.String("kernels", "sort", "comma-separated kernel pool the mix draws from (see internal/kernel)")
 		metrics = flag.Bool("metrics", false, "scrape /metrics before and after the run and verify the counter deltas and post-drain gauges")
+		cluster = flag.Bool("cluster", false, "target is an asymsortd coordinator: sort-only mix, /stats checked for job completion and shard retries/hedges")
 		version = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
@@ -112,7 +121,7 @@ func main() {
 		fmt.Println(obs.ReadBuildInfo())
 		return
 	}
-	if err := run(*addr, *jobs, *conc, *seed, *minN, *maxN, *shapes, *spacing, *model, *jobMem, *save, *jsonOut, *wireFmt, *kernels, *metrics); err != nil {
+	if err := run(*addr, *jobs, *conc, *seed, *minN, *maxN, *shapes, *spacing, *model, *jobMem, *save, *jsonOut, *wireFmt, *kernels, *metrics, *cluster); err != nil {
 		fmt.Fprintf(os.Stderr, "asymload: %v\n", err)
 		os.Exit(1)
 	}
@@ -120,9 +129,17 @@ func main() {
 
 func run(addr string, jobs, conc int, seed uint64, minN, maxN int, shapeList string,
 	spacing time.Duration, model string, jobMem int, save, jsonOut, wireMode, kernelList string,
-	metricsCheck bool) error {
+	metricsCheck, clusterMode bool) error {
 	if jobs < 1 || minN < 1 || maxN < minN {
 		return fmt.Errorf("need -jobs >= 1 and 1 <= -minn <= -maxn")
+	}
+	if clusterMode {
+		if kernelList != "" && kernelList != "sort" {
+			return fmt.Errorf("-cluster runs the sort kernel only (coordinators scatter /sort alone), got -kernels %s", kernelList)
+		}
+		if metricsCheck {
+			return fmt.Errorf("-metrics checks solo-daemon envelope gauges; not meaningful against a coordinator")
+		}
 	}
 	switch wireMode {
 	case "":
@@ -212,17 +229,27 @@ func run(addr string, jobs, conc int, seed uint64, minN, maxN int, shapeList str
 	totalRecs := renderSummary(os.Stdout, rec, results, makespan, conc)
 	renderWireTable(os.Stdout, rec, results)
 
-	// Cross-check the daemon's ledgers: every ext job's measured block
-	// writes must equal its simulated AEM plan.
-	extJobs, mismatches, err := checkLedgers(addr)
-	if err != nil {
-		return fmt.Errorf("fetching /stats: %v", err)
-	}
-	if mismatches > 0 {
-		failures += mismatches
-		fmt.Printf("ledger identity: %d of %d ext jobs DIVERGE from the simulated AEM plan\n", mismatches, extJobs)
+	if clusterMode {
+		// Coordinator cross-check: every job this run drove must have
+		// reached state "done" on the coordinator's own books too.
+		bad, err := checkClusterStats(addr, jobs)
+		if err != nil {
+			return fmt.Errorf("fetching coordinator /stats: %v", err)
+		}
+		failures += bad
 	} else {
-		fmt.Printf("ledger identity: OK (%d ext jobs, measured block writes == simulated AEM plan)\n", extJobs)
+		// Cross-check the daemon's ledgers: every ext job's measured block
+		// writes must equal its simulated AEM plan.
+		extJobs, mismatches, err := checkLedgers(addr)
+		if err != nil {
+			return fmt.Errorf("fetching /stats: %v", err)
+		}
+		if mismatches > 0 {
+			failures += mismatches
+			fmt.Printf("ledger identity: %d of %d ext jobs DIVERGE from the simulated AEM plan\n", mismatches, extJobs)
+		} else {
+			fmt.Printf("ledger identity: OK (%d ext jobs, measured block writes == simulated AEM plan)\n", extJobs)
+		}
 	}
 
 	// -metrics invariants: the job counter must have moved by exactly the
@@ -707,6 +734,73 @@ func checkLedgers(addr string) (extJobs, mismatches int, err error) {
 
 func decodeJSON(r io.Reader, v any) error {
 	return json.NewDecoder(r).Decode(v)
+}
+
+// clusterStats mirrors the coordinator's /stats JSON shape (see
+// internal/cluster).
+type clusterStats struct {
+	Workers []struct {
+		URL     string `json:"url"`
+		Healthy bool   `json:"healthy"`
+		Shards  int    `json:"shards"`
+		Retries int    `json:"retries"`
+	} `json:"workers"`
+	Jobs []struct {
+		ID      int    `json:"id"`
+		State   string `json:"state"`
+		N       int    `json:"n"`
+		Shards  int    `json:"shards"`
+		Retries int    `json:"retries"`
+		Hedges  int    `json:"hedges"`
+		Err     string `json:"err"`
+	} `json:"jobs"`
+}
+
+// checkClusterStats fetches the coordinator's /stats and verifies the
+// run on its books: at least the jobs this mix drove are recorded, and
+// every recorded job reached "done" — a coordinator that silently
+// absorbed a failed scatter would show up here even if the client-side
+// stream checks somehow passed. Prints the shard/retry/hedge summary.
+func checkClusterStats(addr string, jobs int) (failures int, err error) {
+	resp, err := http.Get(addr + "/stats")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var snap clusterStats
+	if err := decodeJSON(resp.Body, &snap); err != nil {
+		return 0, err
+	}
+	done, shards, retries, hedges := 0, 0, 0, 0
+	for _, j := range snap.Jobs {
+		switch j.State {
+		case "done":
+			done++
+			shards += j.Shards
+			retries += j.Retries
+			hedges += j.Hedges
+		default:
+			failures++
+			fmt.Printf("  coordinator job %d: state %q %s\n", j.ID, j.State, j.Err)
+		}
+	}
+	if done < jobs {
+		failures++
+		fmt.Printf("coordinator books: only %d of %d jobs recorded done\n", done, jobs)
+	}
+	healthy := 0
+	for _, w := range snap.Workers {
+		if w.Healthy {
+			healthy++
+		}
+	}
+	status := "OK"
+	if failures > 0 {
+		status = "FAIL"
+	}
+	fmt.Printf("cluster books: %s (%d jobs done over %d/%d healthy workers, %d shards, %d retries, %d hedges)\n",
+		status, done, healthy, len(snap.Workers), shards, retries, hedges)
+	return failures, nil
 }
 
 // scrapeMetrics fetches and parses the daemon's Prometheus exposition.

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"asymsort/internal/cluster"
 	"asymsort/internal/serve"
 )
 
@@ -49,7 +50,7 @@ func TestWireDifferential(t *testing.T) {
 		ts := newTestService(t)
 		save := filepath.Join(t.TempDir(), mode)
 		if err := run(ts.URL, jobs, 1, seed, 2000, 12000, "uniform,dups,sorted,reversed", 0,
-			"ext", 0, save, "", mode, "sort", true); err != nil {
+			"ext", 0, save, "", mode, "sort", true, false); err != nil {
 			t.Fatalf("%s run: %v", mode, err)
 		}
 		saves[mode] = save
@@ -131,11 +132,72 @@ func TestWireModeAssignment(t *testing.T) {
 			t.Fatalf("mode %s job %d: binary=%v, want %v", tc.mode, tc.id, got, tc.want)
 		}
 	}
-	if err := run("http://127.0.0.1:1", 1, 1, 1, 1, 1, "uniform", 0, "auto", 0, "", "", "bogus", "sort", false); err == nil {
+	if err := run("http://127.0.0.1:1", 1, 1, 1, 1, 1, "uniform", 0, "auto", 0, "", "", "bogus", "sort", false, false); err == nil {
 		t.Fatal("bad -wire value was accepted")
 	}
-	if err := run("http://127.0.0.1:1", 1, 1, 1, 1, 1, "uniform", 0, "auto", 0, "", "", "text", "sort,bogus", false); err == nil {
+	if err := run("http://127.0.0.1:1", 1, 1, 1, 1, 1, "uniform", 0, "auto", 0, "", "", "text", "sort,bogus", false, false); err == nil {
 		t.Fatal("bad -kernels value was accepted")
+	}
+}
+
+// TestClusterLoad points the seeded mix at a real coordinator over
+// three loopback workers in -cluster mode, then replays the identical
+// mix against a solo service. run verifies each response on the wire
+// and checks the coordinator's books; the -save dumps of the two runs
+// must be byte-identical — the cluster scatter/gather may not change a
+// single output byte.
+func TestClusterLoad(t *testing.T) {
+	const seed, jobs = 13, 6
+	var workers []string
+	for i := 0; i < 3; i++ {
+		workers = append(workers, newTestService(t).URL)
+	}
+	coord, err := cluster.New(cluster.Config{
+		Workers: workers, Shards: 6, TmpDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	clusterSave := filepath.Join(t.TempDir(), "cluster")
+	if err := run(cts.URL, jobs, 2, seed, 2000, 12000, "uniform,dups,sorted,reversed,equal", 0,
+		"ext", 0, clusterSave, "", "mixed", "sort", false, true); err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+
+	soloSave := filepath.Join(t.TempDir(), "solo")
+	solo := newTestService(t)
+	if err := run(solo.URL, jobs, 2, seed, 2000, 12000, "uniform,dups,sorted,reversed,equal", 0,
+		"ext", 0, soloSave, "", "mixed", "sort", false, false); err != nil {
+		t.Fatalf("solo run: %v", err)
+	}
+
+	for i := 0; i < jobs; i++ {
+		for _, kind := range []string{"in", "out"} {
+			name := fmt.Sprintf("job-%d-%s.txt", i, kind)
+			want, err := os.ReadFile(filepath.Join(soloSave, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(filepath.Join(clusterSave, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("cluster dump %s differs from the solo run's", name)
+			}
+		}
+	}
+
+	if err := run(cts.URL, 1, 1, 1, 1000, 1000, "uniform", 0, "auto", 0, "", "", "text",
+		"sort,semisort", false, true); err == nil {
+		t.Fatal("-cluster accepted a non-sort kernel pool")
+	}
+	if err := run(cts.URL, 1, 1, 1, 1000, 1000, "uniform", 0, "auto", 0, "", "", "text",
+		"sort", true, true); err == nil {
+		t.Fatal("-cluster accepted -metrics")
 	}
 }
 
@@ -154,7 +216,7 @@ func TestKernelMixDifferential(t *testing.T) {
 	for _, mode := range []string{"text", "binary"} {
 		ts := newTestService(t)
 		if err := run(ts.URL, jobs, 2, seed, 2000, 12000, "uniform,dups,sorted,reversed", 0,
-			"ext", 0, "", "", mode, pool, true); err != nil {
+			"ext", 0, "", "", mode, pool, true, false); err != nil {
 			t.Fatalf("%s kernel mix: %v", mode, err)
 		}
 		resp, err := http.Get(ts.URL + "/stats")

@@ -10,6 +10,14 @@
 //	asymsortd -addr 127.0.0.1:0 -mem 64MB -procs 4 -tmpdir /mnt/scratch
 //	asymsortd -addr :8077 -trace-dir /tmp/traces -debug-addr 127.0.0.1:6060
 //
+// Coordinator mode turns the same binary into a cluster front-end: it
+// range-partitions each /sort job across a fleet of plain asymsortd
+// workers and streams back output byte-identical to a solo run (see
+// internal/cluster and docs/OPERATIONS.md):
+//
+//	asymsortd -coordinator -workers http://h1:8077,http://h2:8077,http://h3:8077
+//	asymsortd -coordinator -workers ... -shards 12 -retries 3 -hedge 2s
+//
 // API (see internal/serve for the full contract):
 //
 //	POST /v1/{kernel}?model=auto|ext|native&mem=<records>
@@ -53,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"asymsort/internal/cluster"
 	"asymsort/internal/extmem"
 	"asymsort/internal/kernel"
 	"asymsort/internal/obs"
@@ -71,15 +80,92 @@ func main() {
 		traceDir  = flag.String("trace-dir", "", "export each job's trace there as JSONL + Chrome trace-event JSON (empty = tracing off)")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this extra listener (empty = pprof off)")
 		version   = flag.Bool("version", false, "print build info and exit")
+
+		coordinator = flag.Bool("coordinator", false, "run as a cluster coordinator instead of a job engine")
+		workers     = flag.String("workers", "", "comma-separated worker base URLs (coordinator mode; required)")
+		shards      = flag.Int("shards", 0, "range shards per job (coordinator mode; 0 = one per worker)")
+		retries     = flag.Int("retries", 2, "re-dispatch budget per failed shard (coordinator mode)")
+		hedge       = flag.Duration("hedge", 0, "re-dispatch a shard in flight longer than this to an idle worker (coordinator mode; 0 = off)")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println(obs.ReadBuildInfo())
 		return
 	}
-	if err := run(*addr, *mem, *block, *omega, *k, *procs, *tmpdir, *traceDir, *debugAddr); err != nil {
+	var err error
+	if *coordinator {
+		err = runCoordinator(*addr, *workers, *shards, *retries, *hedge, *tmpdir, *traceDir, *debugAddr)
+	} else {
+		err = run(*addr, *mem, *block, *omega, *k, *procs, *tmpdir, *traceDir, *debugAddr)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "asymsortd: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// runCoordinator serves the cluster front-end: same listener and
+// shutdown scaffolding, but the handler scatters /sort jobs across the
+// worker fleet instead of running them here.
+func runCoordinator(addr, workersFlag string, shards, retries int, hedge time.Duration, tmpdir, traceDir, debugAddr string) error {
+	var urls []string
+	for _, u := range strings.Split(workersFlag, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("coordinator mode needs -workers url1,url2,...")
+	}
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o777); err != nil {
+			return fmt.Errorf("bad -trace-dir: %v", err)
+		}
+	}
+	coord, err := cluster.New(cluster.Config{
+		Workers: urls, Shards: shards, Retries: retries, HedgeAfter: hedge,
+		TmpDir: tmpdir, TraceDir: traceDir, Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("asymsortd: coordinating on %s\n", ln.Addr())
+	fmt.Printf("  workers  : %s\n", strings.Join(urls, " · "))
+	fmt.Printf("  dispatch : shards=%d retries=%d hedge=%v\n", max(shards, len(urls)), retries, hedge)
+	fmt.Printf("  endpoints: POST /sort · GET /stats · GET /healthz · GET /metrics\n")
+	if traceDir != "" {
+		fmt.Printf("  tracing  : per-job JSONL + Chrome traces in %s\n", traceDir)
+	}
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("bad -debug-addr: %v", err)
+		}
+		fmt.Printf("  pprof    : http://%s/debug/pprof/\n", dln.Addr())
+		go http.Serve(dln, nil)
+		defer dln.Close()
+	}
+	httpSrv := &http.Server{Handler: coord.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Printf("asymsortd: %v — draining cluster jobs and shutting down\n", s)
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("shutdown with jobs still in flight: %w", err)
+		}
+		return nil
 	}
 }
 

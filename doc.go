@@ -78,6 +78,15 @@
 //     external engine in place (extmem.Config.InSkip) with no staging
 //     copy — asymsort -model ext -wire binary reads and writes frames
 //     from files and stdin
+//   - internal/cluster — the distributed sort: a coordinator
+//     (asymsortd -coordinator -workers ...) that stages a /sort job,
+//     samples it for splitters with the same extmem machinery the
+//     parallel merge uses per-core, range-partitions it into shards
+//     shipped as contiguous record frames to unmodified asymsortd
+//     workers, and gathers the sorted shards in range order — output
+//     byte-identical to a solo run, with bounded per-shard retry,
+//     hedged straggler re-dispatch, and its own /stats, /healthz, and
+//     /metrics surfaces. asymload -cluster drives and verifies it
 //   - internal/exp — the experiment harness regenerating every theorem's
 //     table (run via cmd/asymbench or the benchmarks in bench_test.go);
 //     asymbench -json records the tables as the structured rows the CI
@@ -89,4 +98,11 @@
 // experiment under `go test -bench` and time the native backend against
 // the stdlib sort; cmd/asymbench runs the tables at full size with
 // formatted output (`-exp native` for the hardware wall-clock table).
+//
+// docs/ARCHITECTURE.md draws the layer map and data flow and states
+// the three invariants the test suite holds (measured writes ==
+// planned writes, cross-backend differential identity, solo ==
+// cluster byte-identity); docs/OPERATIONS.md covers running solo and
+// cluster deployments, every CLI flag, wire negotiation, the metric
+// catalogue, and failure modes.
 package asymsort

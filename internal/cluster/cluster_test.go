@@ -1,0 +1,536 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"asymsort/internal/obs"
+	"asymsort/internal/seq"
+	"asymsort/internal/serve"
+	"asymsort/internal/wire"
+)
+
+// newWorker spins up one real asymsortd job engine (broker + server)
+// on an httptest listener — exactly what a cluster worker is.
+func newWorker(t *testing.T, mem int) *httptest.Server {
+	t.Helper()
+	b, err := serve.NewBroker(serve.BrokerConfig{Mem: mem, Procs: 2, MinLease: 16 * 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.NewServer(serve.ServerConfig{Broker: b, Block: 64, Omega: 8, TmpDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		b.Close()
+	})
+	return ts
+}
+
+// newCoordinator wires a coordinator over the worker URLs on an
+// httptest listener.
+func newCoordinator(t *testing.T, cfg Config) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	if cfg.TmpDir == "" {
+		cfg.TmpDir = t.TempDir()
+	}
+	if cfg.ProbeTimeout == 0 {
+		cfg.ProbeTimeout = 500 * time.Millisecond
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(ts.Close)
+	return c, ts
+}
+
+func genKeys(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() >> 1
+	}
+	return keys
+}
+
+func keysText(keys []uint64) string {
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%d\n", k)
+	}
+	return sb.String()
+}
+
+func sortedText(keys []uint64) string {
+	s := slices.Clone(keys)
+	slices.Sort(s)
+	return keysText(s)
+}
+
+func recsOfKeys(keys []uint64) []seq.Record {
+	recs := make([]seq.Record, len(keys))
+	for i, k := range keys {
+		recs[i] = seq.Record{Key: k, Val: uint64(i)}
+	}
+	return recs
+}
+
+func frameOfKeys(t *testing.T, keys []uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fw, err := wire.NewWriter(&buf, int64(len(keys)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteRecords(recsOfKeys(keys)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func decodeFrame(t *testing.T, raw []byte) []seq.Record {
+	t.Helper()
+	fr, err := wire.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []seq.Record
+	buf := make([]seq.Record, 1024)
+	for {
+		n, err := fr.ReadRecords(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func post(t *testing.T, url, contentType, accept string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	if !strings.Contains(url, "/sort") {
+		url += "/sort"
+	}
+	req, err := http.NewRequest("POST", url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestClusterMatchesSolo: the tentpole identity. The same keys go
+// through a solo daemon (forced ext) and through a 3-worker cluster;
+// the text bodies must be byte-identical and the binary record streams
+// record-identical, in both wire dialects.
+func TestClusterMatchesSolo(t *testing.T) {
+	solo := newWorker(t, 1<<20)
+	var urls []string
+	for i := 0; i < 3; i++ {
+		urls = append(urls, newWorker(t, 1<<14).URL)
+	}
+	_, coord := newCoordinator(t, Config{Workers: urls, Shards: 6})
+
+	keys := genKeys(50000, 42)
+
+	soloResp, soloBody := post(t, solo.URL+"/sort?model=ext", "", "", []byte(keysText(keys)))
+	if soloResp.StatusCode != http.StatusOK {
+		t.Fatalf("solo status %d: %.300s", soloResp.StatusCode, soloBody)
+	}
+
+	resp, body := post(t, coord.URL, "", "", []byte(keysText(keys)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster status %d: %.300s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Asymsortd-Model"); got != "cluster" {
+		t.Fatalf("model %q, want cluster", got)
+	}
+	if !bytes.Equal(body, soloBody) {
+		t.Fatal("cluster text output differs from solo ext output")
+	}
+	if want := sortedText(keys); string(body) != want {
+		t.Fatal("cluster text output is not the sorted key text")
+	}
+
+	// Binary dialect: same multiset, engine total order.
+	bresp, bbody := post(t, coord.URL, wire.ContentType, "", frameOfKeys(t, keys))
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster binary status %d: %.300s", bresp.StatusCode, bbody)
+	}
+	got := decodeFrame(t, bbody)
+	want := recsOfKeys(keys)
+	slices.SortFunc(want, seq.TotalCompare)
+	if !slices.Equal(got, want) {
+		t.Fatalf("cluster binary records differ from the total-order sort (%d vs %d records)", len(got), len(want))
+	}
+	// The workers' ext write ledgers survive aggregation: measured ==
+	// planned across the whole fleet.
+	if w, pw := bresp.Header.Get("X-Asymsortd-Writes"), bresp.Header.Get("X-Asymsortd-Plan-Writes"); w != pw {
+		t.Fatalf("cluster ledger writes=%q plan=%q, want equal", w, pw)
+	}
+}
+
+// TestClusterShapes: the splitter edge cases from the partition layer,
+// driven end to end — all-equal keys (every record lands in one
+// shard), pre-sorted and reversed inputs, and far more shards than
+// distinct keys.
+func TestClusterShapes(t *testing.T) {
+	var urls []string
+	for i := 0; i < 3; i++ {
+		urls = append(urls, newWorker(t, 1<<14).URL)
+	}
+	_, coord := newCoordinator(t, Config{Workers: urls, Shards: 8})
+
+	const n = 20000
+	allEqual := make([]uint64, n)
+	for i := range allEqual {
+		allEqual[i] = 7
+	}
+	sorted := make([]uint64, n)
+	reversed := make([]uint64, n)
+	fewDistinct := make([]uint64, n)
+	for i := range sorted {
+		sorted[i] = uint64(i)
+		reversed[i] = uint64(n - i)
+		fewDistinct[i] = uint64(i % 3)
+	}
+	for name, keys := range map[string][]uint64{
+		"allEqual":        allEqual,
+		"sorted":          sorted,
+		"reversed":        reversed,
+		"shards>distinct": fewDistinct,
+		"single":          {12345},
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, body := post(t, coord.URL, "", "", []byte(keysText(keys)))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %.300s", resp.StatusCode, body)
+			}
+			if want := sortedText(keys); string(body) != want {
+				t.Fatalf("output is not the sorted key text (%d bytes vs %d)", len(body), len(want))
+			}
+		})
+	}
+}
+
+// TestClusterEmptyInput: a zero-record job round-trips as an empty
+// body (text) and an empty frame (binary), no shards dispatched.
+func TestClusterEmptyInput(t *testing.T) {
+	_, coord := newCoordinator(t, Config{Workers: []string{newWorker(t, 1<<14).URL}})
+	resp, body := post(t, coord.URL, "", "", nil)
+	if resp.StatusCode != http.StatusOK || len(body) != 0 {
+		t.Fatalf("text: status %d, %d body bytes; want 200, 0", resp.StatusCode, len(body))
+	}
+	resp, body = post(t, coord.URL, wire.ContentType, "", frameOfKeys(t, nil))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary: status %d: %.300s", resp.StatusCode, body)
+	}
+	if got := decodeFrame(t, body); len(got) != 0 {
+		t.Fatalf("binary: %d records back, want 0", len(got))
+	}
+}
+
+// flakyWorker proxies to a real worker but fails the first failN /sort
+// requests with a 500 after the body is consumed. Its /healthz stays
+// healthy, so the coordinator keeps it in the fleet and re-queues the
+// failed shards.
+func flakyWorker(t *testing.T, mem int, failN int32) *httptest.Server {
+	t.Helper()
+	real := newWorker(t, mem)
+	var failed atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/sort" && failed.Add(1) <= failN {
+			io.Copy(io.Discard, r.Body)
+			http.Error(w, "injected shard failure", http.StatusInternalServerError)
+			return
+		}
+		proxyTo(t, real.URL, w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// proxyTo forwards one request to a backend and copies the response
+// through, headers included.
+func proxyTo(t *testing.T, backend string, w http.ResponseWriter, r *http.Request) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, backend+r.URL.String(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// TestClusterRetry: a worker that fails its first two shard attempts
+// (healthz still fine) costs retries, not the job.
+func TestClusterRetry(t *testing.T) {
+	urls := []string{
+		flakyWorker(t, 1<<14, 2).URL,
+		newWorker(t, 1<<14).URL,
+	}
+	c, coord := newCoordinator(t, Config{Workers: urls, Shards: 4, Retries: 3})
+	keys := genKeys(20000, 7)
+	resp, body := post(t, coord.URL, "", "", []byte(keysText(keys)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %.300s", resp.StatusCode, body)
+	}
+	if want := sortedText(keys); string(body) != want {
+		t.Fatal("output is not the sorted key text after retries")
+	}
+	c.mu.Lock()
+	job := *c.jobs[0]
+	c.mu.Unlock()
+	if job.State != "done" || job.Retries < 1 {
+		t.Fatalf("job ledger after flaky worker: %+v (want done with retries >= 1)", job)
+	}
+}
+
+// TestClusterWorkerDiesMidJob: one worker serves /healthz until its
+// first shard arrives, then drops the connection and goes dark — the
+// crash shape of a killed daemon. The coordinator's post-failure
+// re-probe evicts it and the survivors absorb its shards.
+func TestClusterWorkerDiesMidJob(t *testing.T) {
+	real := newWorker(t, 1<<14)
+	var dead atomic.Bool
+	dying := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if dead.Load() {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("no hijacker")
+				return
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+			return
+		}
+		if r.URL.Path == "/sort" {
+			dead.Store(true)
+			conn, _, _ := w.(http.Hijacker).Hijack()
+			conn.Close()
+			return
+		}
+		proxyTo(t, real.URL, w, r)
+	}))
+	t.Cleanup(dying.Close)
+
+	urls := []string{dying.URL, newWorker(t, 1<<14).URL, newWorker(t, 1<<14).URL}
+	c, coord := newCoordinator(t, Config{Workers: urls, Shards: 6})
+	keys := genKeys(30000, 13)
+	resp, body := post(t, coord.URL, "", "", []byte(keysText(keys)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %.300s", resp.StatusCode, body)
+	}
+	if want := sortedText(keys); string(body) != want {
+		t.Fatal("output is not the sorted key text after a worker death")
+	}
+	st := c.workers[0].stats()
+	if st.Healthy {
+		t.Fatalf("dead worker still marked healthy: %+v", st)
+	}
+}
+
+// TestClusterMalformedWorkerFrame: a worker answering 200 with garbage
+// bytes must produce a clean coordinator error once the retry budget
+// is spent — never a hang, never a 200.
+func TestClusterMalformedWorkerFrame(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.Write([]byte("this is not a record frame at all"))
+	}))
+	t.Cleanup(bad.Close)
+
+	_, coord := newCoordinator(t, Config{Workers: []string{bad.URL}, Shards: 2, Retries: 1})
+	done := make(chan struct{})
+	var code int
+	var body []byte
+	go func() {
+		defer close(done)
+		resp, b := post(t, coord.URL, "", "", []byte(keysText(genKeys(5000, 3))))
+		code, body = resp.StatusCode, b
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator hung on a malformed worker frame")
+	}
+	if code != http.StatusBadGateway {
+		t.Fatalf("status %d: %.300s (want 502)", code, body)
+	}
+	if !strings.Contains(string(body), "shard") {
+		t.Fatalf("error does not name the failing shard: %.300s", body)
+	}
+}
+
+// TestClusterHedging: one worker sits on its shard; with hedging armed
+// the idle fast worker duplicates it and the job completes long before
+// the sleeper would have answered.
+func TestClusterHedging(t *testing.T) {
+	real := newWorker(t, 1<<14)
+	var slowMu sync.Mutex
+	slowSorts := 0
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/sort" {
+			slowMu.Lock()
+			slowSorts++
+			slowMu.Unlock()
+			// Drain the body so the server's background read can see the
+			// hedge winner cancel this connection and end the sleep.
+			io.Copy(io.Discard, r.Body)
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(60 * time.Second):
+				http.Error(w, "sleeper woke", http.StatusInternalServerError)
+				return
+			}
+		}
+		proxyTo(t, real.URL, w, r)
+	}))
+	t.Cleanup(slow.Close)
+
+	urls := []string{slow.URL, newWorker(t, 1<<14).URL}
+	c, coord := newCoordinator(t, Config{
+		Workers: urls, Shards: 2, Retries: 1, HedgeAfter: 100 * time.Millisecond,
+	})
+	keys := genKeys(10000, 99)
+	start := time.Now()
+	resp, body := post(t, coord.URL, "", "", []byte(keysText(keys)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %.300s", resp.StatusCode, body)
+	}
+	if want := sortedText(keys); string(body) != want {
+		t.Fatal("output is not the sorted key text under hedging")
+	}
+	if took := time.Since(start); took > 30*time.Second {
+		t.Fatalf("hedged job took %v — the sleeper was on the critical path", took)
+	}
+	c.mu.Lock()
+	job := *c.jobs[0]
+	c.mu.Unlock()
+	if job.Hedges < 1 {
+		t.Fatalf("job ledger: %+v (want hedges >= 1)", job)
+	}
+}
+
+// TestClusterNoHealthyWorkers: a fleet of dead URLs is a clean 503.
+func TestClusterNoHealthyWorkers(t *testing.T) {
+	deadURL := func() string {
+		ts := httptest.NewServer(http.NotFoundHandler())
+		ts.Close() // bound, then released: nothing listens here
+		return ts.URL
+	}
+	_, coord := newCoordinator(t, Config{Workers: []string{deadURL(), deadURL()}})
+	resp, body := post(t, coord.URL, "", "", []byte("3\n1\n2\n"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d: %.300s (want 503)", resp.StatusCode, body)
+	}
+}
+
+// TestClusterObservability: /healthz reports fleet health live,
+// /stats carries the job and worker tables, /metrics exposes the
+// asymsortd_cluster_* families.
+func TestClusterObservability(t *testing.T) {
+	reg := obs.NewRegistry()
+	urls := []string{newWorker(t, 1<<14).URL, newWorker(t, 1<<14).URL}
+	_, coord := newCoordinator(t, Config{Workers: urls, Shards: 4, Metrics: reg})
+	keys := genKeys(15000, 5)
+	if resp, body := post(t, coord.URL, "", "", []byte(keysText(keys))); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %.300s", resp.StatusCode, body)
+	}
+
+	hr, err := http.Get(coord.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	var hs healthSnapshot
+	if err := json.Unmarshal(hb, &hs); err != nil {
+		t.Fatalf("healthz decode: %v: %s", err, hb)
+	}
+	if hs.Status != "ok" || hs.Role != "coordinator" || hs.HealthyWorkers != 2 {
+		t.Fatalf("healthz: %+v", hs)
+	}
+
+	sr, err := http.Get(coord.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, _ := io.ReadAll(sr.Body)
+	sr.Body.Close()
+	for _, want := range []string{`"workers"`, `"jobs"`, `"state": "done"`, `"bytes_sent"`} {
+		if !strings.Contains(string(sb), want) {
+			t.Fatalf("stats missing %q: %s", want, sb)
+		}
+	}
+
+	mr, err := http.Get(coord.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	for _, want := range []string{
+		"asymsortd_cluster_jobs_total",
+		"asymsortd_cluster_shard_attempts_total",
+		"asymsortd_cluster_workers_healthy",
+		"asymsortd_cluster_phase_seconds",
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+}

@@ -95,10 +95,7 @@ func (e *engine) mergeNodePar(nd *planNode, P int) error {
 		sample = append(sample, kid.index...)
 	}
 	rt.SortRecords(e.cfg.pool, sample)
-	splitters := make([]seq.Record, P-1)
-	for i := 1; i < P; i++ {
-		splitters[i-1] = sample[i*len(sample)/P]
-	}
+	splitters := Splitters(sample, P)
 
 	// Exact cuts: cuts[r][i] is the first position of run r (relative
 	// to the run) whose record is ≥ splitter i-1, so worker i consumes

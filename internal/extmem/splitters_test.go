@@ -1,0 +1,142 @@
+package extmem
+
+import (
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"asymsort/internal/seq"
+)
+
+// partitionBySplitters classifies recs into shards the way the cluster
+// coordinator does, so the edge cases below exercise the exact contract.
+func partitionBySplitters(recs []seq.Record, parts int) [][]seq.Record {
+	sorted := slices.Clone(recs)
+	slices.SortFunc(sorted, seq.TotalCompare)
+	spl := Splitters(sorted, parts)
+	shards := make([][]seq.Record, parts)
+	for _, r := range recs {
+		i := ShardOf(spl, r)
+		shards[i] = append(shards[i], r)
+	}
+	return shards
+}
+
+// checkPartition asserts the partition invariant: each shard sorted and
+// concatenated in shard order equals the total-order sort of recs.
+func checkPartition(t *testing.T, recs []seq.Record, parts int) {
+	t.Helper()
+	shards := partitionBySplitters(recs, parts)
+	var got []seq.Record
+	total := 0
+	for i, sh := range shards {
+		total += len(sh)
+		s := slices.Clone(sh)
+		slices.SortFunc(s, seq.TotalCompare)
+		got = append(got, s...)
+		if i > 0 && len(s) > 0 {
+			// Range discipline: everything in shard i must be >= the max
+			// of every earlier shard; the final equality check would catch
+			// it too, but this localises the failure.
+			for _, prev := range shards[:i] {
+				for _, p := range prev {
+					if seq.TotalLess(s[0], p) {
+						t.Fatalf("shard %d record %v sorts below earlier shard record %v", i, s[0], p)
+					}
+				}
+			}
+		}
+	}
+	if total != len(recs) {
+		t.Fatalf("partition dropped records: got %d, want %d", total, len(recs))
+	}
+	want := slices.Clone(recs)
+	slices.SortFunc(want, seq.TotalCompare)
+	if !slices.Equal(got, want) {
+		t.Fatalf("concatenated sorted shards != sorted whole (n=%d parts=%d)", len(recs), parts)
+	}
+}
+
+func TestSplittersPartitionEdgeCases(t *testing.T) {
+	const n = 1000
+	cases := map[string][]seq.Record{
+		"uniform":  seq.Uniform(n, 1),
+		"sorted":   seq.Sorted(n),
+		"reversed": seq.Reversed(n),
+		"fewdist":  seq.FewDistinct(n, 2, 9),
+	}
+	allEqual := make([]seq.Record, n)
+	for i := range allEqual {
+		allEqual[i] = seq.Record{Key: 42, Val: uint64(i)}
+	}
+	cases["allEqualKeys"] = allEqual
+	for name, recs := range cases {
+		for _, parts := range []int{1, 2, 4, 7, 16} {
+			checkPartition(t, recs, parts)
+		}
+		_ = name
+	}
+	// Shard count far beyond the distinct-key count: most shards end up
+	// empty, nothing is lost or misplaced.
+	checkPartition(t, seq.FewDistinct(n, 3, 11), 64)
+	checkPartition(t, allEqual[:10], 64)
+}
+
+func TestSplittersDegenerate(t *testing.T) {
+	if got := Splitters(nil, 4); got != nil {
+		t.Fatalf("Splitters(nil, 4) = %v, want nil", got)
+	}
+	if got := Splitters(seq.Sorted(8), 1); got != nil {
+		t.Fatalf("Splitters(_, 1) = %v, want nil", got)
+	}
+	// No splitters: everything lands in shard 0.
+	if got := ShardOf(nil, seq.Record{Key: 9}); got != 0 {
+		t.Fatalf("ShardOf(nil, _) = %d, want 0", got)
+	}
+	spl := Splitters(seq.Sorted(100), 4)
+	if len(spl) != 3 {
+		t.Fatalf("len(splitters) = %d, want 3", len(spl))
+	}
+	// A record equal to a splitter belongs to the shard the splitter opens.
+	if got := ShardOf(spl, spl[1]); got != 2 {
+		t.Fatalf("ShardOf(splitter[1]) = %d, want 2", got)
+	}
+}
+
+func TestSampleRecords(t *testing.T) {
+	dir := t.TempDir()
+	recs := seq.Uniform(500, 3)
+	path := filepath.Join(dir, "recs.bin")
+	if err := WriteRecordsFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	bf, err := OpenBlockFile(path, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+
+	sample, err := SampleRecords(bf, 0, len(recs), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != 64 {
+		t.Fatalf("len(sample) = %d, want 64", len(sample))
+	}
+	for i, r := range sample {
+		if want := recs[i*len(recs)/64]; r != want {
+			t.Fatalf("sample[%d] = %v, want %v", i, r, want)
+		}
+	}
+	// want > n clamps; empty range yields nil.
+	sample, err = SampleRecords(bf, 10, 20, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != 10 {
+		t.Fatalf("clamped sample length = %d, want 10", len(sample))
+	}
+	if s, err := SampleRecords(bf, 5, 5, 8); err != nil || s != nil {
+		t.Fatalf("empty range sample = %v, %v; want nil, nil", s, err)
+	}
+}

@@ -1,0 +1,44 @@
+package obs_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"asymsort/internal/obs"
+)
+
+// ReadJSONL parses the trace files asymsortd exports under -trace-dir
+// (one job-<id>.trace.jsonl per job). The round trip through
+// WriteJSONL preserves the span tree — ids, parents, names, instants,
+// and attributes — so offline tooling can reconstruct a job's phase
+// breakdown from the file alone.
+func ExampleReadJSONL() {
+	tr := obs.NewTrace("job-17")
+	job := tr.Root("job")
+	stage := job.Child("stage")
+	stage.Set(obs.Attr{Key: "recs", Val: 1000})
+	stage.End()
+	job.Event("hedge", obs.Attr{Key: "shard", Val: 3})
+	job.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		panic(err)
+	}
+
+	name, spans, err := obs.ReadJSONL(&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("trace %q: %d spans\n", name, len(spans))
+	for _, s := range spans {
+		fmt.Printf("  id=%d parent=%d name=%s instant=%v attrs=%v\n",
+			s.ID, s.Parent, s.Name, s.Instant, s.Attrs)
+	}
+
+	// Output:
+	// trace "job-17": 3 spans
+	//   id=1 parent=0 name=job instant=false attrs=map[]
+	//   id=2 parent=1 name=stage instant=false attrs=map[recs:1000]
+	//   id=3 parent=1 name=hedge instant=true attrs=map[shard:3]
+}

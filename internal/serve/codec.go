@@ -1,15 +1,20 @@
 package serve
 
 // The wire codec: one dialect-aware staging and streaming pipeline
-// shared by every kernel job. A codec value captures one direction's
-// negotiated dialect; stage spools a request body into the staged
-// binary record file (fixing n), and stream sends a result record file
+// shared by every kernel job. A Codec value captures one direction's
+// negotiated dialect; Stage spools a request body into the staged
+// binary record file (fixing n), and Stream sends a result record file
 // back out. The binary dialect moves internal/wire frames whose
 // payload IS the staged on-disk format — no parse, no re-encode, a
 // single buffered copy each way — while the text dialect parses
 // decimal keys in (payload = line index, the repository-wide
 // unique-pair convention) and renders keys (or "key value" pairs, for
 // kernels whose payloads carry results) out.
+//
+// The codec is exported because the cluster coordinator speaks the
+// same dialects: it stages client bodies with Stage, ships shards to
+// workers as contiguous frames, and gathers sorted shard files back to
+// the client with StreamFiles.
 
 import (
 	"bufio"
@@ -35,71 +40,94 @@ const stageChunk = 1 << 14
 // keeping a garbage body from ballooning the scanner's token buffer.
 const maxLineBytes = 1 << 20
 
-// codec is one direction's negotiated wire dialect.
-type codec struct {
-	// binary selects internal/wire record frames over newline-decimal
+// Codec is one direction's negotiated wire dialect.
+type Codec struct {
+	// Binary selects internal/wire record frames over newline-decimal
 	// text.
-	binary bool
-	// withVals makes text output render "key value" lines instead of
+	Binary bool
+	// WithVals makes text output render "key value" lines instead of
 	// bare keys — the dialect of every kernel whose result payloads mean
 	// something (group sums, bucket counts, join sums). Binary output
 	// always carries whole records. Ignored for staging.
-	withVals bool
+	WithVals bool
 }
 
 // Name returns the dialect name announced in X-Asymsortd-Wire.
-func (c codec) Name() string {
-	if c.binary {
+func (c Codec) Name() string {
+	if c.Binary {
 		return "binary"
 	}
 	return "text"
 }
 
 // ContentType returns the response Content-Type for the dialect.
-func (c codec) ContentType() string {
-	if c.binary {
+func (c Codec) ContentType() string {
+	if c.Binary {
 		return wire.ContentType
 	}
 	return "text/plain; charset=utf-8"
 }
 
-// negotiate picks the request and response dialects: a binary
+// Negotiate picks the request and response dialects: a binary
 // Content-Type selects binary ingest, and the response mirrors the
 // request unless the Accept header names a dialect explicitly.
-func negotiate(r *http.Request) (in, out codec) {
+func Negotiate(r *http.Request) (in, out Codec) {
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		if mt, _, err := mime.ParseMediaType(ct); err == nil && mt == wire.ContentType {
-			in.binary = true
+			in.Binary = true
 		}
 	}
-	out.binary = in.binary
+	out.Binary = in.Binary
 	if acc := r.Header.Get("Accept"); acc != "" {
 		switch {
 		case strings.Contains(acc, wire.ContentType):
-			out.binary = true
+			out.Binary = true
 		case strings.Contains(acc, "text/plain"):
-			out.binary = false
+			out.Binary = false
 		}
 	}
 	return in, out
 }
 
-// stage spools a request body into the staged binary record file and
-// returns the record count.
-func (c codec) stage(r io.Reader, dst string) (int, error) {
-	if c.binary {
+// Stage spools a request body into the staged binary record file at
+// dst and returns the payload record count n plus the file's leading
+// skip: the number of non-payload record slots at the front of the
+// staged file. A contiguous binary frame is staged header-in-place
+// (the frame bytes ARE the staged file, skip = 1), which is the
+// zero-copy handoff the engine consumes via extmem.Config.InSkip;
+// every other dialect stages payload only (skip = 0).
+func (c Codec) Stage(r io.Reader, dst string) (n, skip int, err error) {
+	if c.Binary {
 		return stageRecords(r, dst)
 	}
-	return stageKeys(r, dst)
+	n, err = stageKeys(r, dst)
+	return n, 0, err
 }
 
-// stream sends the result record file at path (n records) to w in the
-// codec's dialect.
-func (c codec) stream(w io.Writer, path string, n int) error {
-	if c.binary {
-		return streamRecords(path, n, w)
+// Stream sends the result record file at path (n records, no leading
+// skip) to w in the codec's dialect.
+func (c Codec) Stream(w io.Writer, path string, n int) error {
+	return c.StreamFiles(w, []string{path}, n)
+}
+
+// StreamFiles sends the concatenation of the result record files at
+// paths (n records in total) to w in the codec's dialect. This is the
+// coordinator's gather: sorted shard files stream back-to-back as one
+// frame (or one text body) without ever being merged on disk.
+func (c Codec) StreamFiles(w io.Writer, paths []string, n int) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if c.Binary {
+		if err := streamRecords(paths, n, bw); err != nil {
+			return err
+		}
+	} else {
+		for _, path := range paths {
+			if err := streamText(path, bw, c.WithVals); err != nil {
+				return err
+			}
+		}
 	}
-	return streamText(path, w, c.withVals)
+	return bw.Flush()
 }
 
 // stageKeys parses one decimal uint64 key per line into a binary
@@ -152,41 +180,54 @@ func stageKeys(r io.Reader, dst string) (int, error) {
 	return off, bf.Close()
 }
 
-// stageRecords spools a binary wire frame's payload straight into the
-// staged record file and returns the record count. No parse, no
-// re-encode: the frame payload is already the staged file's on-disk
-// format, so staging a binary body is a single buffered copy.
-func stageRecords(r io.Reader, dst string) (int, error) {
+// stageRecords spools a binary wire frame into the staged record file
+// and returns the payload count plus the leading skip. A chunked frame
+// spools payload only (skip 0); a contiguous frame is re-staged
+// header-first, so the staged file is byte-identical to the frame and
+// the engine reads the payload in place behind InSkip = 1 — the frame
+// header occupies exactly one record slot by design. Either way the
+// body is validated as it spools and never parsed record-by-record.
+func stageRecords(r io.Reader, dst string) (int, int, error) {
 	fr, err := wire.NewReader(r)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	f, err := os.Create(dst)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer f.Close()
 	bw := bufio.NewWriterSize(f, 1<<20)
+	skip := 0
+	if hdr := fr.Header(); hdr.Contiguous {
+		raw, err := wire.AppendHeader(nil, hdr)
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := bw.Write(raw); err != nil {
+			return 0, 0, err
+		}
+		skip = 1
+	}
 	n, err := fr.Spool(bw)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if err := bw.Flush(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return int(n), f.Close()
+	return int(n), skip, f.Close()
 }
 
 // streamText writes the result binary file out as text: bare keys one
 // per line, or "key value" lines when the kernel's payloads carry
 // results.
-func streamText(binPath string, w io.Writer, withVals bool) error {
+func streamText(binPath string, bw *bufio.Writer, withVals bool) error {
 	bf, err := extmem.OpenBlockFile(binPath, 1, nil)
 	if err != nil {
 		return err
 	}
 	defer bf.Close()
-	bw := bufio.NewWriterSize(w, 1<<20)
 	buf := make([]seq.Record, stageChunk)
 	var line []byte
 	for off := 0; off < bf.Len(); off += len(buf) {
@@ -208,42 +249,44 @@ func streamText(binPath string, w io.Writer, withVals bool) error {
 			}
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
-// streamRecords streams the result record file out as a chunked binary
-// frame with its count announced: raw file bytes feed the frame's
-// chunks directly — no decode, no AppendUint pass. The Writer's count
-// check at Close turns a short or long file into a hard error instead
-// of a silently wrong frame.
-func streamRecords(binPath string, n int, w io.Writer) error {
-	f, err := os.Open(binPath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	bw := bufio.NewWriterSize(w, 1<<20)
+// streamRecords streams the result record files out as one chunked
+// binary frame with its count announced: raw file bytes feed the
+// frame's chunks directly — no decode, no AppendUint pass. The
+// Writer's count check at Close turns a short or long file into a hard
+// error instead of a silently wrong frame.
+func streamRecords(binPaths []string, n int, bw *bufio.Writer) error {
 	fw, err := wire.NewWriter(bw, int64(n))
 	if err != nil {
 		return err
 	}
 	buf := make([]byte, stageChunk*extmem.RecordBytes)
-	for {
-		m, err := io.ReadFull(f, buf)
-		if m > 0 {
-			if werr := fw.WriteRaw(buf[:m]); werr != nil {
-				return werr
-			}
-		}
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			break
-		}
+	for _, binPath := range binPaths {
+		f, err := os.Open(binPath)
 		if err != nil {
 			return err
 		}
+		for {
+			m, err := io.ReadFull(f, buf)
+			if m > 0 {
+				if werr := fw.WriteRaw(buf[:m]); werr != nil {
+					f.Close()
+					return werr
+				}
+			}
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
-	if err := fw.Close(); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return fw.Close()
 }

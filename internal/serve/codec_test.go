@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"asymsort/internal/seq"
+	"asymsort/internal/wire"
+)
+
+// contiguousFrameOfKeys renders keys as a contiguous binary frame:
+// header + raw payload, the dialect the cluster coordinator ships
+// shards in.
+func contiguousFrameOfKeys(t *testing.T, keys []uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := wire.WriteContiguousHeader(&buf, int64(len(keys))); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, len(keys)*wire.RecordBytes)
+	recs := make([]seq.Record, len(keys))
+	for i, k := range keys {
+		recs[i] = seq.Record{Key: k, Val: uint64(i)}
+	}
+	wire.EncodeRecords(raw, recs)
+	buf.Write(raw)
+	return buf.Bytes()
+}
+
+// TestStageContiguousInPlace: a contiguous frame stages header-first
+// with skip = 1 and the staged file byte-identical to the frame — the
+// zero-copy handoff extmem.Config.InSkip consumes — while a chunked
+// frame of the same records stages payload-only with skip = 0.
+func TestStageContiguousInPlace(t *testing.T) {
+	dir := t.TempDir()
+	keys := genKeys(1000, 21)
+	frame := contiguousFrameOfKeys(t, keys)
+
+	staged := filepath.Join(dir, "contig.bin")
+	n, skip, err := Codec{Binary: true}.Stage(bytes.NewReader(frame), staged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(keys) || skip != 1 {
+		t.Fatalf("Stage(contiguous) = (%d, %d), want (%d, 1)", n, skip, len(keys))
+	}
+	got, err := os.ReadFile(staged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, frame) {
+		t.Fatal("staged contiguous file is not byte-identical to the frame")
+	}
+
+	staged = filepath.Join(dir, "chunked.bin")
+	n, skip, err = Codec{Binary: true}.Stage(bytes.NewReader(frameOfKeys(t, keys, 128)), staged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(keys) || skip != 0 {
+		t.Fatalf("Stage(chunked) = (%d, %d), want (%d, 0)", n, skip, len(keys))
+	}
+	if got, err = os.ReadFile(staged); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, frame[wire.HeaderBytes:]) {
+		t.Fatal("chunked staging did not spool the identical payload")
+	}
+}
+
+// TestServeContiguousFrame: a contiguous-frame body runs through both
+// models (InSkip = 1 end to end) and returns exactly what the chunked
+// dialect returns.
+func TestServeContiguousFrame(t *testing.T) {
+	s := newTestService(t, 1<<14, 2, 64)
+	for _, tc := range []struct {
+		name, query string
+		n           int
+	}{
+		{"native", "", 3000},
+		{"ext", "?model=ext", 30000},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			keys := genKeys(tc.n, int64(tc.n))
+			resp, body := s.postRaw(t, tc.query, wire.ContentType, "", contiguousFrameOfKeys(t, keys))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %.300s", resp.StatusCode, body)
+			}
+			got := decodeFrame(t, body)
+			want := sortedRecsOfKeys(keys)
+			if len(got) != len(want) {
+				t.Fatalf("%d records back, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("record %d: got %v want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+	// A truncated contiguous payload is the client's fault: 400, not a
+	// hang or a 500.
+	frame := contiguousFrameOfKeys(t, genKeys(100, 3))
+	resp, body := s.postRaw(t, "", wire.ContentType, "", frame[:len(frame)-8])
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated contiguous frame: status %d: %.300s", resp.StatusCode, body)
+	}
+}

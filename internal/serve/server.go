@@ -614,17 +614,19 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 	}
 	defer os.RemoveAll(dir)
 
-	inCodec, outCodec := negotiate(r)
+	inCodec, outCodec := Negotiate(r)
 	// Non-sort kernels' payloads carry results (group sums, counts,
 	// join sums), so their text dialect renders "key value" lines; the
 	// sort kernel keeps the historical bare-key lines.
-	outCodec.withVals = k.Name != "sort"
+	outCodec.WithVals = k.Name != "sort"
 
-	// Stage the request body, fixing n.
+	// Stage the request body, fixing n. A contiguous binary frame is
+	// staged header-in-place (skip = 1): the engine reads the payload
+	// where it landed, behind InSkip, with no second copy.
 	stageSp := root.Child("stage")
 	stageStart := time.Now()
 	staged := filepath.Join(dir, "in.bin")
-	n, err := inCodec.stage(r.Body, staged)
+	n, skip, err := inCodec.Stage(r.Body, staged)
 	stageSp.Set(obs.Attr{Key: "recs", Val: int64(n)})
 	stageSp.End()
 	s.setJob(j, func(j *JobStats) { j.StageMS = time.Since(stageStart).Milliseconds() })
@@ -636,7 +638,7 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 			return fmt.Errorf("job %d: %w", j.ID, err)
 		}
 		code := http.StatusBadRequest
-		if !errors.Is(err, wire.ErrFormat) && inCodec.binary {
+		if !errors.Is(err, wire.ErrFormat) && inCodec.Binary {
 			// Frame was well-formed; the failure is ours (device, disk).
 			code = http.StatusInternalServerError
 		}
@@ -716,7 +718,7 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 			return fail(http.StatusInsufficientStorage,
 				"job %d: native needs %d records resident, grant is %d", j.ID, 2*n, grant)
 		}
-		outN, err = runNative(lease, k, p, staged, outBin, s.cfg.Omega)
+		outN, err = runNative(lease, k, p, staged, skip, outBin, s.cfg.Omega)
 		if err != nil {
 			return fail(http.StatusInternalServerError, "job %d: %v", j.ID, err)
 		}
@@ -724,7 +726,7 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 		res, err := k.Ext(extmem.Config{
 			Mem: grant, Block: s.cfg.Block, K: s.cfg.K, Omega: s.cfg.Omega,
 			TmpDir: dir, Pool: lease.Pool(), IOQ: s.cfg.Broker.IOQ(), Lease: lease,
-			Span: runSp,
+			Span: runSp, InSkip: skip,
 		}, staged, outBin, p)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -780,7 +782,7 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 	streamStart := time.Now()
 	streamSp := root.Child("stream")
 	streamSp.Set(obs.Attr{Key: "recs", Val: int64(outN)})
-	err = outCodec.stream(w, outBin, outN)
+	err = outCodec.Stream(w, outBin, outN)
 	streamSp.End()
 	s.setJob(j, func(j *JobStats) { j.StreamMS = time.Since(streamStart).Milliseconds() })
 	if err != nil {
@@ -825,11 +827,12 @@ func (s *Server) addBlockIO(label string, io cost.Snapshot, blockBytes float64) 
 // n-record slice plus SortRecords' n-record merge scratch — the 2n the
 // admission check guaranteed); other kernels run their registry
 // composition on the native backend.
-func runNative(l *Lease, k *kernel.Kernel, p kernel.Params, inPath, outPath string, omega float64) (int, error) {
+func runNative(l *Lease, k *kernel.Kernel, p kernel.Params, inPath string, skip int, outPath string, omega float64) (int, error) {
 	recs, err := extmem.ReadRecordsFile(inPath)
 	if err != nil {
 		return 0, err
 	}
+	recs = recs[skip:] // drop the staged-in-place frame header, if any
 	if k.Name == "sort" {
 		rt.SortRecords(l.Pool(), recs)
 		return len(recs), extmem.WriteRecordsFile(outPath, recs)
