@@ -77,6 +77,12 @@ type jobSpec struct {
 	seed   uint64
 	binary bool   // speak the wire record-frame dialect both ways
 	kernel string // registry kernel this job runs ("sort" = the classic path)
+	// -mix scenario fields: class names the workload class ("small" or
+	// "bulk", empty outside -mix), prio and deadline are sent as the
+	// job's admission headers when set.
+	class    string
+	prio     int
+	deadline time.Duration
 }
 
 func (sp jobSpec) wireName() string {
@@ -114,6 +120,7 @@ func main() {
 		kernels = flag.String("kernels", "sort", "comma-separated kernel pool the mix draws from (see internal/kernel)")
 		metrics = flag.Bool("metrics", false, "scrape /metrics before and after the run and verify the counter deltas and post-drain gauges")
 		cluster = flag.Bool("cluster", false, "target is an asymsortd coordinator: sort-only mix, /stats checked for job completion and shard retries/hedges")
+		mix     = flag.String("mix", "", "scenario generator: latency (small urgent jobs), throughput (bulk jobs), mixed (bulk background + small urgent foreground); adds priority/deadline headers and a per-class latency table")
 		version = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
@@ -121,7 +128,7 @@ func main() {
 		fmt.Println(obs.ReadBuildInfo())
 		return
 	}
-	if err := run(*addr, *jobs, *conc, *seed, *minN, *maxN, *shapes, *spacing, *model, *jobMem, *save, *jsonOut, *wireFmt, *kernels, *metrics, *cluster); err != nil {
+	if err := run(*addr, *jobs, *conc, *seed, *minN, *maxN, *shapes, *spacing, *model, *jobMem, *save, *jsonOut, *wireFmt, *kernels, *metrics, *cluster, *mix); err != nil {
 		fmt.Fprintf(os.Stderr, "asymload: %v\n", err)
 		os.Exit(1)
 	}
@@ -129,9 +136,17 @@ func main() {
 
 func run(addr string, jobs, conc int, seed uint64, minN, maxN int, shapeList string,
 	spacing time.Duration, model string, jobMem int, save, jsonOut, wireMode, kernelList string,
-	metricsCheck, clusterMode bool) error {
+	metricsCheck, clusterMode bool, mix string) error {
 	if jobs < 1 || minN < 1 || maxN < minN {
 		return fmt.Errorf("need -jobs >= 1 and 1 <= -minn <= -maxn")
+	}
+	switch mix {
+	case "", "latency", "throughput", "mixed":
+	default:
+		return fmt.Errorf("bad -mix %q (latency | throughput | mixed)", mix)
+	}
+	if mix != "" && kernelList != "" && kernelList != "sort" {
+		return fmt.Errorf("-mix scenarios run the sort kernel only, got -kernels %s", kernelList)
 	}
 	if clusterMode {
 		if kernelList != "" && kernelList != "sort" {
@@ -173,18 +188,42 @@ func run(addr string, jobs, conc int, seed uint64, minN, maxN int, shapeList str
 	rng := xrand.New(seed)
 	specs := make([]jobSpec, jobs)
 	for i := range specs {
+		nDraw := rng.Next()
 		specs[i] = jobSpec{
 			id:     i,
-			n:      minN + int(rng.Next()%uint64(maxN-minN+1)),
+			n:      minN + int(nDraw%uint64(maxN-minN+1)),
 			shape:  pool[rng.Next()%uint64(len(pool))],
 			seed:   rng.Next(),
 			binary: wireMode == "binary" || (wireMode == "mixed" && i%2 == 1),
 			kernel: kpool[rng.Next()%uint64(len(kpool))],
 		}
+		if mix != "" {
+			// Scenario classing: "small" jobs are urgent interactive work
+			// (high priority, a deadline, sizes near -minn); "bulk" jobs
+			// are background batch work (default class, sizes near -maxn).
+			// In the mixed scenario every fourth job is bulk.
+			small := mix == "latency" || (mix == "mixed" && i%4 != 3)
+			sp := &specs[i]
+			if small {
+				sp.class = "small"
+				sp.prio = 4
+				sp.deadline = time.Second
+				span := min(minN, maxN-minN) + 1
+				sp.n = minN + int(nDraw%uint64(span))
+			} else {
+				sp.class = "bulk"
+				lo := max(maxN/2, minN)
+				sp.n = lo + int(nDraw%uint64(maxN-lo+1))
+			}
+		}
 	}
 
 	fmt.Printf("asymload: %d jobs (%d..%d records) against %s, concurrency %d, spacing %v, seed %d, wire %s, kernels %s\n",
 		jobs, minN, maxN, addr, conc, spacing, seed, wireMode, strings.Join(kpool, ","))
+	if mix != "" {
+		fmt.Printf("  scenario: %s (small: priority 4, deadline 1s, ~%d records; bulk: default class, ~%d records)\n",
+			mix, minN, maxN)
+	}
 
 	// -metrics baseline: snapshot the daemon's counters before any of our
 	// jobs land, so the post-run diff isolates exactly this mix even
@@ -228,6 +267,9 @@ func run(addr string, jobs, conc int, seed uint64, minN, maxN int, shapeList str
 	failures := renderJobTable(os.Stdout, rec, results)
 	totalRecs := renderSummary(os.Stdout, rec, results, makespan, conc)
 	renderWireTable(os.Stdout, rec, results)
+	if mix != "" {
+		renderClassTable(os.Stdout, rec, results, mix)
+	}
 
 	if clusterMode {
 		// Coordinator cross-check: every job this run drove must have
@@ -443,8 +485,20 @@ func runJob(addr, model string, jobMem int, save string, sp jobSpec) jobResult {
 	if sp.binary {
 		contentType = wire.ContentType
 	}
+	req, err := http.NewRequest("POST", addr+query, pr)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	req.Header.Set("Content-Type", contentType)
+	if sp.prio != 0 {
+		req.Header.Set("X-Asymsortd-Priority", strconv.Itoa(sp.prio))
+	}
+	if sp.deadline > 0 {
+		req.Header.Set("X-Asymsortd-Deadline", sp.deadline.String())
+	}
 	start := time.Now()
-	resp, err := http.Post(addr+query, contentType, pr)
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		res.err = err
 		return res
@@ -660,6 +714,59 @@ func renderWireTable(w io.Writer, rec *exp.Recorder, results []jobResult) {
 	}
 }
 
+// renderClassTable prints the -mix per-class latency quantiles and the
+// greppable "<class> p50/p99" lines the CI mixed-load gate parses —
+// the small-job p99 under contention is the figure the adaptive broker
+// exists to improve.
+func renderClassTable(w io.Writer, rec *exp.Recorder, results []jobResult, mix string) {
+	byClass := map[string][]jobResult{}
+	for _, r := range results {
+		if r.err != nil || r.spec.class == "" {
+			continue
+		}
+		byClass[r.spec.class] = append(byClass[r.spec.class], r)
+	}
+	header := []string{"class", "jobs", "records", "p50 wall ms", "p99 wall ms", "p50 ttfb ms", "p99 ttfb ms"}
+	var rows [][]string
+	var lines []string
+	for _, cl := range []string{"small", "bulk"} {
+		rs := byClass[cl]
+		if len(rs) == 0 {
+			continue
+		}
+		walls := make([]time.Duration, len(rs))
+		ttfbs := make([]time.Duration, len(rs))
+		recs := 0
+		for i, r := range rs {
+			walls[i], ttfbs[i] = r.wall, r.ttfb
+			recs += r.spec.n
+		}
+		sort.Slice(walls, func(a, b int) bool { return walls[a] < walls[b] })
+		sort.Slice(ttfbs, func(a, b int) bool { return ttfbs[a] < ttfbs[b] })
+		rows = append(rows, []string{
+			cl, strconv.Itoa(len(rs)), strconv.Itoa(recs),
+			strconv.FormatInt(pct(walls, 50).Milliseconds(), 10),
+			strconv.FormatInt(pct(walls, 99).Milliseconds(), 10),
+			strconv.FormatInt(pct(ttfbs, 50).Milliseconds(), 10),
+			strconv.FormatInt(pct(ttfbs, 99).Milliseconds(), 10),
+		})
+		lines = append(lines,
+			fmt.Sprintf("%s p50: %dms", cl, pct(walls, 50).Milliseconds()),
+			fmt.Sprintf("%s p99: %dms", cl, pct(walls, 99).Milliseconds()))
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintln(w)
+	writeTable(w, header, rows)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+	if rec != nil {
+		rec.Record("load-class", "per-class latency ("+mix+" scenario)", header, rows)
+	}
+}
+
 // pct is the nearest-rank percentile of an ascending-sorted sample.
 func pct(sorted []time.Duration, p int) time.Duration {
 	if len(sorted) == 0 {
@@ -695,6 +802,8 @@ type statsPayload struct {
 		Model      string `json:"model"`
 		Writes     uint64 `json:"writes"`
 		PlanWrites uint64 `json:"plan_writes"`
+		Priority   int    `json:"priority"`
+		DeadlineMS int64  `json:"deadline_ms"`
 	} `json:"jobs"`
 }
 

@@ -50,7 +50,7 @@ func TestWireDifferential(t *testing.T) {
 		ts := newTestService(t)
 		save := filepath.Join(t.TempDir(), mode)
 		if err := run(ts.URL, jobs, 1, seed, 2000, 12000, "uniform,dups,sorted,reversed", 0,
-			"ext", 0, save, "", mode, "sort", true, false); err != nil {
+			"ext", 0, save, "", mode, "sort", true, false, ""); err != nil {
 			t.Fatalf("%s run: %v", mode, err)
 		}
 		saves[mode] = save
@@ -132,10 +132,10 @@ func TestWireModeAssignment(t *testing.T) {
 			t.Fatalf("mode %s job %d: binary=%v, want %v", tc.mode, tc.id, got, tc.want)
 		}
 	}
-	if err := run("http://127.0.0.1:1", 1, 1, 1, 1, 1, "uniform", 0, "auto", 0, "", "", "bogus", "sort", false, false); err == nil {
+	if err := run("http://127.0.0.1:1", 1, 1, 1, 1, 1, "uniform", 0, "auto", 0, "", "", "bogus", "sort", false, false, ""); err == nil {
 		t.Fatal("bad -wire value was accepted")
 	}
-	if err := run("http://127.0.0.1:1", 1, 1, 1, 1, 1, "uniform", 0, "auto", 0, "", "", "text", "sort,bogus", false, false); err == nil {
+	if err := run("http://127.0.0.1:1", 1, 1, 1, 1, 1, "uniform", 0, "auto", 0, "", "", "text", "sort,bogus", false, false, ""); err == nil {
 		t.Fatal("bad -kernels value was accepted")
 	}
 }
@@ -163,14 +163,14 @@ func TestClusterLoad(t *testing.T) {
 
 	clusterSave := filepath.Join(t.TempDir(), "cluster")
 	if err := run(cts.URL, jobs, 2, seed, 2000, 12000, "uniform,dups,sorted,reversed,equal", 0,
-		"ext", 0, clusterSave, "", "mixed", "sort", false, true); err != nil {
+		"ext", 0, clusterSave, "", "mixed", "sort", false, true, ""); err != nil {
 		t.Fatalf("cluster run: %v", err)
 	}
 
 	soloSave := filepath.Join(t.TempDir(), "solo")
 	solo := newTestService(t)
 	if err := run(solo.URL, jobs, 2, seed, 2000, 12000, "uniform,dups,sorted,reversed,equal", 0,
-		"ext", 0, soloSave, "", "mixed", "sort", false, false); err != nil {
+		"ext", 0, soloSave, "", "mixed", "sort", false, false, ""); err != nil {
 		t.Fatalf("solo run: %v", err)
 	}
 
@@ -192,12 +192,63 @@ func TestClusterLoad(t *testing.T) {
 	}
 
 	if err := run(cts.URL, 1, 1, 1, 1000, 1000, "uniform", 0, "auto", 0, "", "", "text",
-		"sort,semisort", false, true); err == nil {
+		"sort,semisort", false, true, ""); err == nil {
 		t.Fatal("-cluster accepted a non-sort kernel pool")
 	}
 	if err := run(cts.URL, 1, 1, 1, 1000, 1000, "uniform", 0, "auto", 0, "", "", "text",
-		"sort", true, true); err == nil {
+		"sort", true, true, ""); err == nil {
 		t.Fatal("-cluster accepted -metrics")
+	}
+}
+
+// TestMixedLoadClasses drives a -mix mixed scenario and checks the
+// server side saw the admission classes the generator promises: small
+// jobs carry priority 4 and a 1s deadline, bulk jobs ride the default
+// class, and both classes actually appear in the mix.
+func TestMixedLoadClasses(t *testing.T) {
+	const seed, jobs = 17, 8
+	ts := newTestService(t)
+	if err := run(ts.URL, jobs, 2, seed, 2000, 12000, "uniform", 0,
+		"ext", 0, "", "", "text", "sort", false, false, "mixed"); err != nil {
+		t.Fatalf("mixed run: %v", err)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap statsPayload
+	err = decodeJSON(resp.Body, &snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Jobs) != jobs {
+		t.Fatalf("stats cover %d jobs, want %d", len(snap.Jobs), jobs)
+	}
+	var small, bulk int
+	for _, j := range snap.Jobs {
+		switch {
+		case j.Priority == 4 && j.DeadlineMS == 1000:
+			small++
+		case j.Priority == 0 && j.DeadlineMS == 0:
+			bulk++
+		default:
+			t.Fatalf("job %d carries an unexpected class: priority=%d deadline_ms=%d",
+				j.ID, j.Priority, j.DeadlineMS)
+		}
+		if j.State != "done" {
+			t.Fatalf("job %d ended %q", j.ID, j.State)
+		}
+	}
+	if small == 0 || bulk == 0 {
+		t.Fatalf("mixed scenario produced %d small and %d bulk jobs; want both classes", small, bulk)
+	}
+
+	if err := run("http://127.0.0.1:1", 1, 1, 1, 1, 1, "uniform", 0, "auto", 0, "", "", "text", "sort", false, false, "bogus"); err == nil {
+		t.Fatal("bad -mix value was accepted")
+	}
+	if err := run("http://127.0.0.1:1", 1, 1, 1, 1, 1, "uniform", 0, "auto", 0, "", "", "text", "sort,semisort", false, false, "latency"); err == nil {
+		t.Fatal("-mix accepted a non-sort kernel pool")
 	}
 }
 
@@ -216,7 +267,7 @@ func TestKernelMixDifferential(t *testing.T) {
 	for _, mode := range []string{"text", "binary"} {
 		ts := newTestService(t)
 		if err := run(ts.URL, jobs, 2, seed, 2000, 12000, "uniform,dups,sorted,reversed", 0,
-			"ext", 0, "", "", mode, pool, true, false); err != nil {
+			"ext", 0, "", "", mode, pool, true, false, ""); err != nil {
 			t.Fatalf("%s kernel mix: %v", mode, err)
 		}
 		resp, err := http.Get(ts.URL + "/stats")

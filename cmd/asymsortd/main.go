@@ -36,10 +36,20 @@
 //	               pool/ioq occupancy, block IO by level, HTTP traffic
 //
 // -mem is the global budget shared by every job (a byte size; divided
-// by the 16-byte record footprint). Jobs queue FIFO under
-// backpressure, leases shrink/grow at merge-level boundaries as load
-// changes, and a disconnected client cancels its job — the engine
-// aborts and its spill files are removed. cmd/asymload is the matching
+// by the 16-byte record footprint). Under backpressure the default
+// adaptive broker admits queued jobs by priority and deadline
+// (X-Asymsortd-Priority / X-Asymsortd-Deadline headers, or priority= /
+// deadline= query params) with size-proportional fair shares and
+// anti-starvation aging; -admission fifo restores the legacy pure
+// arrival order. Leases shrink/grow at merge-level boundaries as load
+// changes — the adaptive policy picks shrink victims by observed merge
+// progress — and a disconnected client cancels its job: the engine
+// aborts and its spill files are removed. -omega is a prior: the
+// daemon measures the device's real write/read cost ratio from every
+// job's timed block IO (EWMA, persisted in -tmpdir), blends it with
+// the flag, and picks each ext job's fan-in k from the blend (-omega 0
+// trusts the measurement alone; see the asymsortd_tuning_* metrics and
+// the /stats "tuning" section). cmd/asymload is the matching
 // deterministic load generator.
 //
 // Observability: -trace-dir exports every job's span tree as JSONL and
@@ -73,10 +83,11 @@ func main() {
 		addr      = flag.String("addr", "127.0.0.1:8077", "listen address (host:port; :0 picks a free port)")
 		mem       = flag.String("mem", "64MB", "global memory budget shared by all jobs, e.g. 8MB")
 		block     = flag.Int("b", 64, "device block size in records (the model's B)")
-		omega     = flag.Float64("omega", 8, "device write/read cost ratio ω (picks k when -k 0)")
+		omega     = flag.Float64("omega", 8, "prior write/read cost ratio ω, blended with the live measurement (0 = fully measured; picks k when -k 0)")
 		k         = flag.Int("k", 0, "ext read multiplier (0 = choose from ω, Appendix A)")
 		procs     = flag.Int("procs", 0, "machine worker count shared by all jobs (0 = GOMAXPROCS)")
 		tmpdir    = flag.String("tmpdir", "", "job staging/spill directory (default os.TempDir)")
+		admission = flag.String("admission", "adaptive", "broker scheduling policy: adaptive (priority/deadline-aware, size-proportional shares) or fifo (legacy arrival order)")
 		traceDir  = flag.String("trace-dir", "", "export each job's trace there as JSONL + Chrome trace-event JSON (empty = tracing off)")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this extra listener (empty = pprof off)")
 		version   = flag.Bool("version", false, "print build info and exit")
@@ -96,7 +107,7 @@ func main() {
 	if *coordinator {
 		err = runCoordinator(*addr, *workers, *shards, *retries, *hedge, *tmpdir, *traceDir, *debugAddr)
 	} else {
-		err = run(*addr, *mem, *block, *omega, *k, *procs, *tmpdir, *traceDir, *debugAddr)
+		err = run(*addr, *mem, *block, *omega, *k, *procs, *tmpdir, *traceDir, *debugAddr, *admission)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asymsortd: %v\n", err)
@@ -169,12 +180,20 @@ func runCoordinator(addr, workersFlag string, shards, retries int, hedge time.Du
 	}
 }
 
-func run(addr, memFlag string, block int, omega float64, k, procs int, tmpdir, traceDir, debugAddr string) error {
+func run(addr, memFlag string, block int, omega float64, k, procs int, tmpdir, traceDir, debugAddr, admission string) error {
 	memBytes, err := serve.ParseSize(memFlag)
 	if err != nil {
 		return fmt.Errorf("bad -mem: %v", err)
 	}
 	memRecs := int(memBytes / extmem.RecordBytes)
+	var fifo bool
+	switch admission {
+	case "adaptive", "":
+	case "fifo":
+		fifo = true
+	default:
+		return fmt.Errorf("bad -admission %q (want adaptive or fifo)", admission)
+	}
 
 	if traceDir != "" {
 		if err := os.MkdirAll(traceDir, 0o777); err != nil {
@@ -186,7 +205,7 @@ func run(addr, memFlag string, block int, omega float64, k, procs int, tmpdir, t
 	// and the job engine's job/IO/HTTP metrics share the /metrics scrape.
 	reg := obs.NewRegistry()
 	broker, err := serve.NewBroker(serve.BrokerConfig{
-		Mem: memRecs, Procs: procs, MinLease: 16 * block, Metrics: reg,
+		Mem: memRecs, Procs: procs, MinLease: 16 * block, Metrics: reg, FIFO: fifo,
 	})
 	if err != nil {
 		return err
@@ -207,8 +226,9 @@ func run(addr, memFlag string, block int, omega float64, k, procs int, tmpdir, t
 	}
 	stats := broker.Stats()
 	fmt.Printf("asymsortd: listening on %s\n", ln.Addr())
-	fmt.Printf("  envelope : M=%d records (%s), B=%d records, ω=%g, procs=%d, min lease %d records\n",
+	fmt.Printf("  envelope : M=%d records (%s), B=%d records, ω prior=%g (live-measured), procs=%d, min lease %d records\n",
 		stats.TotalMem, memFlag, block, omega, stats.Procs, stats.MinLease)
+	fmt.Printf("  admission: %s\n", admission)
 	fmt.Printf("  kernels  : %s\n", strings.Join(kernel.Names(), " · "))
 	fmt.Printf("  endpoints: POST /v1/{kernel} · POST /sort · GET /stats · GET /healthz · GET /metrics\n")
 	if traceDir != "" {
@@ -250,6 +270,7 @@ func run(addr, memFlag string, block int, omega float64, k, procs int, tmpdir, t
 		if err := httpSrv.Shutdown(sctx); err != nil {
 			return fmt.Errorf("shutdown with jobs still in flight: %w", err)
 		}
+		srv.Close() // persist the ω estimator so the next start begins warm
 		broker.Close()
 		return nil
 	}

@@ -58,6 +58,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"sort"
@@ -549,31 +550,61 @@ func (c *Coordinator) runJob(ctx context.Context, j *JobStats, w http.ResponseWr
 	return nil
 }
 
-// forwardQuery validates the client's model/mem hints and rebuilds the
-// query string forwarded verbatim to every shard POST.
+// forwardQuery validates the client's model/mem hints and admission
+// class (priority/deadline, query or X-Asymsortd-* header) and rebuilds
+// the query string forwarded verbatim to every shard POST — so a
+// latency-class cluster job is a latency-class job on every worker's
+// broker too. Deadlines forward as the client's relative target: each
+// worker resolves it against the shard's own arrival, which is the
+// clock the shard actually races.
 func forwardQuery(r *http.Request) (string, error) {
 	q := r.URL.Query()
-	fwd := ""
+	fwd := url.Values{}
 	if model := q.Get("model"); model != "" {
 		switch model {
 		case "auto", "ext", "native":
 		default:
 			return "", fmt.Errorf("unknown model %q", model)
 		}
-		fwd = "?model=" + model
+		fwd.Set("model", model)
 	}
 	if mem := q.Get("mem"); mem != "" {
 		v, err := strconv.Atoi(mem)
 		if err != nil || v < 1 {
 			return "", fmt.Errorf("bad mem=%q", mem)
 		}
-		if fwd == "" {
-			fwd = "?mem=" + mem
-		} else {
-			fwd += "&mem=" + mem
-		}
+		fwd.Set("mem", mem)
 	}
-	return fwd, nil
+	pick := func(query, header string) string {
+		if v := q.Get(query); v != "" {
+			return v
+		}
+		return r.Header.Get(header)
+	}
+	if v := pick("priority", "X-Asymsortd-Priority"); v != "" {
+		if _, err := strconv.Atoi(v); err != nil {
+			return "", fmt.Errorf("bad priority=%q", v)
+		}
+		fwd.Set("priority", v)
+	}
+	if v := pick("deadline", "X-Asymsortd-Deadline"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			ms, merr := strconv.Atoi(v)
+			if merr != nil {
+				return "", fmt.Errorf("bad deadline=%q (want a duration like 750ms or integer milliseconds)", v)
+			}
+			d = time.Duration(ms) * time.Millisecond
+		}
+		if d < 0 {
+			return "", fmt.Errorf("bad deadline=%q (negative)", v)
+		}
+		fwd.Set("deadline", v)
+	}
+	if len(fwd) == 0 {
+		return "", nil
+	}
+	return "?" + fwd.Encode(), nil
 }
 
 // exportTrace writes the finished job's trace to TraceDir in both

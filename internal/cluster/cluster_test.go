@@ -8,9 +8,9 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"slices"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -414,30 +414,71 @@ func TestClusterMalformedWorkerFrame(t *testing.T) {
 	}
 }
 
-// TestClusterHedging: one worker sits on its shard; with hedging armed
-// the idle fast worker duplicates it and the job completes long before
-// the sleeper would have answered.
+// throttleReader trickles its source at chunk bytes per pause, keeping
+// an upload in flight long enough for a hedge to fire.
+type throttleReader struct {
+	r     io.Reader
+	chunk int
+	pause time.Duration
+}
+
+func (tr *throttleReader) Read(p []byte) (int, error) {
+	if len(p) > tr.chunk {
+		p = p[:tr.chunk]
+	}
+	n, err := tr.r.Read(p)
+	time.Sleep(tr.pause)
+	return n, err
+}
+
+// TestClusterHedging: one worker receives its shard through a
+// throttled pipe; with hedging armed the idle fast worker duplicates
+// the shard and wins, and the loser's worker-side job must actually
+// die: its job record goes canceled, its broker envelope comes back
+// whole with no live lease, and its spill directory is reclaimed.
 func TestClusterHedging(t *testing.T) {
-	real := newWorker(t, 1<<14)
-	var slowMu sync.Mutex
-	slowSorts := 0
+	// The slow worker is a real daemon with an observable tmp dir; the
+	// throttle lives in a proxy in front of it, so the worker itself has
+	// a genuine in-flight job when the hedge winner cancels it.
+	slowTmp := t.TempDir()
+	sb, err := serve.NewBroker(serve.BrokerConfig{Mem: 1 << 14, Procs: 2, MinLease: 16 * 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssrv, err := serve.NewServer(serve.ServerConfig{Broker: sb, Block: 64, Omega: 8, TmpDir: slowTmp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowWorker := httptest.NewServer(ssrv.Handler())
+	t.Cleanup(func() {
+		slowWorker.Close()
+		sb.Close()
+	})
 	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/sort" {
-			slowMu.Lock()
-			slowSorts++
-			slowMu.Unlock()
-			// Drain the body so the server's background read can see the
-			// hedge winner cancel this connection and end the sleep.
-			io.Copy(io.Discard, r.Body)
-			select {
-			case <-r.Context().Done():
-				return
-			case <-time.After(60 * time.Second):
-				http.Error(w, "sleeper woke", http.StatusInternalServerError)
+			req, err := http.NewRequestWithContext(r.Context(), "POST", slowWorker.URL+r.URL.String(),
+				&throttleReader{r: r.Body, chunk: 4096, pause: 50 * time.Millisecond})
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadGateway)
 				return
 			}
+			req.Header = r.Header.Clone()
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadGateway)
+				return
+			}
+			defer resp.Body.Close()
+			for k, vs := range resp.Header {
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.WriteHeader(resp.StatusCode)
+			io.Copy(w, resp.Body)
+			return
 		}
-		proxyTo(t, real.URL, w, r)
+		proxyTo(t, slowWorker.URL, w, r)
 	}))
 	t.Cleanup(slow.Close)
 
@@ -455,13 +496,108 @@ func TestClusterHedging(t *testing.T) {
 		t.Fatal("output is not the sorted key text under hedging")
 	}
 	if took := time.Since(start); took > 30*time.Second {
-		t.Fatalf("hedged job took %v — the sleeper was on the critical path", took)
+		t.Fatalf("hedged job took %v — the throttled worker was on the critical path", took)
 	}
 	c.mu.Lock()
 	job := *c.jobs[0]
 	c.mu.Unlock()
 	if job.Hedges < 1 {
 		t.Fatalf("job ledger: %+v (want hedges >= 1)", job)
+	}
+
+	// The losing attempt's cancellation is asynchronous on the worker
+	// side; poll its /stats until the job dies and every resource is
+	// back: no canceled-but-leaked lease, no orphan spill files.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var ws struct {
+			Broker struct {
+				TotalMem int               `json:"total_mem"`
+				FreeMem  int               `json:"free_mem"`
+				Running  []json.RawMessage `json:"running"`
+			} `json:"broker"`
+			Jobs []struct {
+				State string `json:"state"`
+			} `json:"jobs"`
+		}
+		sr, err := http.Get(slowWorker.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(sr.Body).Decode(&ws)
+		sr.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		canceled := 0
+		for _, wj := range ws.Jobs {
+			if wj.State == "canceled" {
+				canceled++
+			}
+		}
+		spills, err := filepath.Glob(filepath.Join(slowTmp, "asymsortd-job*"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if canceled >= 1 && len(ws.Broker.Running) == 0 &&
+			ws.Broker.FreeMem == ws.Broker.TotalMem && len(spills) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("loser not reclaimed: jobs=%+v broker=%+v spills=%v",
+				ws.Jobs, ws.Broker, spills)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestClusterForwardsAdmissionClass: the coordinator relays the
+// client's priority/deadline (header or query) to every shard POST, so
+// workers' brokers see the cluster job's latency class; malformed
+// values are a clean 400 before any worker traffic.
+func TestClusterForwardsAdmissionClass(t *testing.T) {
+	real := newWorker(t, 1<<16)
+	var gotQuery atomic.Value
+	rec := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/sort" {
+			gotQuery.Store(r.URL.RawQuery)
+		}
+		proxyTo(t, real.URL, w, r)
+	}))
+	t.Cleanup(rec.Close)
+	_, coord := newCoordinator(t, Config{Workers: []string{rec.URL}, Shards: 2})
+
+	keys := genKeys(8000, 17)
+	req, err := http.NewRequest("POST", coord.URL+"/sort", strings.NewReader(keysText(keys)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Asymsortd-Priority", "5")
+	req.Header.Set("X-Asymsortd-Deadline", "750ms")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %.300s", resp.StatusCode, body)
+	}
+	if string(body) != sortedText(keys) {
+		t.Fatal("output is not the sorted key text")
+	}
+	q, _ := gotQuery.Load().(string)
+	if !strings.Contains(q, "priority=5") || !strings.Contains(q, "deadline=750ms") {
+		t.Fatalf("shard POST query %q lacks the forwarded admission class", q)
+	}
+
+	resp2, body2 := post(t, coord.URL+"/sort?priority=abc", "", "", []byte("2\n1\n"))
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad priority: status %d: %.300s (want 400)", resp2.StatusCode, body2)
+	}
+	resp3, body3 := post(t, coord.URL+"/sort?deadline=-5s", "", "", []byte("2\n1\n"))
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative deadline: status %d: %.300s (want 400)", resp3.StatusCode, body3)
 	}
 }
 

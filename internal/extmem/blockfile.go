@@ -6,6 +6,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"asymsort/internal/seq"
 )
@@ -165,18 +166,19 @@ func (bf *BlockFile) ReadAt(off int, dst []seq.Record) error {
 	}
 	sp := scratchPool.Get().(*[]byte)
 	defer scratchPool.Put(sp)
-	for start := 0; start < len(dst); start += ioChunk {
-		sub := dst[start:min(start+ioChunk, len(dst))]
+	start := time.Now()
+	for lo := 0; lo < len(dst); lo += ioChunk {
+		sub := dst[lo:min(lo+ioChunk, len(dst))]
 		raw := (*sp)[:len(sub)*RecordBytes]
-		n, err := bf.f.ReadAt(raw, int64(off+start)*RecordBytes)
+		n, err := bf.f.ReadAt(raw, int64(off+lo)*RecordBytes)
 		if n != len(raw) {
 			return fmt.Errorf("extmem: short read of %s at record %d (%d of %d bytes): %v",
-				bf.path, off+start, n, len(raw), err)
+				bf.path, off+lo, n, len(raw), err)
 		}
 		decodeRecs(sub, raw)
 	}
 	if bf.stats != nil {
-		bf.stats.reads.Add(bf.blockSpan(off, len(dst)))
+		bf.stats.chargeRead(bf.blockSpan(off, len(dst)), time.Since(start))
 	}
 	return nil
 }
@@ -199,17 +201,18 @@ func (bf *BlockFile) WriteAt(off int, src []seq.Record) error {
 	}
 	sp := scratchPool.Get().(*[]byte)
 	defer scratchPool.Put(sp)
-	for start := 0; start < len(src); start += ioChunk {
-		sub := src[start:min(start+ioChunk, len(src))]
+	start := time.Now()
+	for lo := 0; lo < len(src); lo += ioChunk {
+		sub := src[lo:min(lo+ioChunk, len(src))]
 		raw := (*sp)[:len(sub)*RecordBytes]
 		encodeRecs(raw, sub)
-		if _, err := bf.f.WriteAt(raw, int64(off+start)*RecordBytes); err != nil {
+		if _, err := bf.f.WriteAt(raw, int64(off+lo)*RecordBytes); err != nil {
 			return fmt.Errorf("extmem: write %s: %w", bf.path, err)
 		}
 	}
 	bf.extend(off + len(src))
 	if bf.stats != nil {
-		bf.stats.writes.Add(bf.blockSpan(off, len(src)))
+		bf.stats.chargeWrite(bf.blockSpan(off, len(src)), time.Since(start))
 	}
 	return nil
 }

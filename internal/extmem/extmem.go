@@ -111,12 +111,45 @@ type Lease interface {
 	Canceled() <-chan struct{}
 }
 
+// ProgressReporter is optionally implemented by a Lease: the engine
+// reports (level, levels) at every phase boundary — level 0 after
+// planning, then each merge level ℓ ∈ [1, levels] as it is entered —
+// so a broker can steer its grant trajectory by observed merge
+// progress (a job inside its final level has no boundary left at
+// which to acknowledge a resize). Purely observational; must be safe
+// for concurrent use.
+type ProgressReporter interface {
+	Progress(level, levels int)
+}
+
 // IOStats is a concurrency-safe block-IO ledger. BlockFiles constructed
 // with the same *IOStats share one ledger, mirroring how all Files of
 // one aem.Machine share its counter.
 type IOStats struct {
 	reads  atomic.Uint64
 	writes atomic.Uint64
+	// meter, when non-nil, receives every charged span's wall cost —
+	// the OmegaMeter feed. It is set once before the engine starts and
+	// never mutated afterwards, so unsynchronized reads are safe.
+	meter *OmegaMeter
+}
+
+// chargeRead charges blocks to the read ledger and, when metered,
+// folds the span's wall cost into the ω estimate.
+func (s *IOStats) chargeRead(blocks uint64, d time.Duration) {
+	s.reads.Add(blocks)
+	if s.meter != nil {
+		s.meter.ObserveRead(blocks, d)
+	}
+}
+
+// chargeWrite charges blocks to the write ledger and, when metered,
+// folds the span's wall cost into the ω estimate.
+func (s *IOStats) chargeWrite(blocks uint64, d time.Duration) {
+	s.writes.Add(blocks)
+	if s.meter != nil {
+		s.meter.ObserveWrite(blocks, d)
+	}
 }
 
 // Snapshot freezes the current totals.
@@ -207,6 +240,13 @@ type Config struct {
 	// and the write ledger are untouched. Nil (the default) records
 	// nothing; obs spans are nil-safe, so the engine never branches on it.
 	Span *obs.Span
+	// Meter, when non-nil, is the online ω estimator the engine feeds:
+	// every span the IOStats ledger charges also reports its wall cost
+	// to the meter (see OmegaMeter). Purely observational — nothing in
+	// the plan or the ledger depends on it. The serve daemon shares one
+	// meter across all its engines so the estimate reflects the whole
+	// device, not one job.
+	Meter *OmegaMeter
 	// InSkip is how many leading records of the input file to ignore —
 	// the zero-copy handoff for inputs that carry a whole-record wire
 	// header (a contiguous internal/wire frame is a valid record file
@@ -231,12 +271,20 @@ type resolved struct {
 	inSkip               int
 	post                 Streamer
 	span                 *obs.Span
+	meter                *OmegaMeter
 }
 
 func (c Config) resolve() (resolved, error) {
 	r := resolved{block: c.Block, omega: c.Omega}
-	if r.omega <= 0 {
+	// Degenerate ω never reaches ChooseK or the cost report: NaN and
+	// non-positive values mean "no usable write premium" (ω = 1, the
+	// classical regime), and +Inf — a meterable stall, not a device
+	// ratio — clamps to a large finite premium so fan-in and Cost stay
+	// finite.
+	if math.IsNaN(r.omega) || r.omega <= 0 {
 		r.omega = 1
+	} else if math.IsInf(r.omega, 1) {
+		r.omega = 1e9
 	}
 	if c.Block < 1 {
 		return r, fmt.Errorf("extmem: Block must be >= 1 records, got %d", c.Block)
@@ -276,6 +324,7 @@ func (c Config) resolve() (resolved, error) {
 	r.inSkip = c.InSkip
 	r.post = c.Post
 	r.span = c.Span
+	r.meter = c.Meter
 	return r, nil
 }
 
@@ -283,11 +332,22 @@ func (c Config) resolve() (resolved, error) {
 // k/log₂k < ω/log₂(M/B) admits (k = 1 — the classical EM mergesort —
 // when no k ≥ 2 qualifies). Note k/log₂k is not monotone below k = 4
 // (its minimum is at k = 3), so the scan checks every candidate.
+// ChooseK is exported and callable with arbitrary arguments, so every
+// degenerate input has a defined answer: block < 1 or mem ≤ block
+// (lg(M/B) ≤ 0, where the rule's bound would divide by zero or go
+// negative) returns 1, as do NaN and non-positive ω (no write premium
+// to trade reads against). ω = +Inf admits every candidate and
+// returns the scan cap 512. The result is always ≥ 1.
 func ChooseK(omega float64, mem, block int) int {
-	if mem <= block {
+	if block < 1 || mem <= block {
 		// lg(M/B) ≤ 0: the rule's bound is undefined (the recursion is
 		// already as shallow as a one-block memory allows) and widening
 		// only multiplies reads, so keep the classical sort.
+		return 1
+	}
+	if math.IsNaN(omega) || omega <= 0 {
+		// NaN would make every comparison below false only by accident;
+		// make the classical fallback explicit.
 		return 1
 	}
 	bound := omega / math.Log2(float64(mem)/float64(block))

@@ -60,6 +60,15 @@ func (e *engine) grantMem() int {
 	return m
 }
 
+// reportProgress tells a ProgressReporter lease which level the
+// engine is entering (see extmem.ProgressReporter). Nil and
+// non-reporting leases cost one failed type assertion.
+func (e *engine) reportProgress(level int) {
+	if pr, ok := e.cfg.lease.(ProgressReporter); ok {
+		pr.Progress(level, e.plan.Levels())
+	}
+}
+
 // canceled polls the lease's revocation channel; engines call it at
 // block/chunk granularity on every long-running loop.
 func (e *engine) canceled() error {
@@ -83,6 +92,9 @@ func Sort(cfg Config, inPath, outPath string) (*Report, error) {
 		return nil, err
 	}
 	e := &engine{cfg: r}
+	// Wire the ω meter before any BlockFile exists: the field is never
+	// mutated once IO can start, so the workers read it lock-free.
+	e.stats.meter = r.meter
 	in, err := OpenBlockFile(inPath, r.block, &e.stats)
 	if err != nil {
 		return nil, err
@@ -157,6 +169,7 @@ func Sort(cfg Config, inPath, outPath string) (*Report, error) {
 // run executes the plan phase by phase: all leaves, then each merge
 // level left to right.
 func (e *engine) run() error {
+	e.reportProgress(0)
 	leaves, byLevel := e.plan.phases()
 	if e.cfg.post != nil && e.plan.Levels() == 0 {
 		// Single-run plan: the root is a leaf, so formation and the
@@ -184,8 +197,10 @@ func (e *engine) run() error {
 		}
 	}
 	for lvl := 1; lvl < len(byLevel); lvl++ {
-		// The level boundary is where a broker rebalance lands: re-read
-		// the lease's grant and carve this level's buffers from it.
+		// The level boundary is where a broker rebalance lands: report
+		// progress, then re-read the lease's grant and carve this
+		// level's buffers from it.
+		e.reportProgress(lvl)
 		e.levelMem = e.grantMem()
 		if err := e.mergeLevel(lvl, byLevel[lvl]); err != nil {
 			return err

@@ -27,7 +27,9 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"asymsort/internal/extmem"
 	"asymsort/internal/obs"
@@ -54,6 +56,34 @@ type BrokerConfig struct {
 	// grant bytes, pool token occupancy, and ioq depth. Nil wires a
 	// private throwaway registry, so the broker code is guard-free.
 	Metrics *obs.Registry
+	// FIFO selects the legacy scheduling policy: pure arrival-order
+	// admission, uniform fair shares, and shrink-everything-to-fair
+	// when arrivals queue. It ignores AcquireOpts priorities and
+	// deadlines entirely. Kept as the benchmark baseline the adaptive
+	// policy (the default) is measured against.
+	FIFO bool
+	// AgeQuantum is the adaptive policy's anti-starvation clock: a
+	// queued job's effective priority rises by one for every quantum it
+	// has waited, so a low-priority job can be bypassed by higher
+	// classes for at most (prioMax - its priority) quanta before it
+	// reaches the top class and blocks further bypass. Default 1s.
+	AgeQuantum time.Duration
+}
+
+// prioMax bounds AcquireOpts.Priority (and the aging boost) to
+// [-prioMax, prioMax], so one client cannot mint an unreachable class.
+const prioMax = 8
+
+// AcquireOpts classifies one admission for the adaptive scheduler.
+// The zero value is the default class: priority 0, no deadline.
+type AcquireOpts struct {
+	// Priority orders queued jobs: higher admits first. Clamped to
+	// [-prioMax, prioMax]. Under FIFO policy it is ignored.
+	Priority int
+	// Deadline is the job's latency target. Within one effective
+	// priority, deadline-carrying jobs admit before deadline-free ones,
+	// earliest first. Zero means none.
+	Deadline time.Time
 }
 
 // Broker owns the envelope and leases slices of it.
@@ -65,9 +95,12 @@ type Broker struct {
 	procs    int
 	pool     *rt.Pool
 	ioq      *extmem.IOQueue
-	queue    []*waiter // FIFO admission queue
+	fifo     bool
+	ageQ     time.Duration
+	queue    []*waiter // arrival order; adaptive admission picks by class
 	running  []*Lease  // admission order — rebalance iterates deterministically
 	nextID   int
+	nextSeq  int // arrival ordinal for waiters
 	// testOnAck, when non-nil, runs (outside the lock) after every Mem
 	// acknowledgement with the lease and its ack ordinal — the
 	// deterministic seam the fault-injection tests use to revoke a
@@ -84,9 +117,13 @@ type Broker struct {
 
 // waiter is one queued Acquire.
 type waiter struct {
-	want  int
-	ready chan *Lease // buffered; receives the grant on admission
-	gone  bool        // context canceled; skip on admission
+	want     int
+	prio     int         // clamped AcquireOpts.Priority
+	deadline time.Time   // zero = none
+	enq      time.Time   // arrival, the aging reference
+	seq      int         // arrival ordinal, the final tiebreak
+	ready    chan *Lease // buffered; receives the grant on admission
+	gone     bool        // context canceled; skip on admission
 }
 
 // NewBroker validates the config and builds the envelope. Close
@@ -113,11 +150,17 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	ageQ := cfg.AgeQuantum
+	if ageQ <= 0 {
+		ageQ = time.Second
+	}
 	b := &Broker{
 		total:    cfg.Mem,
 		free:     cfg.Mem,
 		minLease: minLease,
 		procs:    procs,
+		fifo:     cfg.FIFO,
+		ageQ:     ageQ,
 		pool:     rt.NewPool(procs),
 		ioq:      extmem.NewIOQueue(procs),
 	}
@@ -162,17 +205,39 @@ func (b *Broker) Close() { b.ioq.Close() }
 func (b *Broker) IOQ() *extmem.IOQueue { return b.ioq }
 
 // Acquire blocks until the broker grants a lease of at least
-// min(want, fair share, MinLease-floored) records, in FIFO arrival
-// order; ctx cancels the wait. want is clamped to [1, total].
+// min(want, share, MinLease-floored) records, in the default
+// admission class; ctx cancels the wait. want is clamped to
+// [1, total].
 func (b *Broker) Acquire(ctx context.Context, want int) (*Lease, error) {
+	return b.AcquireWith(ctx, want, AcquireOpts{})
+}
+
+// AcquireWith is Acquire with an explicit admission class: under the
+// adaptive policy queued jobs admit by (aged priority, deadline,
+// arrival) instead of pure arrival order, so a latency-class job can
+// overtake queued bulk work without starving it (aging bounds every
+// bypass window).
+func (b *Broker) AcquireWith(ctx context.Context, want int, opts AcquireOpts) (*Lease, error) {
 	if want < 1 {
 		want = 1
 	}
 	if want > b.total {
 		want = b.total
 	}
+	prio := opts.Priority
+	if prio > prioMax {
+		prio = prioMax
+	}
+	if prio < -prioMax {
+		prio = -prioMax
+	}
 	b.mu.Lock()
-	w := &waiter{want: want, ready: make(chan *Lease, 1)}
+	w := &waiter{
+		want: want, prio: prio, deadline: opts.Deadline,
+		enq: time.Now(), seq: b.nextSeq,
+		ready: make(chan *Lease, 1),
+	}
+	b.nextSeq++
 	b.queue = append(b.queue, w)
 	b.rebalance()
 	b.mu.Unlock()
@@ -208,9 +273,9 @@ func (b *Broker) dropGone() {
 	}
 }
 
-// fairShare is the deterministic per-job target the rebalance steers
-// toward: the envelope split evenly over every active job (running and
-// queued), floored at MinLease.
+// fairShare is the FIFO policy's uniform per-job target: the envelope
+// split evenly over every active job (running and queued), floored at
+// MinLease.
 func (b *Broker) fairShare() int {
 	active := len(b.running) + len(b.queue)
 	if active < 1 {
@@ -223,31 +288,128 @@ func (b *Broker) fairShare() int {
 	return fair
 }
 
-// rebalance is the broker's one scheduling step, called with mu held
-// after every event (arrival, release, ack, cancel): admit from the
-// queue head, shrink oversized running grants when arrivals still
-// wait, and grow running grants back when capacity is free with an
-// empty queue.
-func (b *Broker) rebalance() {
-	b.dropGone()
-	// Admit: the queue head gets min(want, fair) — but when it is the
-	// only active job the fair share is the whole envelope, so a lone
-	// job still gets everything it asked for.
-	for len(b.queue) > 0 {
-		w := b.queue[0]
+// propShare is the adaptive policy's job-size-aware share: the
+// envelope split proportionally to the active jobs' asks, floored at
+// MinLease and capped at the job's own ask — a 1MB job is entitled to
+// its 1MB, never to a uniform 1/N slice of the whole envelope, and
+// the headroom it declines belongs to the jobs that asked for it.
+// Shares are computed in float64: products of envelope × ask overflow
+// int64 long before they lose float precision that matters here.
+func (b *Broker) propShare(want int) int {
+	sum := 0.0
+	for _, l := range b.running {
+		sum += float64(l.want)
+	}
+	for _, w := range b.queue {
+		if !w.gone {
+			sum += float64(w.want)
+		}
+	}
+	share := b.total
+	if sum > 0 {
+		share = int(float64(b.total) * float64(want) / sum)
+	}
+	if share < b.minLease {
+		share = b.minLease
+	}
+	if share > want {
+		share = want
+	}
+	if share > b.total {
+		share = b.total
+	}
+	return share
+}
+
+// shareFor dispatches to the active policy's share rule.
+func (b *Broker) shareFor(want int) int {
+	if b.fifo {
+		return b.fairShare()
+	}
+	return b.propShare(want)
+}
+
+// effPrio is a waiter's aged priority: its class plus one for every
+// AgeQuantum waited, capped at prioMax — so higher classes bypass it
+// only for a bounded window.
+func (b *Broker) effPrio(w *waiter, now time.Time) int {
+	p := w.prio
+	if b.ageQ > 0 {
+		p += int(now.Sub(w.enq) / b.ageQ)
+	}
+	if p > prioMax {
+		p = prioMax
+	}
+	return p
+}
+
+// admitBefore reports whether waiter a should admit before waiter b
+// under the adaptive policy: higher aged priority first; within a
+// class, deadline-carrying jobs before deadline-free ones, earliest
+// deadline first; arrival order last.
+func (b *Broker) admitBefore(a, c *waiter, now time.Time) bool {
+	pa, pc := b.effPrio(a, now), b.effPrio(c, now)
+	if pa != pc {
+		return pa > pc
+	}
+	da, dc := !a.deadline.IsZero(), !c.deadline.IsZero()
+	if da != dc {
+		return da
+	}
+	if da && !a.deadline.Equal(c.deadline) {
+		return a.deadline.Before(c.deadline)
+	}
+	return a.seq < c.seq
+}
+
+// pickNext returns the index of the queued waiter the policy admits
+// next, or -1 when only gone waiters remain. FIFO takes the head;
+// adaptive takes the best (aged priority, deadline, arrival) class.
+// Called with mu held.
+func (b *Broker) pickNext(now time.Time) int {
+	best := -1
+	for i, w := range b.queue {
 		if w.gone {
-			b.queue = b.queue[1:]
 			continue
 		}
-		grant := min(w.want, b.fairShare())
+		if b.fifo {
+			return i
+		}
+		if best < 0 || b.admitBefore(w, b.queue[best], now) {
+			best = i
+		}
+	}
+	return best
+}
+
+// rebalance is the broker's one scheduling step, called with mu held
+// after every event (arrival, release, ack, cancel): admit in policy
+// order, shrink running grants when arrivals still wait, and grow
+// running grants back when capacity is free with an empty queue.
+func (b *Broker) rebalance() {
+	b.dropGone()
+	// Admit: the picked waiter gets min(want, share) — and when it is
+	// the only active job its share is the whole envelope, so a lone
+	// job still gets everything it asked for. Admission stops at the
+	// first picked waiter that does not fit: later classes never bypass
+	// a blocked higher class, which keeps big high-priority jobs from
+	// starving behind a stream of small ones.
+	now := time.Now()
+	for len(b.queue) > 0 {
+		i := b.pickNext(now)
+		if i < 0 {
+			break
+		}
+		w := b.queue[i]
+		grant := min(w.want, b.shareFor(w.want))
 		if grant > b.free {
 			break // backpressure: wait for releases or shrink acks
 		}
-		b.queue = b.queue[1:]
+		b.queue = append(b.queue[:i], b.queue[i+1:]...)
 		b.free -= grant
 		b.mGrantTotal.Add(float64(grant) * wire.RecordBytes)
 		l := &Lease{
-			b: b, id: b.nextID, want: w.want,
+			b: b, id: b.nextID, want: w.want, prio: w.prio,
 			target: grant, held: grant, charged: grant,
 			procs:  b.leaseProcs(),
 			cancel: make(chan struct{}),
@@ -257,16 +419,9 @@ func (b *Broker) rebalance() {
 		b.running = append(b.running, l)
 		w.ready <- l
 	}
+	b.dropGone()
 	if len(b.queue) > 0 {
-		// Arrivals are still blocked: shrink every oversized running
-		// grant toward the fair share. The memory lands in free when the
-		// engine acks at its next level boundary.
-		fair := b.fairShare() // already floored at minLease
-		for _, l := range b.running {
-			if l.target > fair {
-				l.target = fair
-			}
-		}
+		b.shrinkForQueue()
 		b.publish()
 		return
 	}
@@ -293,6 +448,64 @@ func (b *Broker) rebalance() {
 		}
 	}
 	b.publish()
+}
+
+// shrinkForQueue reclaims memory for a blocked queue. FIFO keeps the
+// legacy rule: every running grant shrinks to the uniform fair share.
+// The adaptive policy is need-bounded and progress-driven: it computes
+// how much the blocked waiters' shares exceed the free pool and cuts
+// exactly that much from running targets — least-progressed jobs
+// first (they have the most level boundaries left to re-grow at, and
+// slowing them costs the near-term completion order least), jobs
+// whose merge progress is unknown next, and jobs already inside their
+// final merge level last (they have no boundary left at which to
+// acknowledge a shrink, so cutting them frees nothing before their
+// release anyway). No target is cut below the job's own
+// size-proportional share. Called with mu held.
+func (b *Broker) shrinkForQueue() {
+	if b.fifo {
+		fair := b.fairShare() // already floored at minLease
+		for _, l := range b.running {
+			if l.target > fair {
+				l.target = fair
+			}
+		}
+		return
+	}
+	need := -b.free
+	for _, w := range b.queue {
+		if w.gone {
+			continue
+		}
+		need += min(w.want, b.propShare(w.want))
+	}
+	if need <= 0 {
+		return
+	}
+	order := make([]*Lease, len(b.running))
+	copy(order, b.running)
+	sort.SliceStable(order, func(i, j int) bool {
+		ci, ri := order[i].shrinkClass()
+		cj, rj := order[j].shrinkClass()
+		if ci != cj {
+			return ci < cj
+		}
+		return ri > rj // most remaining boundaries first
+	})
+	for _, l := range order {
+		if need <= 0 {
+			break
+		}
+		floor := b.propShare(l.want)
+		cut := l.target - floor
+		if cut > need {
+			cut = need
+		}
+		if cut > 0 {
+			l.target -= cut
+			need -= cut
+		}
+	}
 }
 
 // leaseProcs is the worker width a newly admitted job gets: an even
@@ -343,11 +556,17 @@ type BrokerStats struct {
 
 // LeaseStats is one running lease's grant state.
 type LeaseStats struct {
-	ID     int  `json:"id"`
-	Want   int  `json:"want"`
-	Target int  `json:"target"` // broker's desired grant
-	Held   int  `json:"held"`   // engine-acknowledged grant
-	Procs  int  `json:"procs"`
+	ID       int `json:"id"`
+	Want     int `json:"want"`
+	Target   int `json:"target"`  // broker's desired grant
+	Held     int `json:"held"`    // engine-acknowledged grant
+	Charged  int `json:"charged"` // records debited from the free pool
+	Procs    int `json:"procs"`
+	Priority int `json:"priority,omitempty"`
+	// Level/Levels mirror the engine's last merge-progress report; both
+	// zero (with Levels absent) until the engine reports.
+	Level  int  `json:"level,omitempty"`
+	Levels int  `json:"levels,omitempty"`
 	Dead   bool `json:"canceled,omitempty"`
 }
 
@@ -362,7 +581,8 @@ func (b *Broker) Stats() BrokerStats {
 	for _, l := range b.running {
 		s.Running = append(s.Running, LeaseStats{
 			ID: l.id, Want: l.want, Target: l.target, Held: l.held,
-			Procs: l.procs, Dead: l.dead,
+			Charged: l.charged, Procs: l.procs, Priority: l.prio,
+			Level: l.progLevel, Levels: l.progLevels, Dead: l.dead,
 		})
 	}
 	return s
@@ -375,6 +595,7 @@ type Lease struct {
 	b     *Broker
 	id    int
 	want  int
+	prio  int
 	procs int
 	pool  *rt.Pool
 
@@ -383,10 +604,16 @@ type Lease struct {
 	// (= max of the two while a handoff is pending), acks the Mem call
 	// count.
 	target, held, charged, acks int
-	released                    bool
-	dead                        bool
-	cancel                      chan struct{}
-	once                        sync.Once
+	// Merge progress, reported by the engine (extmem.ProgressReporter):
+	// the level it is entering and the plan's total levels. hasProg
+	// distinguishes "level 0 of many" from "never reported" (native
+	// jobs). Guarded by b.mu.
+	progLevel, progLevels int
+	hasProg               bool
+	released              bool
+	dead                  bool
+	cancel                chan struct{}
+	once                  sync.Once
 	// onEvent, when set, observes the lease's lifecycle for tracing:
 	// kind is "lease-grow", "lease-shrink", or "lease-reclaim", recs the
 	// grant (or reclaimed charge) in records. Like testOnAck it always
@@ -401,6 +628,32 @@ func (l *Lease) SetOnEvent(fn func(kind string, recs int)) {
 	l.b.mu.Lock()
 	l.onEvent = fn
 	l.b.mu.Unlock()
+}
+
+// Progress implements extmem.ProgressReporter: the engine reports the
+// merge level it is entering and its plan's total levels at every
+// phase boundary, which is the signal the adaptive shrink uses to
+// pick victims (see shrinkForQueue). Safe for concurrent use.
+func (l *Lease) Progress(level, levels int) {
+	l.b.mu.Lock()
+	l.progLevel, l.progLevels, l.hasProg = level, levels, true
+	l.b.mu.Unlock()
+}
+
+// shrinkClass ranks the lease as a shrink victim: class 0 = known
+// progress with boundaries ahead (preferred, ordered by remaining
+// boundaries), class 1 = progress unknown, class 2 = inside the final
+// merge level (a shrink can never be acknowledged). Called with b.mu
+// held.
+func (l *Lease) shrinkClass() (class, remaining int) {
+	if !l.hasProg {
+		return 1, 0
+	}
+	rem := l.progLevels - l.progLevel
+	if rem >= 1 {
+		return 0, rem
+	}
+	return 2, 0
 }
 
 // ID returns the lease's broker-assigned id.

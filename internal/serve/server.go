@@ -81,8 +81,12 @@ type ServerConfig struct {
 	// Block is the device block size in records for ext jobs (the
 	// model's B; default 64).
 	Block int
-	// Omega is the device write/read cost ratio consulted by the
-	// Appendix A rule when K == 0 (default 8).
+	// Omega is the ω prior: the configured device write/read cost
+	// ratio, blended with the online estimator's measurement
+	// (extmem.OmegaMeter) by observation confidence when the Appendix A
+	// rule picks K per job. 0 means fully measured — no prior, the
+	// engine trusts the meter alone (falling back to ω = 1 while the
+	// meter is cold).
 	Omega float64
 	// K is the ext engine's read multiplier (0 = choose from Omega).
 	K int
@@ -117,6 +121,7 @@ type Server struct {
 	draining atomic.Bool
 	reg      *obs.Registry
 	obsm     serverMetrics
+	meter    *extmem.OmegaMeter
 	mu       sync.Mutex
 	jobs     map[int]*JobStats
 	agg      map[string]*KernelLedger
@@ -194,7 +199,16 @@ type JobStats struct {
 	PlanWrites uint64 `json:"plan_writes,omitempty"`
 	Levels     int    `json:"levels,omitempty"`
 	K          int    `json:"k,omitempty"`
-	QueueMS    int64  `json:"queue_ms"`
+	// Omega is the effective ω the ext job was planned with: the
+	// measured estimate blended with the configured prior at admission
+	// time. Together with MemGrant and the block size it reproduces the
+	// job's K via extmem.ChooseK.
+	Omega float64 `json:"omega,omitempty"`
+	// Priority is the job's clamped admission class; DeadlineMS its
+	// relative latency target at arrival (0 = none).
+	Priority   int   `json:"priority,omitempty"`
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	QueueMS    int64 `json:"queue_ms"`
 	// StageMS/SortMS/StreamMS are the finished phase walls: request-body
 	// staging, the kernel run, and response stream-out. With QueueMS
 	// they are the per-job phase breakdown beside the ledgers.
@@ -244,8 +258,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Block < 1 {
 		cfg.Block = 64
 	}
-	if cfg.Omega <= 0 {
-		cfg.Omega = 8
+	if cfg.Omega < 0 {
+		cfg.Omega = 0 // fully measured, like an explicit 0
 	}
 	if cfg.TmpDir == "" {
 		cfg.TmpDir = os.TempDir()
@@ -260,13 +274,46 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s := &Server{
 		cfg: cfg, start: time.Now(), build: obs.ReadBuildInfo(),
 		reg: reg, obsm: newServerMetrics(reg),
-		jobs: make(map[int]*JobStats), agg: make(map[string]*KernelLedger),
+		meter: extmem.NewOmegaMeter(cfg.TmpDir),
+		jobs:  make(map[int]*JobStats), agg: make(map[string]*KernelLedger),
 	}
 	reg.GaugeFunc("asymsortd_uptime_seconds",
 		"Seconds since the job engine started.",
 		func() float64 { return time.Since(s.start).Seconds() })
+	// The asymsortd_tuning_* family: the online ω estimator feeding
+	// per-job k selection (see extmem.OmegaMeter and docs/OPERATIONS.md).
+	meter, prior := s.meter, cfg.Omega
+	reg.GaugeFunc("asymsortd_tuning_omega_measured",
+		"Measured device write/read block-cost ratio (0 while the estimator is cold).",
+		func() float64 { w, _ := meter.Measured(); return w })
+	reg.GaugeFunc("asymsortd_tuning_omega_effective",
+		"Effective omega new ext jobs are planned with: measurement blended with the configured prior.",
+		func() float64 { return meter.Effective(prior) })
+	reg.GaugeFunc("asymsortd_tuning_omega_prior",
+		"Configured omega prior (the -omega flag; 0 = fully measured).",
+		func() float64 { return prior })
+	reg.GaugeFunc("asymsortd_tuning_read_ns_per_block",
+		"EWMA wall nanoseconds per device block read.",
+		func() float64 { return meter.Snapshot().ReadNSPerBlock })
+	reg.GaugeFunc("asymsortd_tuning_write_ns_per_block",
+		"EWMA wall nanoseconds per device block write.",
+		func() float64 { return meter.Snapshot().WriteNSPerBlock })
+	reg.GaugeFunc("asymsortd_tuning_observed_read_blocks",
+		"Device blocks whose read wall cost has fed the omega estimator.",
+		func() float64 { return float64(meter.Snapshot().ReadBlocks) })
+	reg.GaugeFunc("asymsortd_tuning_observed_write_blocks",
+		"Device blocks whose write wall cost has fed the omega estimator.",
+		func() float64 { return float64(meter.Snapshot().WriteBlocks) })
 	return s, nil
 }
+
+// Meter returns the server's ω estimator (tests prime it; the daemon
+// persists it on shutdown via Close).
+func (s *Server) Meter() *extmem.OmegaMeter { return s.meter }
+
+// Close persists the ω estimator's state so the next daemon on this
+// tmpdir warms up from it. The HTTP side needs no teardown.
+func (s *Server) Close() error { return s.meter.Save() }
 
 // SetDraining flips /healthz to "draining" — called by the daemon when
 // it stops accepting connections and waits out running jobs, so load
@@ -391,16 +438,45 @@ func methodNotAllowed(allow string) http.HandlerFunc {
 	}
 }
 
+// tuningStats is the /stats view of the online ω estimator: the raw
+// measurement, the configured prior, and the blend jobs actually run
+// with right now.
+type tuningStats struct {
+	OmegaPrior     float64 `json:"omega_prior"`
+	OmegaMeasured  float64 `json:"omega_measured,omitempty"`
+	OmegaEffective float64 `json:"omega_effective"`
+	MeasuredOK     bool    `json:"measured_ok"`
+	ReadNSPerBlock float64 `json:"read_ns_per_block,omitempty"`
+	WriteNSPerBlk  float64 `json:"write_ns_per_block,omitempty"`
+	ReadBlocks     uint64  `json:"observed_read_blocks"`
+	WriteBlocks    uint64  `json:"observed_write_blocks"`
+}
+
 // statsSnapshot is the /stats payload.
 type statsSnapshot struct {
 	Broker  BrokerStats             `json:"broker"`
+	Tuning  tuningStats             `json:"tuning"`
 	Kernels map[string]KernelLedger `json:"kernels"`
 	Jobs    []JobStats              `json:"jobs"`
 }
 
+func (s *Server) tuningSnapshot() tuningStats {
+	ms := s.meter.Snapshot()
+	return tuningStats{
+		OmegaPrior:     s.cfg.Omega,
+		OmegaMeasured:  ms.Measured,
+		OmegaEffective: s.meter.Effective(s.cfg.Omega),
+		MeasuredOK:     ms.Ok,
+		ReadNSPerBlock: ms.ReadNSPerBlock,
+		WriteNSPerBlk:  ms.WriteNSPerBlock,
+		ReadBlocks:     ms.ReadBlocks,
+		WriteBlocks:    ms.WriteBlocks,
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	snap := statsSnapshot{Broker: s.cfg.Broker.Stats(), Kernels: make(map[string]KernelLedger, len(s.agg))}
+	snap := statsSnapshot{Broker: s.cfg.Broker.Stats(), Tuning: s.tuningSnapshot(), Kernels: make(map[string]KernelLedger, len(s.agg))}
 	for name, a := range s.agg {
 		snap.Kernels[name] = *a
 	}
@@ -590,6 +666,43 @@ func kernelParams(r *http.Request) (kernel.Params, error) {
 	return p, nil
 }
 
+// admissionParams extracts the job's admission class from the query
+// (priority=, deadline=) or the matching X-Asymsortd-Priority /
+// X-Asymsortd-Deadline header when the query is silent. Priority is an
+// integer (higher = sooner; the broker clamps it); deadline is a
+// relative latency target — a Go duration ("750ms", "2s") or a bare
+// integer of milliseconds — resolved against arrival time.
+func admissionParams(r *http.Request, now time.Time) (prio int, deadline time.Time, deadlineMS int64, err error) {
+	get := func(query, header string) string {
+		if v := r.URL.Query().Get(query); v != "" {
+			return v
+		}
+		return r.Header.Get(header)
+	}
+	if v := get("priority", "X-Asymsortd-Priority"); v != "" {
+		prio, err = strconv.Atoi(v)
+		if err != nil {
+			return 0, time.Time{}, 0, fmt.Errorf("bad priority=%q", v)
+		}
+	}
+	if v := get("deadline", "X-Asymsortd-Deadline"); v != "" {
+		d, derr := time.ParseDuration(v)
+		if derr != nil {
+			ms, merr := strconv.Atoi(v)
+			if merr != nil || ms < 0 {
+				return 0, time.Time{}, 0, fmt.Errorf("bad deadline=%q (want a duration like 750ms or integer milliseconds)", v)
+			}
+			d = time.Duration(ms) * time.Millisecond
+		}
+		if d < 0 {
+			return 0, time.Time{}, 0, fmt.Errorf("bad deadline=%q (negative)", v)
+		}
+		deadline = now.Add(d)
+		deadlineMS = d.Milliseconds()
+	}
+	return prio, deadline, deadlineMS, nil
+}
+
 // runJob executes one kernel job end to end. Any error return before
 // output streaming starts is translated to an HTTP error status; once
 // the first result byte is out, errors abort the chunked body so the
@@ -604,6 +717,13 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 	p, err := kernelParams(r)
 	if err != nil {
 		return fail(http.StatusBadRequest, "job %d: %v", j.ID, err)
+	}
+	prio, deadline, deadlineMS, err := admissionParams(r, time.Now())
+	if err != nil {
+		return fail(http.StatusBadRequest, "job %d: %v", j.ID, err)
+	}
+	if prio != 0 || deadlineMS != 0 {
+		s.setJob(j, func(j *JobStats) { j.Priority = prio; j.DeadlineMS = deadlineMS })
 	}
 
 	// Per-job scratch dir: staging files, the binary output, and the
@@ -666,7 +786,7 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 	}
 	queued := time.Now()
 	queueSp := root.Child("queue")
-	lease, err := s.cfg.Broker.Acquire(ctx, want)
+	lease, err := s.cfg.Broker.AcquireWith(ctx, want, AcquireOpts{Priority: prio, Deadline: deadline})
 	queueSp.End()
 	s.obsm.queueWait.With().Observe(time.Since(queued).Seconds())
 	if err != nil {
@@ -705,6 +825,13 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 		j.Procs = lease.Procs()
 	})
 
+	// Effective ω for this job: the live measurement blended with the
+	// configured prior (fully measured when the prior is 0). ChooseK
+	// inside the ext engine sees exactly this value, so the per-job fan-in
+	// tracks the device the daemon is actually running on.
+	omega := s.meter.Effective(s.cfg.Omega)
+	s.setJob(j, func(j *JobStats) { j.Omega = omega })
+
 	runStart := time.Now()
 	runSp := root.Child("run")
 	runSp.Set(obs.Attr{Key: "n", Val: int64(n)}, obs.Attr{Key: "grant", Val: int64(grant)})
@@ -718,15 +845,15 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 			return fail(http.StatusInsufficientStorage,
 				"job %d: native needs %d records resident, grant is %d", j.ID, 2*n, grant)
 		}
-		outN, err = runNative(lease, k, p, staged, skip, outBin, s.cfg.Omega)
+		outN, err = runNative(lease, k, p, staged, skip, outBin, omega)
 		if err != nil {
 			return fail(http.StatusInternalServerError, "job %d: %v", j.ID, err)
 		}
 	case "ext":
 		res, err := k.Ext(extmem.Config{
-			Mem: grant, Block: s.cfg.Block, K: s.cfg.K, Omega: s.cfg.Omega,
+			Mem: grant, Block: s.cfg.Block, K: s.cfg.K, Omega: omega,
 			TmpDir: dir, Pool: lease.Pool(), IOQ: s.cfg.Broker.IOQ(), Lease: lease,
-			Span: runSp, InSkip: skip,
+			Span: runSp, InSkip: skip, Meter: s.meter,
 		}, staged, outBin, p)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -741,6 +868,9 @@ func (s *Server) runJob(ctx context.Context, j *JobStats, w http.ResponseWriter,
 		outN = res.OutN
 		ledgerWrites, ledgerPlanWrites = res.Total.Writes, res.PlanWrites
 		s.recordBlockIO(res)
+		// Persist the freshly-observed costs so a restarted daemon starts
+		// warm. Best-effort: a full tmpdir must not fail the job.
+		_ = s.meter.Save()
 		s.setJob(j, func(j *JobStats) {
 			j.Reads = res.Total.Reads
 			j.Writes = res.Total.Writes
